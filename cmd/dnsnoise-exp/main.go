@@ -1,0 +1,215 @@
+// Command dnsnoise-exp regenerates the paper's tables and figures from the
+// simulation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	dnsnoise-exp -id all            # every experiment at the default scale
+//	dnsnoise-exp -id fig12 -scale small
+//	dnsnoise-exp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"dnsnoise/internal/experiments"
+)
+
+// experiment binds an id to its runner.
+type experiment struct {
+	id    string
+	about string
+	run   func(scale experiments.Scale, out io.Writer) error
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dnsnoise-exp:", err)
+		os.Exit(1)
+	}
+}
+
+func catalog() []experiment {
+	return []experiment{
+		{id: "fig2", about: "traffic above/below the RDNS cluster (6 days)", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.Fig2TrafficProfile(s, 6)
+			return render(out, r, err)
+		}},
+		{id: "fig3a", about: "lookup volume long tail", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.Fig3LongTail(s)
+			return render(out, r, err)
+		}},
+		{id: "fig3b", about: "domain hit rate long tail", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.Fig3LongTail(s)
+			return render(out, r, err)
+		}},
+		{id: "fig4", about: "cache hit rate distribution", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.Fig4CHR(s, 3)
+			return render(out, r, err)
+		}},
+		{id: "fig5", about: "new deduplicated RRs per day (13 days)", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.Fig5NewRRs(s, 13)
+			return render(out, r, err)
+		}},
+		{id: "fig7", about: "CHR distribution: disposable vs non-disposable", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.Fig7LabeledCHR(s)
+			return render(out, r, err)
+		}},
+		{id: "fig11", about: "measurement results summary", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.GrowthStudy(s)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(out, r.RenderFig11())
+			return err
+		}},
+		{id: "fig12", about: "classifier ROC + model selection", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.Fig12ROC(s)
+			return render(out, r, err)
+		}},
+		{id: "fig13", about: "growth of disposable zones (6 dates)", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.GrowthStudy(s)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(out, r.RenderFig13())
+			return err
+		}},
+		{id: "fig14", about: "disposable TTL histogram (first vs last date)", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.GrowthStudy(s)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(out, r.RenderFig14())
+			return err
+		}},
+		{id: "fig15", about: "pDNS growth + wildcard collapse (13 days)", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.Fig15PDNSGrowth(s, 13)
+			return render(out, r, err)
+		}},
+		{id: "table1", about: "disposable RRs in the lookup-volume tail", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.GrowthStudy(s)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(out, r.RenderTables())
+			return err
+		}},
+		{id: "table2", about: "disposable RRs in the zero-DHR tail", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.GrowthStudy(s)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(out, r.RenderTables())
+			return err
+		}},
+		{id: "cache", about: "Section VI-A cache pressure sweep", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.CachePressure(s, nil)
+			return render(out, r, err)
+		}},
+		{id: "dnssec", about: "Section VI-B DNSSEC validation load", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.DNSSECLoad(s)
+			return render(out, r, err)
+		}},
+		{id: "mitigation", about: "Section VI-A low-priority caching mitigation", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.CacheMitigation(s, 0.3)
+			return render(out, r, err)
+		}},
+		{id: "crossnet", about: "cross-network globally disposable zones", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.CrossNetwork(s)
+			return render(out, r, err)
+		}},
+		{id: "clients", about: "distinct clients per RR by class", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.ClientCardinality(s)
+			return render(out, r, err)
+		}},
+		{id: "renewal", about: "Jung TTL renewal model vs black-box measurement", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.RenewalModel(s)
+			return render(out, r, err)
+		}},
+		{id: "taxonomy", about: "Plonka treetop taxonomy vs disposable class", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.Taxonomy(s)
+			return render(out, r, err)
+		}},
+		{id: "baseline", about: "Yadav name-only detector vs the miner", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.Baseline(s)
+			return render(out, r, err)
+		}},
+		{id: "ablation-features", about: "feature family ablation", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.FeatureAblation(s)
+			return render(out, r, err)
+		}},
+		{id: "ablation-cache", about: "independent vs shared cache ablation", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.SharedCacheAblation(s)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(out, r.RenderHitRates())
+			return err
+		}},
+	}
+}
+
+func render(out io.Writer, r interface{ Render() string }, err error) error {
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, r.Render())
+	return err
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dnsnoise-exp", flag.ContinueOnError)
+	var (
+		id    = fs.String("id", "all", "experiment id, or 'all'")
+		scale = fs.String("scale", "default", "simulation scale: small or default")
+		list  = fs.Bool("list", false, "list experiment ids and exit")
+		seed  = fs.Int64("seed", 0, "override the scale's seed (0 keeps the default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	exps := catalog()
+	if *list {
+		sort.Slice(exps, func(i, j int) bool { return exps[i].id < exps[j].id })
+		for _, e := range exps {
+			fmt.Fprintf(stdout, "%-18s %s\n", e.id, e.about)
+		}
+		return nil
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.Small()
+	case "default":
+		sc = experiments.Default()
+	default:
+		return fmt.Errorf("unknown scale %q (small, default)", *scale)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	ran := 0
+	for _, e := range exps {
+		if *id != "all" && e.id != *id {
+			continue
+		}
+		ran++
+		start := time.Now()
+		fmt.Fprintf(stdout, "=== %s — %s ===\n", e.id, e.about)
+		if err := e.run(sc, stdout); err != nil {
+			return fmt.Errorf("experiment %s: %w", e.id, err)
+		}
+		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment id %q (try -list)", *id)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	got := out.String()
+	for _, id := range []string{
+		"fig2", "fig3a", "fig3b", "fig4", "fig5", "fig7", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "table1", "table2", "cache", "dnssec",
+		"mitigation", "crossnet", "renewal", "taxonomy", "baseline", "clients",
+		"ablation-features", "ablation-cache",
+	} {
+		if !strings.Contains(got, id) {
+			t.Errorf("catalog missing %q", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-id", "fig99"}, &out); err == nil {
+		t.Error("unknown id should fail")
+	}
+	if err := run([]string{"-scale", "galactic"}, &out); err == nil {
+		t.Error("unknown scale should fail")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	var out strings.Builder
+	if err := run([]string{"-id", "fig3a", "-scale", "small"}, &out); err != nil {
+		t.Fatalf("run fig3a: %v", err)
+	}
+	if !strings.Contains(out.String(), "Figure 3") {
+		t.Errorf("output missing figure header:\n%s", out.String())
+	}
+}

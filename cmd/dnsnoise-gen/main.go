@@ -1,0 +1,119 @@
+// Command dnsnoise-gen generates a synthetic ISP DNS query trace (JSON
+// lines) using the calibrated workload model. The trace carries ground-truth
+// disposable labels so downstream tools can score the miner.
+//
+// The namespace is derived deterministically from -seed; replaying the
+// trace (dnsnoise-mine -trace) must use the same seed and sizing flags so
+// the authoritative side can answer the generated names.
+//
+// Usage:
+//
+//	dnsnoise-gen -out trace.jsonl -profile december -days 1 -events 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/traceio"
+	"dnsnoise/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dnsnoise-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dnsnoise-gen", flag.ContinueOnError)
+	var (
+		out      = fs.String("out", "trace.jsonl", "output trace file ('-' for stdout)")
+		seed     = fs.Int64("seed", 1, "namespace and traffic seed")
+		profile  = fs.String("profile", "december", "calibration profile: february, december, or dates (the six paper dates)")
+		days     = fs.Int("days", 1, "number of consecutive days (ignored for -profile dates)")
+		events   = fs.Int("events", 200_000, "base events per day before the profile's volume scale")
+		clients  = fs.Int("clients", 5000, "client population")
+		ndZones  = fs.Int("zones", 900, "non-disposable zone count")
+		dispZn   = fs.Int("disposable-zones", 398, "disposable zone count")
+		maxHosts = fs.Int("hosts-per-zone", 128, "maximum host pool per non-disposable zone")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := workload.NewRegistry(workload.RegistryConfig{
+		Seed:               *seed,
+		NonDisposableZones: *ndZones,
+		DisposableZones:    *dispZn,
+		HostsPerZoneMax:    *maxHosts,
+	})
+	gen := workload.NewGenerator(reg, workload.GeneratorConfig{
+		Seed:             *seed + 2,
+		Clients:          *clients,
+		BaseEventsPerDay: *events,
+	})
+
+	profiles, err := selectProfiles(*profile, *days)
+	if err != nil {
+		return err
+	}
+
+	var w *traceio.Writer
+	if *out == "-" {
+		w = traceio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = traceio.NewWriter(f)
+	}
+
+	for _, p := range profiles {
+		var writeErr error
+		gen.GenerateDay(p, func(q resolver.Query) bool {
+			if err := w.Write(traceio.FromQuery(q)); err != nil {
+				writeErr = err
+				return false
+			}
+			return true
+		})
+		if writeErr != nil {
+			return writeErr
+		}
+		fmt.Fprintf(os.Stderr, "generated %s (%d events total)\n", p.Label, w.Count())
+	}
+	return w.Flush()
+}
+
+func selectProfiles(name string, days int) ([]workload.Profile, error) {
+	if days < 1 {
+		days = 1
+	}
+	base := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+	switch name {
+	case "february":
+		base = time.Date(2011, 2, 1, 0, 0, 0, 0, time.UTC)
+		out := make([]workload.Profile, 0, days)
+		for d := 0; d < days; d++ {
+			out = append(out, workload.FebruaryProfile(base.AddDate(0, 0, d)))
+		}
+		return out, nil
+	case "december":
+		out := make([]workload.Profile, 0, days)
+		for d := 0; d < days; d++ {
+			out = append(out, workload.DecemberProfile(base.AddDate(0, 0, d)))
+		}
+		return out, nil
+	case "dates":
+		return workload.PaperDates(), nil
+	default:
+		return nil, fmt.Errorf("unknown profile %q (february, december, dates)", name)
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/traceio"
+	"dnsnoise/internal/workload"
+)
+
+// writeTestTrace generates a small trace matching the registry flags used
+// by the tests.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	reg := workload.NewRegistry(workload.RegistryConfig{
+		Seed: 1, NonDisposableZones: 60, DisposableZones: 30, HostsPerZoneMax: 16,
+	})
+	gen := workload.NewGenerator(reg, workload.GeneratorConfig{
+		Seed: 3, Clients: 100, BaseEventsPerDay: 8000,
+	})
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := traceio.NewWriter(f)
+	gen.GenerateDay(workload.DecemberProfile(workload.PaperDates()[5].Date), func(q resolver.Query) bool {
+		if err := w.Write(traceio.FromQuery(q)); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func mineFlags(trace string) []string {
+	return []string{
+		"-trace", trace,
+		"-zones", "60", "-disposable-zones", "30", "-hosts-per-zone", "16",
+		"-servers", "2", "-cache", "8192", "-theta", "0.5", "-top", "50",
+	}
+}
+
+func TestRunMinesTrace(t *testing.T) {
+	trace := writeTestTrace(t)
+	var out strings.Builder
+	if err := run(mineFlags(trace), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"replayed", "mined", "finding-level ground truth", "zone"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The flagship McAfee zone must appear in the ranked findings.
+	if !strings.Contains(got, "mcafee.com") {
+		t.Errorf("output missing flagship zone:\n%s", got)
+	}
+}
+
+func TestRunRequiresTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -trace should fail")
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-trace", path}, &out); err == nil {
+		t.Error("empty trace should fail")
+	}
+}
+
+func TestTruthMatcher(t *testing.T) {
+	m := truthMatcher(map[string]bool{
+		"avqs.mcafee.com": true,
+		"example.com":     false,
+	})
+	if !m("tok.avqs.mcafee.com") {
+		t.Error("child of disposable zone should match")
+	}
+	if m("www.example.com") {
+		t.Error("child of non-disposable zone should not match")
+	}
+	if m("unrelated.org") {
+		t.Error("unknown name should not match")
+	}
+}

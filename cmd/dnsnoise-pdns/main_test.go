@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/traceio"
+	"dnsnoise/internal/workload"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	reg := workload.NewRegistry(workload.RegistryConfig{
+		Seed: 1, NonDisposableZones: 60, DisposableZones: 30, HostsPerZoneMax: 16,
+	})
+	gen := workload.NewGenerator(reg, workload.GeneratorConfig{
+		Seed: 3, Clients: 100, BaseEventsPerDay: 8000,
+	})
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := traceio.NewWriter(f)
+	gen.GenerateDay(workload.DecemberProfile(workload.PaperDates()[5].Date), func(q resolver.Query) bool {
+		if err := w.Write(traceio.FromQuery(q)); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBuildsDatabase(t *testing.T) {
+	trace := writeTestTrace(t)
+	var out strings.Builder
+	err := run([]string{
+		"-trace", trace,
+		"-zones", "60", "-disposable-zones", "30", "-hosts-per-zone", "16",
+		"-servers", "2", "-cache", "8192",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"distinct resource records", "disposable (ground truth)", "new records per day"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "wildcard collapse") {
+		t.Error("collapse printed without -collapse")
+	}
+}
+
+func TestRunCollapse(t *testing.T) {
+	trace := writeTestTrace(t)
+	var out strings.Builder
+	err := run([]string{
+		"-trace", trace, "-collapse", "-theta", "0.5",
+		"-zones", "60", "-disposable-zones", "30", "-hosts-per-zone", "16",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "wildcard collapse") || !strings.Contains(got, "folded into") {
+		t.Errorf("collapse summary missing:\n%s", got)
+	}
+}
+
+func TestRunRequiresTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -trace should fail")
+	}
+}
+
+func TestRunFpDNSDump(t *testing.T) {
+	trace := writeTestTrace(t)
+	fpPath := filepath.Join(t.TempDir(), "fpdns.jsonl")
+	var out strings.Builder
+	err := run([]string{
+		"-trace", trace, "-fpdns", fpPath,
+		"-zones", "60", "-disposable-zones", "30", "-hosts-per-zone", "16",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "fpDNS stream") {
+		t.Errorf("missing fpDNS summary:\n%s", out.String())
+	}
+	data, err := os.ReadFile(fpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data[:300]), `"rdata"`) {
+		t.Errorf("fpDNS file does not look like tuples: %s", data[:300])
+	}
+}

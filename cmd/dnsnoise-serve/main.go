@@ -1,0 +1,84 @@
+// Command dnsnoise-serve exposes the simulated authoritative namespace on a
+// real UDP socket, so standard tooling can query it:
+//
+//	dnsnoise-serve -addr 127.0.0.1:5355 &
+//	dig @127.0.0.1 -p 5355 www.google.com A
+//	dig @127.0.0.1 -p 5355 0.0.0.0.1.0.0.4e.abc123.avqs.mcafee.com A
+//
+// Zone files (RFC 1035 master-file subset) can be layered on top of the
+// generated namespace with -zonefile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dnsnoise/internal/authority"
+	"dnsnoise/internal/udptransport"
+	"dnsnoise/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dnsnoise-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dnsnoise-serve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:5355", "UDP listen address")
+		seed     = fs.Int64("seed", 1, "namespace seed")
+		ndZones  = fs.Int("zones", 900, "non-disposable zone count")
+		dispZn   = fs.Int("disposable-zones", 398, "disposable zone count")
+		maxHosts = fs.Int("hosts-per-zone", 128, "host pool cap")
+		zonefile = fs.String("zonefile", "", "optional extra zone file to serve ($ORIGIN required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := workload.NewRegistry(workload.RegistryConfig{
+		Seed:               *seed,
+		NonDisposableZones: *ndZones,
+		DisposableZones:    *dispZn,
+		HostsPerZoneMax:    *maxHosts,
+	})
+	auth, err := reg.BuildAuthority(nil, nil)
+	if err != nil {
+		return fmt.Errorf("build authority: %w", err)
+	}
+	if *zonefile != "" {
+		f, err := os.Open(*zonefile)
+		if err != nil {
+			return err
+		}
+		zone, err := authority.ParseZoneFile(f, "")
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", *zonefile, err)
+		}
+		if err := auth.AddZone(zone); err != nil {
+			return fmt.Errorf("add %s: %w", *zonefile, err)
+		}
+		fmt.Fprintf(os.Stderr, "serving extra zone %s\n", zone.Origin())
+	}
+
+	srv, err := udptransport.Serve(auth, *addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "serving %d zones on udp://%s (try: dig @%s www.google.com A)\n",
+		len(reg.AllZones()), srv.Addr(), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down")
+	return nil
+}

@@ -1,0 +1,85 @@
+package dnsnoise_test
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dnsnoise"
+)
+
+// Example walks the full public workflow: build an observation window,
+// train on labeled zones, mine, and summarize. The disposable zones use
+// McAfee-style one-time hash names; the ordinary zones use hot web hosts.
+func Example() {
+	const alphabet = "0123456789abcdefghijklmnopqrstuvwxyz"
+	rng := rand.New(rand.NewSource(4))
+	token := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+
+	at := time.Date(2011, 12, 1, 9, 0, 0, 0, time.UTC)
+	ds := dnsnoise.NewDataset()
+	var labeled []dnsnoise.LabeledZone
+
+	// Disposable zones: one-time names, every query a cache miss.
+	for _, zone := range []string{"avqs.av-one.com", "gti.av-two.com", "bl.av-three.org"} {
+		labeled = append(labeled, dnsnoise.LabeledZone{Zone: zone, Disposable: true})
+		for i := 0; i < 10; i++ {
+			name := token(24) + "." + zone
+			rec := dnsnoise.Record{Time: at, QName: name, Name: name, Type: "A", TTL: 60, RData: "127.0.0.1"}
+			ds.AddBelow(rec)
+			ds.AddAbove(rec)
+		}
+	}
+	// Ordinary zones: hot names, many queries below per refresh above.
+	for _, zone := range []string{"shop-a.com", "news-b.com", "mail-c.net"} {
+		labeled = append(labeled, dnsnoise.LabeledZone{Zone: zone, Disposable: false})
+		for _, h := range []string{"www", "mail", "api", "img", "shop", "login"} {
+			name := h + "." + zone
+			rec := dnsnoise.Record{Time: at, QName: name, Name: name, Type: "A", TTL: 3600, RData: "198.18.0.1"}
+			for i := 0; i < 25; i++ {
+				ds.AddBelow(rec)
+			}
+			ds.AddAbove(rec)
+		}
+	}
+
+	clf, err := dnsnoise.Train(ds, labeled, dnsnoise.TrainOptions{})
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+	// An unlabeled window containing a zone the classifier never saw.
+	target := dnsnoise.NewDataset()
+	for i := 0; i < 12; i++ {
+		name := "0.0.0.0.1.0.0.4e." + token(26) + ".avqs.mystery.net"
+		rec := dnsnoise.Record{Time: at, QName: name, Name: name, Type: "A", TTL: 60, RData: "127.0.4.2"}
+		target.AddBelow(rec)
+		target.AddAbove(rec)
+	}
+	for i := 0; i < 30; i++ {
+		rec := dnsnoise.Record{Time: at, QName: "www.benign.org", Name: "www.benign.org", Type: "A", TTL: 3600, RData: "198.18.9.9"}
+		target.AddBelow(rec)
+	}
+	target.AddAbove(dnsnoise.Record{Time: at, QName: "www.benign.org", Name: "www.benign.org", Type: "A", TTL: 3600, RData: "198.18.9.9"})
+
+	findings, err := clf.Mine(target, dnsnoise.MineOptions{Theta: 0.9})
+	if err != nil {
+		fmt.Println("mine:", err)
+		return
+	}
+	for _, f := range findings {
+		fmt.Printf("%s depth=%d names=%d\n", f.Zone, f.Depth, len(f.Names))
+	}
+	fmt.Println(dnsnoise.IsDisposable(findings, "0.0.0.0.1.0.0.4e.zzzz.avqs.mystery.net"))
+	fmt.Println(dnsnoise.IsDisposable(findings, "www.benign.org"))
+	// Output:
+	// avqs.mystery.net depth=12 names=12
+	// true
+	// false
+}

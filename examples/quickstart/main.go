@@ -1,0 +1,123 @@
+// Quickstart: the public dnsnoise API on a hand-rolled observation window.
+//
+// It fabricates one hour of passive DNS observations — a McAfee-style
+// file-reputation zone emitting one-time names next to ordinary web zones —
+// trains the classifier, and mines the window for disposable zones.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"dnsnoise"
+)
+
+const tokenAlphabet = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+func token(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = tokenAlphabet[rng.Intn(len(tokenAlphabet))]
+	}
+	return string(b)
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(7))
+	now := time.Date(2011, 12, 1, 9, 0, 0, 0, time.UTC)
+	ds := dnsnoise.NewDataset()
+
+	// Labeled training zones: five disposable signaling zones and five
+	// ordinary web zones (stand-ins for the paper's manually verified
+	// 398 + 401 sets).
+	var labeled []dnsnoise.LabeledZone
+	for z := 0; z < 5; z++ {
+		zone := fmt.Sprintf("gti.avvendor%d.com", z)
+		labeled = append(labeled, dnsnoise.LabeledZone{Zone: zone, Disposable: true})
+		// One-time names: each queried once, each a cache miss.
+		for i := 0; i < 20; i++ {
+			name := token(rng, 24) + "." + zone
+			rec := dnsnoise.Record{
+				Time: now, QName: name, Name: name,
+				Type: "A", TTL: 60, RData: fmt.Sprintf("127.0.0.%d", rng.Intn(255)),
+			}
+			if err := ds.AddBelow(rec); err != nil {
+				return err
+			}
+			if err := ds.AddAbove(rec); err != nil {
+				return err
+			}
+		}
+	}
+	hosts := []string{"www", "mail", "api", "img", "shop", "news", "login", "m", "blog", "static"}
+	for z := 0; z < 5; z++ {
+		zone := fmt.Sprintf("webshop%d.com", z)
+		labeled = append(labeled, dnsnoise.LabeledZone{Zone: zone, Disposable: false})
+		// Hot names: many queries below, a single refresh above.
+		for _, h := range hosts {
+			name := h + "." + zone
+			rec := dnsnoise.Record{
+				Time: now, QName: name, Name: name,
+				Type: "A", TTL: 3600, RData: fmt.Sprintf("198.18.0.%d", rng.Intn(255)),
+			}
+			for q := 0; q < 20+rng.Intn(30); q++ {
+				if err := ds.AddBelow(rec); err != nil {
+					return err
+				}
+			}
+			if err := ds.AddAbove(rec); err != nil {
+				return err
+			}
+		}
+	}
+
+	// An UNLABELED zone the miner has never seen: the target.
+	const target = "avqs.mystery-vendor.net"
+	for i := 0; i < 30; i++ {
+		name := "0.0.0.0.1.0.0.4e." + token(rng, 26) + "." + target
+		rec := dnsnoise.Record{
+			Time: now, QName: name, Name: name,
+			Type: "A", TTL: 60, RData: "127.0.4.2",
+		}
+		if err := ds.AddBelow(rec); err != nil {
+			return err
+		}
+		if err := ds.AddAbove(rec); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("dataset: %d distinct resource records\n", ds.NumRecords())
+
+	clf, err := dnsnoise.Train(ds, labeled, dnsnoise.TrainOptions{})
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	findings, err := clf.Mine(ds, dnsnoise.MineOptions{Theta: 0.9})
+	if err != nil {
+		return fmt.Errorf("mine: %w", err)
+	}
+
+	rep := dnsnoise.Summarize(findings)
+	fmt.Printf("mined %d disposable zones under %d registrable domains (%d names, %.1f periods/name)\n\n",
+		rep.Zones, rep.E2LDs, rep.Names, rep.MeanPeriods)
+	for _, f := range findings {
+		fmt.Printf("  %-36s depth=%-2d confidence=%.3f names=%d\n",
+			f.Zone, f.Depth, f.Confidence, len(f.Names))
+	}
+
+	probe := "0.0.0.0.1.0.0.4e.zzz123abc." + target
+	fmt.Printf("\nIsDisposable(%q) = %v\n", probe, dnsnoise.IsDisposable(findings, probe))
+	fmt.Printf("IsDisposable(%q) = %v\n", "www.webshop0.com", dnsnoise.IsDisposable(findings, "www.webshop0.com"))
+	return nil
+}

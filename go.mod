@@ -1,0 +1,3 @@
+module dnsnoise
+
+go 1.23

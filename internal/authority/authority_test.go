@@ -1,0 +1,351 @@
+package authority
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dnsnoise/internal/dnsmsg"
+)
+
+func mustZone(t *testing.T, origin string, opts ...ZoneOption) *Zone {
+	t.Helper()
+	z, err := NewZone(origin, opts...)
+	if err != nil {
+		t.Fatalf("NewZone(%q): %v", origin, err)
+	}
+	return z
+}
+
+func mustAdd(t *testing.T, z *Zone, rr dnsmsg.RR) {
+	t.Helper()
+	if err := z.Add(rr); err != nil {
+		t.Fatalf("Add(%v): %v", rr, err)
+	}
+}
+
+func aRR(name, ip string) dnsmsg.RR {
+	return dnsmsg.RR{Name: name, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 300, RData: ip}
+}
+
+func TestZoneExactLookup(t *testing.T) {
+	z := mustZone(t, "example.com")
+	mustAdd(t, z, aRR("www.example.com", "192.0.2.1"))
+	got, err := z.Lookup("WWW.Example.Com", dnsmsg.TypeA)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if len(got) != 1 || got[0].RData != "192.0.2.1" {
+		t.Errorf("Lookup = %v", got)
+	}
+}
+
+func TestZoneNXDomain(t *testing.T) {
+	z := mustZone(t, "example.com")
+	mustAdd(t, z, aRR("www.example.com", "192.0.2.1"))
+	if _, err := z.Lookup("missing.example.com", dnsmsg.TypeA); !errors.Is(err, ErrNotInZone) {
+		t.Errorf("Lookup missing = %v, want ErrNotInZone", err)
+	}
+	if _, err := z.Lookup("www.other.com", dnsmsg.TypeA); !errors.Is(err, ErrNotInZone) {
+		t.Errorf("Lookup outside zone = %v, want ErrNotInZone", err)
+	}
+}
+
+func TestZoneNoData(t *testing.T) {
+	z := mustZone(t, "example.com")
+	mustAdd(t, z, aRR("www.example.com", "192.0.2.1"))
+	got, err := z.Lookup("www.example.com", dnsmsg.TypeAAAA)
+	if err != nil {
+		t.Fatalf("NODATA lookup should not error: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("NODATA lookup = %v, want empty", got)
+	}
+}
+
+func TestZoneCNAMEAnswersOtherTypes(t *testing.T) {
+	z := mustZone(t, "example.com")
+	mustAdd(t, z, dnsmsg.RR{Name: "www.example.com", Type: dnsmsg.TypeCNAME, Class: dnsmsg.ClassIN, TTL: 60, RData: "edge.cdn.example.com"})
+	got, err := z.Lookup("www.example.com", dnsmsg.TypeA)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if len(got) != 1 || got[0].Type != dnsmsg.TypeCNAME {
+		t.Errorf("A query over CNAME owner = %v, want the CNAME", got)
+	}
+}
+
+func TestZoneWildcard(t *testing.T) {
+	z := mustZone(t, "fbcdn.net")
+	mustAdd(t, z, dnsmsg.RR{Name: "*.dns.xx.fbcdn.net", Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 30, RData: "192.0.2.77"})
+	got, err := z.Lookup("1022vr5.dns.xx.fbcdn.net", dnsmsg.TypeA)
+	if err != nil {
+		t.Fatalf("wildcard Lookup: %v", err)
+	}
+	if len(got) != 1 || got[0].Name != "1022vr5.dns.xx.fbcdn.net" || got[0].RData != "192.0.2.77" {
+		t.Errorf("wildcard answer = %v", got)
+	}
+	// Wildcard only matches direct and deeper children of its parent, not
+	// sibling branches.
+	if _, err := z.Lookup("a.other.xx.fbcdn.net", dnsmsg.TypeA); !errors.Is(err, ErrNotInZone) {
+		t.Errorf("sibling branch = %v, want ErrNotInZone", err)
+	}
+}
+
+func TestZoneWildcardDeepMatch(t *testing.T) {
+	z := mustZone(t, "example.com")
+	mustAdd(t, z, dnsmsg.RR{Name: "*.example.com", Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 30, RData: "192.0.2.9"})
+	got, err := z.Lookup("a.b.c.example.com", dnsmsg.TypeA)
+	if err != nil {
+		t.Fatalf("deep wildcard: %v", err)
+	}
+	if got[0].Name != "a.b.c.example.com" {
+		t.Errorf("owner = %q", got[0].Name)
+	}
+}
+
+func TestZoneExactBeatsWildcard(t *testing.T) {
+	z := mustZone(t, "example.com")
+	mustAdd(t, z, dnsmsg.RR{Name: "*.example.com", Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 30, RData: "192.0.2.9"})
+	mustAdd(t, z, aRR("www.example.com", "192.0.2.1"))
+	got, err := z.Lookup("www.example.com", dnsmsg.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].RData != "192.0.2.1" {
+		t.Errorf("exact record should beat wildcard, got %v", got)
+	}
+}
+
+func TestZoneSynth(t *testing.T) {
+	synth := func(name string, qtype dnsmsg.Type) ([]dnsmsg.RR, bool) {
+		if qtype != dnsmsg.TypeA || !strings.HasSuffix(name, ".avqs.mcafee.com") {
+			return nil, false
+		}
+		return []dnsmsg.RR{{Name: name, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 60, RData: "127.0.0.1"}}, true
+	}
+	z := mustZone(t, "mcafee.com", WithSynth(synth))
+	got, err := z.Lookup("0.0.0.0.1.0.0.4e.13cfus2drmdq.avqs.mcafee.com", dnsmsg.TypeA)
+	if err != nil {
+		t.Fatalf("synth Lookup: %v", err)
+	}
+	if got[0].RData != "127.0.0.1" {
+		t.Errorf("synth answer = %v", got)
+	}
+	if _, err := z.Lookup("www.mcafee.com", dnsmsg.TypeA); !errors.Is(err, ErrNotInZone) {
+		t.Errorf("non-synth name = %v, want fall-through to NXDOMAIN", err)
+	}
+}
+
+func TestZoneAddValidation(t *testing.T) {
+	z := mustZone(t, "example.com")
+	if err := z.Add(aRR("www.other.com", "192.0.2.1")); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("Add outside zone = %v, want ErrBadRecord", err)
+	}
+	if err := z.Add(dnsmsg.RR{Name: "*.other.com", Type: dnsmsg.TypeA, RData: "192.0.2.1"}); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("Add wildcard outside zone = %v, want ErrBadRecord", err)
+	}
+	if _, err := NewZone(""); !errors.Is(err, ErrZoneOrigin) {
+		t.Errorf("NewZone(\"\") = %v, want ErrZoneOrigin", err)
+	}
+}
+
+func TestServerRouting(t *testing.T) {
+	s := NewServer()
+	z1 := mustZone(t, "example.com")
+	mustAdd(t, z1, aRR("www.example.com", "192.0.2.1"))
+	z2 := mustZone(t, "deep.example.com")
+	mustAdd(t, z2, aRR("host.deep.example.com", "192.0.2.2"))
+	if err := s.AddZone(z1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddZone(z2); err != nil {
+		t.Fatal(err)
+	}
+	// Longest-suffix zone must win.
+	resp := s.Resolve("host.deep.example.com", dnsmsg.TypeA)
+	if resp.Header.RCode != dnsmsg.RCodeNoError || len(resp.Answers) != 1 || resp.Answers[0].RData != "192.0.2.2" {
+		t.Errorf("deep zone response = %+v", resp)
+	}
+	resp = s.Resolve("www.example.com", dnsmsg.TypeA)
+	if len(resp.Answers) != 1 || resp.Answers[0].RData != "192.0.2.1" {
+		t.Errorf("parent zone response = %+v", resp)
+	}
+}
+
+func TestServerDuplicateZone(t *testing.T) {
+	s := NewServer()
+	if err := s.AddZone(mustZone(t, "example.com")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddZone(mustZone(t, "example.com")); !errors.Is(err, ErrDupZone) {
+		t.Errorf("AddZone dup = %v, want ErrDupZone", err)
+	}
+}
+
+func TestServerNXDomainCarriesSOA(t *testing.T) {
+	s := NewServer()
+	z := mustZone(t, "example.com", WithNegativeTTL(120))
+	if err := s.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	resp := s.Resolve("nope.example.com", dnsmsg.TypeA)
+	if resp.Header.RCode != dnsmsg.RCodeNXDomain {
+		t.Fatalf("RCode = %v", resp.Header.RCode)
+	}
+	if len(resp.Authority) != 1 || resp.Authority[0].Type != dnsmsg.TypeSOA {
+		t.Fatalf("authority = %+v", resp.Authority)
+	}
+	if resp.Authority[0].TTL != 120 {
+		t.Errorf("negative TTL = %d, want 120", resp.Authority[0].TTL)
+	}
+	if s.Stats().NXDomains != 1 {
+		t.Errorf("NXDomains = %d, want 1", s.Stats().NXDomains)
+	}
+}
+
+func TestServerUnmatchedQuery(t *testing.T) {
+	s := NewServer()
+	resp := s.Resolve("www.unknown.test", dnsmsg.TypeA)
+	if resp.Header.RCode != dnsmsg.RCodeNXDomain {
+		t.Errorf("RCode = %v, want NXDOMAIN", resp.Header.RCode)
+	}
+	if s.Stats().UnmatchedQueries != 1 {
+		t.Errorf("UnmatchedQueries = %d, want 1", s.Stats().UnmatchedQueries)
+	}
+}
+
+func TestServerWireRoundTrip(t *testing.T) {
+	s := NewServer()
+	z := mustZone(t, "example.com")
+	mustAdd(t, z, aRR("www.example.com", "192.0.2.1"))
+	if err := s.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	q := dnsmsg.NewQuery(0xABCD, "www.example.com", dnsmsg.TypeA)
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	respWire, err := s.HandleWire(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnsmsg.Decode(respWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.ID != 0xABCD || len(resp.Answers) != 1 {
+		t.Errorf("wire response = %+v", resp)
+	}
+}
+
+func TestServerWireMalformed(t *testing.T) {
+	s := NewServer()
+	respWire, err := s.HandleWire([]byte{1, 2, 3})
+	if err != nil {
+		t.Fatalf("HandleWire should answer FORMERR, got err %v", err)
+	}
+	resp, err := dnsmsg.Decode(respWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnsmsg.RCodeFormErr {
+		t.Errorf("RCode = %v, want FORMERR", resp.Header.RCode)
+	}
+}
+
+func TestSignerSignVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	signer, err := NewSigner("example.com", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrset := []dnsmsg.RR{aRR("www.example.com", "192.0.2.1")}
+	rrsig, err := signer.Sign(rrset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrsig.Type != dnsmsg.TypeRRSIG || rrsig.Name != "www.example.com" {
+		t.Errorf("rrsig = %+v", rrsig)
+	}
+	pub, err := PublicKeyFromDNSKEY(signer.DNSKEY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(pub, rrsig, rrset); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// Tampering must fail.
+	bad := []dnsmsg.RR{aRR("www.example.com", "192.0.2.99")}
+	if err := Verify(pub, rrsig, bad); err == nil {
+		t.Error("Verify of tampered rrset should fail")
+	}
+	if signer.SignedCount() != 1 {
+		t.Errorf("SignedCount = %d, want 1", signer.SignedCount())
+	}
+}
+
+func TestSignerRejectsMixedRRset(t *testing.T) {
+	signer, err := NewSigner("example.com", rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := signer.Sign(nil); err == nil {
+		t.Error("Sign(empty) should fail")
+	}
+	mixed := []dnsmsg.RR{aRR("a.example.com", "192.0.2.1"), aRR("b.example.com", "192.0.2.2")}
+	if _, err := signer.Sign(mixed); err == nil {
+		t.Error("Sign(mixed owners) should fail")
+	}
+}
+
+func TestSignedZoneAttachesRRSIG(t *testing.T) {
+	signer, err := NewSigner("example.com", rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer()
+	z := mustZone(t, "example.com", WithSigner(signer))
+	mustAdd(t, z, aRR("www.example.com", "192.0.2.1"))
+	if err := s.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	resp := s.Resolve("www.example.com", dnsmsg.TypeA)
+	if len(resp.Answers) != 2 {
+		t.Fatalf("answers = %d, want A + RRSIG", len(resp.Answers))
+	}
+	if resp.Answers[1].Type != dnsmsg.TypeRRSIG {
+		t.Errorf("second answer = %v, want RRSIG", resp.Answers[1].Type)
+	}
+	if s.Stats().Signatures != 1 {
+		t.Errorf("Signatures = %d, want 1", s.Stats().Signatures)
+	}
+	// The resolver-side validation path must succeed end to end.
+	dnskey, ok := s.DNSKEY("example.com")
+	if !ok {
+		t.Fatal("DNSKEY missing for signed zone")
+	}
+	pub, err := PublicKeyFromDNSKEY(dnskey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(pub, resp.Answers[1], resp.Answers[:1]); err != nil {
+		t.Errorf("end-to-end Verify: %v", err)
+	}
+}
+
+func TestPublicKeyFromDNSKEYErrors(t *testing.T) {
+	if _, err := PublicKeyFromDNSKEY(aRR("x.com", "192.0.2.1")); err == nil {
+		t.Error("non-DNSKEY record should fail")
+	}
+	bad := dnsmsg.RR{Name: "x.com", Type: dnsmsg.TypeDNSKEY, RData: "257 3 8 abcd"}
+	if _, err := PublicKeyFromDNSKEY(bad); err == nil {
+		t.Error("wrong algorithm should fail")
+	}
+	bad.RData = "257 3 15 zz"
+	if _, err := PublicKeyFromDNSKEY(bad); err == nil {
+		t.Error("bad hex should fail")
+	}
+}

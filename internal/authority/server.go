@@ -1,0 +1,141 @@
+package authority
+
+import (
+	"fmt"
+
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/dnsname"
+)
+
+// ServerStats counts authoritative-side activity. QueriesServed is the
+// "traffic above the recursive DNS servers" in the paper's terminology.
+type ServerStats struct {
+	QueriesServed    uint64
+	NXDomains        uint64
+	Signatures       uint64 // RRSIGs attached to responses
+	UnmatchedQueries uint64 // queries for names outside every zone
+}
+
+// Server routes queries to the longest-matching registered zone and builds
+// wire-correct responses. It stands in for the entire authoritative side of
+// the Internet: root, TLD and leaf delegations are collapsed into a direct
+// lookup, which preserves everything the recursive cache observes.
+type Server struct {
+	zones map[string]*Zone
+	keys  map[string]dnsmsg.RR // zone origin -> DNSKEY for signed zones
+	stats ServerStats
+}
+
+// NewServer returns a server with no zones.
+func NewServer() *Server {
+	return &Server{
+		zones: make(map[string]*Zone),
+		keys:  make(map[string]dnsmsg.RR),
+	}
+}
+
+// AddZone registers a zone. Registering the same origin twice is an error.
+func (s *Server) AddZone(z *Zone) error {
+	if _, ok := s.zones[z.origin]; ok {
+		return fmt.Errorf("%w: %q", ErrDupZone, z.origin)
+	}
+	s.zones[z.origin] = z
+	if z.signer != nil {
+		s.keys[z.origin] = z.signer.DNSKEY()
+	}
+	return nil
+}
+
+// Zone returns the registered zone with the given origin, if any.
+func (s *Server) Zone(origin string) (*Zone, bool) {
+	z, ok := s.zones[dnsname.Normalize(origin)]
+	return z, ok
+}
+
+// DNSKEY returns the public key record for a signed zone.
+func (s *Server) DNSKEY(origin string) (dnsmsg.RR, bool) {
+	rr, ok := s.keys[dnsname.Normalize(origin)]
+	return rr, ok
+}
+
+// Stats returns a copy of the server counters.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// findZone locates the longest-suffix zone containing name.
+func (s *Server) findZone(name string) (*Zone, bool) {
+	for probe := name; probe != ""; probe = dnsname.Parent(probe) {
+		if z, ok := s.zones[probe]; ok {
+			return z, true
+		}
+	}
+	return nil, false
+}
+
+// Resolve answers (name, qtype) and returns the full response message.
+// NXDOMAIN responses carry the zone SOA in the authority section; signed
+// zones attach an RRSIG after each positive answer RRset.
+func (s *Server) Resolve(name string, qtype dnsmsg.Type) *dnsmsg.Message {
+	s.stats.QueriesServed++
+	name = dnsname.Normalize(name)
+	q := dnsmsg.NewQuery(0, name, qtype)
+
+	// DNSKEY queries are answered from the key registry: validating
+	// resolvers fetch zone keys over the wire like any other record.
+	if qtype == dnsmsg.TypeDNSKEY {
+		if rr, ok := s.keys[name]; ok {
+			resp := dnsmsg.NewResponse(q, dnsmsg.RCodeNoError)
+			resp.Header.Authoritative = true
+			resp.Answers = append(resp.Answers, rr)
+			return resp
+		}
+	}
+	z, ok := s.findZone(name)
+	if !ok {
+		s.stats.UnmatchedQueries++
+		s.stats.NXDomains++
+		return dnsmsg.NewResponse(q, dnsmsg.RCodeNXDomain)
+	}
+	answers, err := z.Lookup(name, qtype)
+	if err != nil {
+		s.stats.NXDomains++
+		resp := dnsmsg.NewResponse(q, dnsmsg.RCodeNXDomain)
+		resp.Header.Authoritative = true
+		resp.Authority = append(resp.Authority, z.SOA())
+		return resp
+	}
+	resp := dnsmsg.NewResponse(q, dnsmsg.RCodeNoError)
+	resp.Header.Authoritative = true
+	if len(answers) == 0 {
+		// NODATA: NOERROR with SOA in authority.
+		resp.Authority = append(resp.Authority, z.SOA())
+		return resp
+	}
+	// A CNAME answer to a non-CNAME query leaves chain-following to the
+	// recursive resolver, as in real DNS.
+	resp.Answers = append(resp.Answers, answers...)
+	if z.signer != nil {
+		if rrsig, err := z.signer.Sign(answers); err == nil {
+			resp.Answers = append(resp.Answers, rrsig)
+			s.stats.Signatures++
+		}
+	}
+	return resp
+}
+
+// HandleWire decodes a wire-format query, resolves it and returns the
+// encoded response. Malformed queries yield a FORMERR with a zeroed
+// question section when even the header is unreadable.
+func (s *Server) HandleWire(query []byte) ([]byte, error) {
+	msg, err := dnsmsg.Decode(query)
+	if err != nil || len(msg.Questions) != 1 {
+		resp := &dnsmsg.Message{Header: dnsmsg.Header{Response: true, RCode: dnsmsg.RCodeFormErr}}
+		if msg != nil {
+			resp.Header.ID = msg.Header.ID
+			resp.Questions = msg.Questions
+		}
+		return resp.Encode()
+	}
+	resp := s.Resolve(msg.Questions[0].Name, msg.Questions[0].Type)
+	resp.Header.ID = msg.Header.ID
+	return resp.Encode()
+}

@@ -1,0 +1,185 @@
+// Package authority simulates the authoritative side of the DNS: zone data
+// with exact and wildcard matches, programmatic answer synthesis for
+// disposable zones, NXDOMAIN with SOA, and optional Ed25519 zone signing for
+// the DNSSEC load experiments (paper Section VI-B).
+package authority
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/dnsname"
+)
+
+// Errors reported by zone construction and lookup.
+var (
+	ErrNotInZone  = errors.New("authority: name not in zone")
+	ErrNoZone     = errors.New("authority: no zone matches name")
+	ErrDupZone    = errors.New("authority: zone already registered")
+	ErrBadRecord  = errors.New("authority: record outside zone origin")
+	ErrZoneOrigin = errors.New("authority: invalid zone origin")
+)
+
+// SynthFunc programmatically answers a query for a name inside a zone. It
+// returns the answer RRset and true, or false when the name should fall
+// through to wildcard/NXDOMAIN handling. Disposable zones (McAfee-style
+// reputation lookups, telemetry channels) are modeled with SynthFuncs: any
+// algorithmically generated child name gets an answer.
+type SynthFunc func(name string, qtype dnsmsg.Type) ([]dnsmsg.RR, bool)
+
+// Zone holds the authoritative data for one DNS zone.
+type Zone struct {
+	origin    string
+	soa       dnsmsg.RR
+	records   map[string][]dnsmsg.RR // key: name|TYPE
+	wildcards map[string][]dnsmsg.RR // key: parent-of-* |TYPE
+	synth     SynthFunc
+	signer    *Signer
+	negTTL    uint32
+}
+
+// ZoneOption configures a Zone.
+type ZoneOption interface {
+	applyZone(*Zone)
+}
+
+type zoneOptionFunc func(*Zone)
+
+func (f zoneOptionFunc) applyZone(z *Zone) { f(z) }
+
+// WithSynth installs a programmatic answer synthesizer.
+func WithSynth(fn SynthFunc) ZoneOption {
+	return zoneOptionFunc(func(z *Zone) { z.synth = fn })
+}
+
+// WithSigner enables DNSSEC signing of every positive answer with the given
+// signer.
+func WithSigner(s *Signer) ZoneOption {
+	return zoneOptionFunc(func(z *Zone) { z.signer = s })
+}
+
+// WithNegativeTTL sets the SOA minimum used as the negative-caching TTL
+// (RFC 2308). Default 300 seconds.
+func WithNegativeTTL(ttl uint32) ZoneOption {
+	return zoneOptionFunc(func(z *Zone) { z.negTTL = ttl })
+}
+
+// NewZone creates an empty zone rooted at origin.
+func NewZone(origin string, opts ...ZoneOption) (*Zone, error) {
+	origin = dnsname.Normalize(origin)
+	if err := dnsname.Validate(origin); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrZoneOrigin, err)
+	}
+	z := &Zone{
+		origin:    origin,
+		records:   make(map[string][]dnsmsg.RR),
+		wildcards: make(map[string][]dnsmsg.RR),
+		negTTL:    300,
+	}
+	for _, o := range opts {
+		o.applyZone(z)
+	}
+	z.soa = dnsmsg.RR{
+		Name:  origin,
+		Type:  dnsmsg.TypeSOA,
+		Class: dnsmsg.ClassIN,
+		TTL:   z.negTTL,
+		RData: fmt.Sprintf("ns1.%s hostmaster.%s 2011120100 7200 3600 1209600 %d", origin, origin, z.negTTL),
+	}
+	return z, nil
+}
+
+// Origin returns the zone apex name.
+func (z *Zone) Origin() string { return z.origin }
+
+// SOA returns the zone's start-of-authority record.
+func (z *Zone) SOA() dnsmsg.RR { return z.soa }
+
+// Signed reports whether the zone signs its answers.
+func (z *Zone) Signed() bool { return z.signer != nil }
+
+// Add inserts a record. Wildcard owners are written "*.<suffix>"; the suffix
+// must be the origin or below it.
+func (z *Zone) Add(rr dnsmsg.RR) error {
+	name := dnsname.Normalize(rr.Name)
+	if rest, ok := strings.CutPrefix(name, "*."); ok {
+		if !dnsname.IsSubdomainOf(rest, z.origin) {
+			return fmt.Errorf("%w: %q not under %q", ErrBadRecord, rr.Name, z.origin)
+		}
+		key := rest + "|" + rr.Type.String()
+		rr.Name = name
+		z.wildcards[key] = append(z.wildcards[key], rr)
+		return nil
+	}
+	if !dnsname.IsSubdomainOf(name, z.origin) {
+		return fmt.Errorf("%w: %q not under %q", ErrBadRecord, rr.Name, z.origin)
+	}
+	key := name + "|" + rr.Type.String()
+	rr.Name = name
+	z.records[key] = append(z.records[key], rr)
+	return nil
+}
+
+// Lookup answers (name, qtype) from zone data. Resolution order follows real
+// authoritative behaviour: exact match, then CNAME at the exact owner, then
+// synthesizer, then the closest-enclosing wildcard, then NXDOMAIN
+// (ErrNotInZone with the SOA available via SOA()). A name with records of
+// other types yields an empty, non-error answer (NODATA).
+func (z *Zone) Lookup(name string, qtype dnsmsg.Type) ([]dnsmsg.RR, error) {
+	name = dnsname.Normalize(name)
+	if !dnsname.IsSubdomainOf(name, z.origin) {
+		return nil, ErrNotInZone
+	}
+	if rrs, ok := z.records[name+"|"+qtype.String()]; ok {
+		return cloneRRs(rrs), nil
+	}
+	// CNAME at the owner answers any qtype (except CNAME itself, handled above).
+	if qtype != dnsmsg.TypeCNAME {
+		if rrs, ok := z.records[name+"|CNAME"]; ok {
+			return cloneRRs(rrs), nil
+		}
+	}
+	if z.synth != nil {
+		if rrs, ok := z.synth(name, qtype); ok {
+			return rrs, nil
+		}
+	}
+	// Wildcard: closest enclosing "*.<parent>" walking up to the origin.
+	for parent := dnsname.Parent(name); parent != "" && dnsname.IsSubdomainOf(parent, z.origin); parent = dnsname.Parent(parent) {
+		if rrs, ok := z.wildcards[parent+"|"+qtype.String()]; ok {
+			return synthesizeWildcard(rrs, name), nil
+		}
+		if qtype != dnsmsg.TypeCNAME {
+			if rrs, ok := z.wildcards[parent+"|CNAME"]; ok {
+				return synthesizeWildcard(rrs, name), nil
+			}
+		}
+		if parent == z.origin {
+			break
+		}
+	}
+	// NODATA if the exact owner exists under another type.
+	for key := range z.records {
+		if strings.HasPrefix(key, name+"|") {
+			return nil, nil
+		}
+	}
+	return nil, ErrNotInZone
+}
+
+func cloneRRs(rrs []dnsmsg.RR) []dnsmsg.RR {
+	out := make([]dnsmsg.RR, len(rrs))
+	copy(out, rrs)
+	return out
+}
+
+func synthesizeWildcard(rrs []dnsmsg.RR, owner string) []dnsmsg.RR {
+	out := make([]dnsmsg.RR, len(rrs))
+	for i, rr := range rrs {
+		rr.Name = owner
+		out[i] = rr
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package authority
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dnsnoise/internal/dnsmsg"
+)
+
+const sampleZone = `
+$ORIGIN example.com.
+$TTL 600
+; infrastructure
+@          IN SOA   ns1 hostmaster 2011120100 7200 3600 1209600 300
+@          IN NS    ns1
+ns1        IN A     192.0.2.53
+www  300   IN A     192.0.2.1
+           IN AAAA  2001:db8::1
+mail       IN A     192.0.2.25
+alias      IN CNAME www
+ext        IN CNAME edge.cdn.example.net.
+*.shard    IN A     192.0.2.99
+txt        IN TXT   "v=spf1 a ; include:example.net -all"
+`
+
+func parseSample(t *testing.T) *Zone {
+	t.Helper()
+	z, err := ParseZoneFile(strings.NewReader(sampleZone), "")
+	if err != nil {
+		t.Fatalf("ParseZoneFile: %v", err)
+	}
+	return z
+}
+
+func TestParseZoneFileBasics(t *testing.T) {
+	z := parseSample(t)
+	if z.Origin() != "example.com" {
+		t.Errorf("origin = %q", z.Origin())
+	}
+	rrs, err := z.Lookup("www.example.com", dnsmsg.TypeA)
+	if err != nil || len(rrs) != 1 {
+		t.Fatalf("www A: %v %v", rrs, err)
+	}
+	if rrs[0].TTL != 300 {
+		t.Errorf("www TTL = %d, want explicit 300", rrs[0].TTL)
+	}
+	if rrs[0].RData != "192.0.2.1" {
+		t.Errorf("www rdata = %q", rrs[0].RData)
+	}
+	rrs, err = z.Lookup("mail.example.com", dnsmsg.TypeA)
+	if err != nil || len(rrs) != 1 {
+		t.Fatalf("mail A: %v %v", rrs, err)
+	}
+	if rrs[0].TTL != 600 {
+		t.Errorf("mail TTL = %d, want $TTL 600", rrs[0].TTL)
+	}
+}
+
+func TestParseZoneFileBlankOwnerRepeats(t *testing.T) {
+	z := parseSample(t)
+	rrs, err := z.Lookup("www.example.com", dnsmsg.TypeAAAA)
+	if err != nil || len(rrs) != 1 {
+		t.Fatalf("www AAAA (repeated owner): %v %v", rrs, err)
+	}
+	if rrs[0].RData != "2001:db8::1" {
+		t.Errorf("AAAA rdata = %q", rrs[0].RData)
+	}
+}
+
+func TestParseZoneFileRelativeAndAbsoluteCNAME(t *testing.T) {
+	z := parseSample(t)
+	rrs, err := z.Lookup("alias.example.com", dnsmsg.TypeA)
+	if err != nil || len(rrs) != 1 {
+		t.Fatalf("alias: %v %v", rrs, err)
+	}
+	if rrs[0].Type != dnsmsg.TypeCNAME || rrs[0].RData != "www.example.com" {
+		t.Errorf("relative CNAME = %+v", rrs[0])
+	}
+	rrs, err = z.Lookup("ext.example.com", dnsmsg.TypeCNAME)
+	if err != nil || len(rrs) != 1 {
+		t.Fatalf("ext: %v %v", rrs, err)
+	}
+	if rrs[0].RData != "edge.cdn.example.net" {
+		t.Errorf("absolute CNAME = %q (trailing dot must stop expansion)", rrs[0].RData)
+	}
+}
+
+func TestParseZoneFileWildcard(t *testing.T) {
+	z := parseSample(t)
+	rrs, err := z.Lookup("e17.shard.example.com", dnsmsg.TypeA)
+	if err != nil || len(rrs) != 1 {
+		t.Fatalf("wildcard: %v %v", rrs, err)
+	}
+	if rrs[0].Name != "e17.shard.example.com" || rrs[0].RData != "192.0.2.99" {
+		t.Errorf("wildcard synthesis = %+v", rrs[0])
+	}
+}
+
+func TestParseZoneFileQuotedTXTWithSemicolon(t *testing.T) {
+	z := parseSample(t)
+	rrs, err := z.Lookup("txt.example.com", dnsmsg.TypeTXT)
+	if err != nil || len(rrs) != 1 {
+		t.Fatalf("txt: %v %v", rrs, err)
+	}
+	want := "v=spf1 a ; include:example.net -all"
+	if rrs[0].RData != want {
+		t.Errorf("TXT rdata = %q, want %q", rrs[0].RData, want)
+	}
+}
+
+func TestParseZoneFileAtOwner(t *testing.T) {
+	z := parseSample(t)
+	rrs, err := z.Lookup("example.com", dnsmsg.TypeNS)
+	if err != nil || len(rrs) != 1 {
+		t.Fatalf("apex NS: %v %v", rrs, err)
+	}
+	if rrs[0].RData != "ns1.example.com" {
+		t.Errorf("NS rdata = %q", rrs[0].RData)
+	}
+}
+
+func TestParseZoneFileDefaultOriginArgument(t *testing.T) {
+	input := "www IN A 192.0.2.1\n"
+	z, err := ParseZoneFile(strings.NewReader(input), "given.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Origin() != "given.org" {
+		t.Errorf("origin = %q", z.Origin())
+	}
+	if _, err := z.Lookup("www.given.org", dnsmsg.TypeA); err != nil {
+		t.Errorf("Lookup: %v", err)
+	}
+}
+
+func TestParseZoneFileErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		input   string
+		wantErr error
+	}{
+		{name: "no origin", input: "www IN A 192.0.2.1\n", wantErr: ErrNoOrigin},
+		{name: "empty no origin", input: "", wantErr: ErrNoOrigin},
+		{name: "bad directive", input: "$INCLUDE other.zone\n", wantErr: ErrZoneSyntax},
+		{name: "bad ttl", input: "$ORIGIN x.com.\n$TTL soon\n", wantErr: ErrZoneSyntax},
+		{name: "origin args", input: "$ORIGIN\n", wantErr: ErrZoneSyntax},
+		{name: "too few fields", input: "$ORIGIN x.com.\nwww A\n", wantErr: ErrZoneSyntax},
+		{name: "unknown type", input: "$ORIGIN x.com.\nwww IN WKS 1.2.3.4\n", wantErr: ErrZoneSyntax},
+		{name: "blank owner first", input: "$ORIGIN x.com.\n  IN A 192.0.2.1\n", wantErr: ErrZoneSyntax},
+		{name: "short soa", input: "$ORIGIN x.com.\n@ IN SOA ns1 hostmaster 1\n", wantErr: ErrZoneSyntax},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseZoneFile(strings.NewReader(tt.input), "")
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("err = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseZoneFileCommentsAndBlank(t *testing.T) {
+	input := `
+; leading comment
+$ORIGIN c.test.
+
+www IN A 192.0.2.1 ; trailing comment
+`
+	z, err := ParseZoneFile(strings.NewReader(input), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrs, err := z.Lookup("www.c.test", dnsmsg.TypeA)
+	if err != nil || len(rrs) != 1 || rrs[0].RData != "192.0.2.1" {
+		t.Errorf("lookup = %v %v", rrs, err)
+	}
+}
+
+func TestParsedZoneServesThroughServer(t *testing.T) {
+	z := parseSample(t)
+	srv := NewServer()
+	if err := srv.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	resp := srv.Resolve("alias.example.com", dnsmsg.TypeA)
+	if resp.Header.RCode != dnsmsg.RCodeNoError || len(resp.Answers) != 1 {
+		t.Fatalf("resolve through server = %+v", resp)
+	}
+	// The answer is the CNAME; chain following is the resolver's job.
+	if resp.Answers[0].Type != dnsmsg.TypeCNAME {
+		t.Errorf("answer = %v", resp.Answers[0].Type)
+	}
+}

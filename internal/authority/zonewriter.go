@@ -1,0 +1,69 @@
+package authority
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dnsnoise/internal/dnsmsg"
+)
+
+// WriteZoneFile renders the zone's static records in RFC 1035 master-file
+// form, parseable by ParseZoneFile. Synthesized (programmatic) answers have
+// no static representation and are noted in a comment. Records are sorted
+// by owner name, wildcards last within an owner group.
+func (z *Zone) WriteZoneFile(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "$ORIGIN %s.\n", z.origin)
+	fmt.Fprintf(&sb, "$TTL %d\n", z.negTTL)
+	fmt.Fprintf(&sb, "@ IN SOA %s\n", z.soa.RData)
+	if z.synth != nil {
+		sb.WriteString("; zone answers additional names programmatically (synthesizer installed)\n")
+	}
+
+	var rrs []dnsmsg.RR
+	for _, set := range z.records {
+		rrs = append(rrs, set...)
+	}
+	for _, set := range z.wildcards {
+		rrs = append(rrs, set...)
+	}
+	sort.Slice(rrs, func(i, j int) bool {
+		if rrs[i].Name != rrs[j].Name {
+			return rrs[i].Name < rrs[j].Name
+		}
+		if rrs[i].Type != rrs[j].Type {
+			return rrs[i].Type < rrs[j].Type
+		}
+		return rrs[i].RData < rrs[j].RData
+	})
+	for _, rr := range rrs {
+		owner := relativeOwner(rr.Name, z.origin)
+		rdata := rr.RData
+		switch rr.Type {
+		case dnsmsg.TypeCNAME, dnsmsg.TypeNS:
+			// Absolute form keeps round trips exact.
+			rdata += "."
+		case dnsmsg.TypeTXT:
+			rdata = `"` + rdata + `"`
+		}
+		fmt.Fprintf(&sb, "%s %d IN %s %s\n", owner, rr.TTL, rr.Type, rdata)
+	}
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return fmt.Errorf("authority: write zone file: %w", err)
+	}
+	return nil
+}
+
+// relativeOwner renders an owner name relative to the origin ("@" at the
+// apex), keeping the wildcard prefix.
+func relativeOwner(name, origin string) string {
+	if name == origin {
+		return "@"
+	}
+	if rest, ok := strings.CutSuffix(name, "."+origin); ok {
+		return rest
+	}
+	return name + "." // out-of-zone safety: absolute form
+}

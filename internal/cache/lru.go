@@ -1,0 +1,215 @@
+// Package cache implements the fixed-capacity, TTL-aware LRU resource-record
+// cache used by each simulated recursive DNS server.
+//
+// The cache is the mechanism behind every caching observation in the paper:
+// domain hit rates, cache hit rates, and the Section VI-A result that
+// disposable domains prematurely evict useful entries. To support that last
+// measurement, entries carry an opaque Category label and the cache counts
+// evictions per (evicted category, inserting category) pair.
+package cache
+
+import (
+	"container/list"
+	"time"
+)
+
+// Category labels a cached entry for eviction accounting. The simulation
+// uses CategoryDisposable and CategoryOther, but any small set of labels
+// works.
+type Category uint8
+
+// Categories used by the DNS simulation.
+const (
+	CategoryOther Category = iota
+	CategoryDisposable
+)
+
+// String renders the category label.
+func (c Category) String() string {
+	switch c {
+	case CategoryDisposable:
+		return "disposable"
+	default:
+		return "other"
+	}
+}
+
+// Entry is a cached value with an absolute expiry instant.
+type Entry struct {
+	Key      string
+	Value    any
+	Expires  time.Time
+	Category Category
+}
+
+// Stats counts cache events. PrematureEvictions counts LRU evictions of
+// entries that had NOT yet expired, split by the category of the victim and
+// of the entry whose insertion forced the eviction.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Expiries   uint64 // lookups that found only an expired entry
+	Insertions uint64
+	Evictions  uint64 // all LRU evictions (live victims only)
+	// PrematureEvictions[victim][inserter]
+	PrematureEvictions [2][2]uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// LRU is a fixed-capacity least-recently-used cache with per-entry TTL.
+// It is not safe for concurrent use; each simulated server owns one.
+type LRU struct {
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+	stats    Stats
+}
+
+// NewLRU returns a cache holding at most capacity entries. capacity < 1 is
+// promoted to 1.
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Len returns the number of entries currently stored, including any that
+// have expired but not yet been touched.
+func (c *LRU) Len() int { return c.order.Len() }
+
+// Capacity returns the configured maximum entry count.
+func (c *LRU) Capacity() int { return c.capacity }
+
+// Stats returns a copy of the event counters.
+func (c *LRU) Stats() Stats { return c.stats }
+
+// Get looks up key at instant now. A present, unexpired entry counts as a
+// hit and is promoted to most-recently-used. A present but expired entry is
+// removed, counted as an expiry AND a miss (the resolver must re-fetch).
+func (c *LRU) Get(key string, now time.Time) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	ent := el.Value.(*Entry)
+	if !now.Before(ent.Expires) {
+		c.removeElement(el)
+		c.stats.Expiries++
+		c.stats.Misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.stats.Hits++
+	return ent.Value, true
+}
+
+// Peek returns the entry without promoting it or counting a hit/miss.
+// Expired entries are still returned; the caller can inspect Expires.
+func (c *LRU) Peek(key string) (*Entry, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*Entry)
+	cp := *ent
+	return &cp, true
+}
+
+// Put inserts or refreshes key with the given value, TTL and category.
+// When the cache is full, the least-recently-used entry is evicted; if that
+// victim had not yet expired the eviction is counted as premature, attributed
+// to the inserting entry's category.
+func (c *LRU) Put(key string, value any, ttl time.Duration, cat Category, now time.Time) {
+	c.put(key, value, ttl, cat, now, false)
+}
+
+// PutLowPriority inserts key at the cold end of the recency order: it is
+// the next eviction victim and can never push out another live entry
+// (the eviction mitigation of paper Section VI-A — disposable answers are
+// cached, but at the lowest priority). Refreshing an existing entry keeps
+// it cold.
+func (c *LRU) PutLowPriority(key string, value any, ttl time.Duration, cat Category, now time.Time) {
+	c.put(key, value, ttl, cat, now, true)
+}
+
+func (c *LRU) put(key string, value any, ttl time.Duration, cat Category, now time.Time, low bool) {
+	c.stats.Insertions++
+	expires := now.Add(ttl)
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*Entry)
+		ent.Value = value
+		ent.Expires = expires
+		ent.Category = cat
+		if low {
+			c.order.MoveToBack(el)
+		} else {
+			c.order.MoveToFront(el)
+		}
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		c.evictOldest(cat, now)
+	}
+	ent := &Entry{Key: key, Value: value, Expires: expires, Category: cat}
+	if low {
+		c.items[key] = c.order.PushBack(ent)
+		return
+	}
+	c.items[key] = c.order.PushFront(ent)
+}
+
+// Remove deletes key if present and reports whether it was.
+func (c *LRU) Remove(key string) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeElement(el)
+	return true
+}
+
+// evictOldest removes the LRU entry to make room for an insertion by
+// category inserter. Expired victims are reclaimed silently; live victims
+// count as (premature) evictions.
+func (c *LRU) evictOldest(inserter Category, now time.Time) {
+	el := c.order.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*Entry)
+	if now.Before(ent.Expires) {
+		c.stats.Evictions++
+		c.stats.PrematureEvictions[ent.Category][inserter]++
+	}
+	c.removeElement(el)
+}
+
+func (c *LRU) removeElement(el *list.Element) {
+	ent := el.Value.(*Entry)
+	delete(c.items, ent.Key)
+	c.order.Remove(el)
+}
+
+// CategoryCounts returns how many currently cached entries belong to each
+// category (expired-but-untouched entries included). Index by Category.
+func (c *LRU) CategoryCounts() [2]int {
+	var out [2]int
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out[el.Value.(*Entry).Category]++
+	}
+	return out
+}

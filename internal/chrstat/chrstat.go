@@ -1,0 +1,386 @@
+// Package chrstat implements the paper's black-box cache measurements
+// (Section III-C): per-resource-record daily query and miss counts gathered
+// from the below/above observation streams, the domain hit rate
+//
+//	DHR(rr) = cache hits in a day / total queries in a day        (eq. 1)
+//
+// and the cache hit rate distribution, where each RR contributes its DHR
+// once per cache miss
+//
+//	CHR_i(rr) = DHR(rr), i = 1..(misses in a day)                 (eq. 2)
+//
+// The collector treats the resolver cluster exactly as the paper treats the
+// ISP's: a black box observed only from its two sides.
+package chrstat
+
+import (
+	"dnsnoise/internal/cache"
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/resolver"
+)
+
+// maxTrackedClients caps per-record client-set tracking; the paper's claim
+// is that disposable names are queried by a HANDFUL of clients, so exact
+// counts only matter at the low end.
+const maxTrackedClients = 64
+
+// RRStat is the daily accounting for one distinct resource record.
+type RRStat struct {
+	Name     string
+	Type     dnsmsg.Type
+	TTL      uint32
+	Below    uint64 // answers observed below (total queries for the RR)
+	Above    uint64 // answers observed above (cache misses)
+	Category cache.Category
+
+	clients         map[uint32]struct{}
+	clientsOverflow bool
+}
+
+// Clients returns the number of distinct clients observed querying the
+// record, and whether the count saturated the tracking cap (64).
+func (s *RRStat) Clients() (n int, saturated bool) {
+	return len(s.clients), s.clientsOverflow
+}
+
+func (s *RRStat) trackClient(id uint32) {
+	if s.clientsOverflow {
+		return
+	}
+	if s.clients == nil {
+		s.clients = make(map[uint32]struct{}, 2)
+	}
+	if _, ok := s.clients[id]; ok {
+		return
+	}
+	if len(s.clients) >= maxTrackedClients {
+		s.clientsOverflow = true
+		return
+	}
+	s.clients[id] = struct{}{}
+}
+
+// DHR returns the record's domain hit rate. Records observed above more
+// often than below (possible when a prefetch-style fetch never reaches a
+// client) clamp to 0.
+func (s *RRStat) DHR() float64 {
+	if s.Below == 0 {
+		return 0
+	}
+	hits := int64(s.Below) - int64(s.Above)
+	if hits <= 0 {
+		return 0
+	}
+	return float64(hits) / float64(s.Below)
+}
+
+// Misses returns the number of cache misses attributed to the record.
+func (s *RRStat) Misses() uint64 { return s.Above }
+
+// Collector accumulates one observation window (typically a day).
+// It is not safe for concurrent use.
+type Collector struct {
+	perRR map[string]*RRStat
+
+	belowTotal   uint64 // all below observations, incl. NXDOMAIN
+	aboveTotal   uint64
+	belowNX      uint64
+	aboveNX      uint64
+	queriedNames map[string]struct{} // distinct names queried below
+	resolvedNF   map[string]struct{} // distinct names successfully resolved
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		perRR:        make(map[string]*RRStat),
+		queriedNames: make(map[string]struct{}),
+		resolvedNF:   make(map[string]struct{}),
+	}
+}
+
+// BelowTap returns the tap to install below the resolvers.
+func (c *Collector) BelowTap() resolver.Tap {
+	return resolver.TapFunc(func(ob resolver.Observation) {
+		c.belowTotal++
+		if ob.QName != "" {
+			c.queriedNames[ob.QName] = struct{}{}
+		}
+		if ob.RCode != dnsmsg.RCodeNoError {
+			c.belowNX++
+			return
+		}
+		if ob.RR.Name == "" {
+			return // NODATA
+		}
+		c.resolvedNF[ob.RR.Name] = struct{}{}
+		st := c.stat(ob.RR, ob.Category)
+		st.Below++
+		st.trackClient(ob.ClientID)
+	})
+}
+
+// AboveTap returns the tap to install above the resolvers.
+func (c *Collector) AboveTap() resolver.Tap {
+	return resolver.TapFunc(func(ob resolver.Observation) {
+		c.aboveTotal++
+		if ob.RCode != dnsmsg.RCodeNoError {
+			c.aboveNX++
+			return
+		}
+		if ob.RR.Name == "" {
+			return
+		}
+		st := c.stat(ob.RR, ob.Category)
+		st.Above++
+	})
+}
+
+func (c *Collector) stat(rr dnsmsg.RR, cat cache.Category) *RRStat {
+	key := rr.Key()
+	st, ok := c.perRR[key]
+	if !ok {
+		st = &RRStat{Name: rr.Name, Type: rr.Type, TTL: rr.TTL, Category: cat}
+		c.perRR[key] = st
+	}
+	return st
+}
+
+// Records returns every distinct RR's stats. The slice order is undefined.
+func (c *Collector) Records() []*RRStat {
+	out := make([]*RRStat, 0, len(c.perRR))
+	for _, st := range c.perRR {
+		out = append(out, st)
+	}
+	return out
+}
+
+// NumRecords returns the count of distinct resource records observed below.
+func (c *Collector) NumRecords() int { return len(c.perRR) }
+
+// ByName groups records by owner name.
+func (c *Collector) ByName() map[string][]*RRStat {
+	out := make(map[string][]*RRStat)
+	for _, st := range c.perRR {
+		out[st.Name] = append(out[st.Name], st)
+	}
+	return out
+}
+
+// Totals reports the raw observation volumes: (below, above) including
+// negatives, and the NXDOMAIN portions of each.
+func (c *Collector) Totals() (below, above, belowNX, aboveNX uint64) {
+	return c.belowTotal, c.aboveTotal, c.belowNX, c.aboveNX
+}
+
+// QueriedNames returns the number of distinct names queried below
+// (successful or not) and how many of them satisfy pred (pass nil to skip).
+func (c *Collector) QueriedNames(pred func(string) bool) (total, matching int) {
+	for name := range c.queriedNames {
+		total++
+		if pred != nil && pred(name) {
+			matching++
+		}
+	}
+	return total, matching
+}
+
+// ResolvedNames is QueriedNames over successfully resolved names (including
+// CNAME targets, as in the rpDNS dataset).
+func (c *Collector) ResolvedNames(pred func(string) bool) (total, matching int) {
+	for name := range c.resolvedNF {
+		total++
+		if pred != nil && pred(name) {
+			matching++
+		}
+	}
+	return total, matching
+}
+
+// DHRSample returns each record's domain hit rate, one value per distinct
+// RR, optionally filtered by pred over the record.
+func (c *Collector) DHRSample(pred func(*RRStat) bool) []float64 {
+	out := make([]float64, 0, len(c.perRR))
+	for _, st := range c.perRR {
+		if pred != nil && !pred(st) {
+			continue
+		}
+		out = append(out, st.DHR())
+	}
+	return out
+}
+
+// CHRSample returns the paper's cache-hit-rate sample: each record's DHR
+// repeated once per cache miss (eq. 2). Records with zero observed misses
+// contribute nothing, mirroring the renewal-process framing. perRRCap > 0
+// bounds any single record's contribution to keep hot records from
+// swamping the distribution sample; pass 0 for no cap.
+func (c *Collector) CHRSample(pred func(*RRStat) bool, perRRCap int) []float64 {
+	var out []float64
+	for _, st := range c.perRR {
+		if pred != nil && !pred(st) {
+			continue
+		}
+		n := int(st.Misses())
+		if perRRCap > 0 && n > perRRCap {
+			n = perRRCap
+		}
+		dhr := st.DHR()
+		for i := 0; i < n; i++ {
+			out = append(out, dhr)
+		}
+	}
+	return out
+}
+
+// ClientCounts returns each record's distinct-client count as float64
+// (capped at 64), optionally filtered — the measurement behind the paper's
+// "queried a few times by a handful of clients".
+func (c *Collector) ClientCounts(pred func(*RRStat) bool) []float64 {
+	out := make([]float64, 0, len(c.perRR))
+	for _, st := range c.perRR {
+		if pred != nil && !pred(st) {
+			continue
+		}
+		n, _ := st.Clients()
+		out = append(out, float64(n))
+	}
+	return out
+}
+
+// LookupVolumes returns each record's below-query count as float64,
+// optionally filtered.
+func (c *Collector) LookupVolumes(pred func(*RRStat) bool) []float64 {
+	out := make([]float64, 0, len(c.perRR))
+	for _, st := range c.perRR {
+		if pred != nil && !pred(st) {
+			continue
+		}
+		out = append(out, float64(st.Below))
+	}
+	return out
+}
+
+// TailStats summarizes a long-tail membership question: of all records, how
+// many sit in the tail (inTail), how many of those are disposable, and what
+// fraction of all disposable records are in the tail. Used for Tables I
+// and II.
+type TailStats struct {
+	Records            int
+	Tail               int
+	TailDisposable     int
+	Disposable         int
+	DisposableInTail   int
+	TailFrac           float64 // Tail / Records
+	TailDisposableFrac float64 // TailDisposable / Tail
+	DisposableTailFrac float64 // DisposableInTail / Disposable
+}
+
+// Tail computes TailStats for the records satisfying inTail.
+func (c *Collector) Tail(inTail func(*RRStat) bool) TailStats {
+	var ts TailStats
+	for _, st := range c.perRR {
+		ts.Records++
+		disp := st.Category == cache.CategoryDisposable
+		if disp {
+			ts.Disposable++
+		}
+		if inTail(st) {
+			ts.Tail++
+			if disp {
+				ts.TailDisposable++
+				ts.DisposableInTail++
+			}
+		}
+	}
+	if ts.Records > 0 {
+		ts.TailFrac = float64(ts.Tail) / float64(ts.Records)
+	}
+	if ts.Tail > 0 {
+		ts.TailDisposableFrac = float64(ts.TailDisposable) / float64(ts.Tail)
+	}
+	if ts.Disposable > 0 {
+		ts.DisposableTailFrac = float64(ts.DisposableInTail) / float64(ts.Disposable)
+	}
+	return ts
+}
+
+// HourlyCounter buckets observation volumes by hour for the Figure 2
+// traffic profile. Series membership is decided by predicates over the
+// observation.
+type HourlyCounter struct {
+	series []hourlySeries
+}
+
+type hourlySeries struct {
+	name   string
+	pred   func(resolver.Observation) bool
+	counts map[int64]uint64 // unix hour -> volume
+}
+
+// NewHourlyCounter builds a counter with named series. The predicate for
+// the catch-all series can simply return true.
+func NewHourlyCounter() *HourlyCounter { return &HourlyCounter{} }
+
+// AddSeries registers a named series counted when pred matches.
+func (h *HourlyCounter) AddSeries(name string, pred func(resolver.Observation) bool) {
+	h.series = append(h.series, hourlySeries{
+		name:   name,
+		pred:   pred,
+		counts: make(map[int64]uint64),
+	})
+}
+
+// Tap returns a resolver tap feeding the counter.
+func (h *HourlyCounter) Tap() resolver.Tap {
+	return resolver.TapFunc(func(ob resolver.Observation) {
+		hour := ob.Time.Unix() / 3600
+		for i := range h.series {
+			if h.series[i].pred(ob) {
+				h.series[i].counts[hour]++
+			}
+		}
+	})
+}
+
+// Series returns the hourly counts for the named series as (unixHour,
+// volume) pairs sorted by hour, or nil when the series is unknown.
+func (h *HourlyCounter) Series(name string) []HourPoint {
+	for i := range h.series {
+		if h.series[i].name != name {
+			continue
+		}
+		pts := make([]HourPoint, 0, len(h.series[i].counts))
+		for hour, v := range h.series[i].counts {
+			pts = append(pts, HourPoint{UnixHour: hour, Volume: v})
+		}
+		sortHourPoints(pts)
+		return pts
+	}
+	return nil
+}
+
+// SeriesNames lists the registered series in registration order.
+func (h *HourlyCounter) SeriesNames() []string {
+	out := make([]string, len(h.series))
+	for i := range h.series {
+		out[i] = h.series[i].name
+	}
+	return out
+}
+
+// HourPoint is one hourly volume sample.
+type HourPoint struct {
+	UnixHour int64
+	Volume   uint64
+}
+
+func sortHourPoints(pts []HourPoint) {
+	// Insertion sort: series are near-sorted already (hours accumulate in
+	// time order) and tiny.
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j].UnixHour < pts[j-1].UnixHour; j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dnsnoise/internal/chrstat"
+	"dnsnoise/internal/dnsname"
+)
+
+// Pipeline is the daily disposable zone ranking process of Figure 10: each
+// day's full passive DNS dataset flows through the Domain Name Tree Builder
+// and the Disposable Domain Classifier, and the discovered (zone, depth)
+// pairs accumulate into a ranking across days — the process that produced
+// the paper's 14,488 zones over 11 months.
+type Pipeline struct {
+	miner    *Miner
+	suffixes *dnsname.Suffixes
+
+	days  int
+	zones map[string]*ZoneRecord
+}
+
+// ZoneRecord is one zone's cumulative ranking entry.
+type ZoneRecord struct {
+	Zone string
+	// Depths the zone was flagged at, across all days.
+	Depths []int
+	// DaysSeen counts how many processed days flagged the zone.
+	DaysSeen int
+	// FirstSeen and LastSeen are the day labels bounding the observations.
+	FirstSeen, LastSeen time.Time
+	// Names is the cumulative count of disposable names attributed.
+	Names int
+	// MaxConfidence is the best classifier confidence observed.
+	MaxConfidence float64
+}
+
+// NewPipeline wraps a trained miner into the daily process.
+func NewPipeline(miner *Miner, suffixes *dnsname.Suffixes) (*Pipeline, error) {
+	if miner == nil {
+		return nil, ErrNoClassifier
+	}
+	if suffixes == nil {
+		suffixes = dnsname.DefaultSuffixes()
+	}
+	return &Pipeline{
+		miner:    miner,
+		suffixes: suffixes,
+		zones:    make(map[string]*ZoneRecord),
+	}, nil
+}
+
+// ProcessDay runs Algorithm 1 over one day's statistics (Figure 10 steps
+// 1-3) and folds the findings into the cumulative ranking. The day's own
+// findings are returned for per-day consumers.
+func (p *Pipeline) ProcessDay(date time.Time, byName map[string][]*chrstat.RRStat) ([]Finding, error) {
+	tree := BuildTree(byName, p.suffixes)
+	findings, err := p.miner.Mine(tree, byName)
+	if err != nil {
+		return nil, fmt.Errorf("day %s: %w", date.Format("2006-01-02"), err)
+	}
+	p.days++
+	for _, f := range findings {
+		rec, ok := p.zones[f.Zone]
+		if !ok {
+			rec = &ZoneRecord{Zone: f.Zone, FirstSeen: date}
+			p.zones[f.Zone] = rec
+		}
+		rec.LastSeen = date
+		rec.DaysSeen++
+		rec.Names += len(f.Names)
+		if f.Confidence > rec.MaxConfidence {
+			rec.MaxConfidence = f.Confidence
+		}
+		if !containsInt(rec.Depths, f.Depth) {
+			rec.Depths = append(rec.Depths, f.Depth)
+			sort.Ints(rec.Depths)
+		}
+	}
+	return findings, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Days returns how many days the pipeline has processed.
+func (p *Pipeline) Days() int { return p.days }
+
+// Ranking returns the cumulative zone records, most persistent first
+// (days seen, then names, then zone name for determinism).
+func (p *Pipeline) Ranking() []ZoneRecord {
+	out := make([]ZoneRecord, 0, len(p.zones))
+	for _, rec := range p.zones {
+		out = append(out, *rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DaysSeen != out[j].DaysSeen {
+			return out[i].DaysSeen > out[j].DaysSeen
+		}
+		if out[i].Names != out[j].Names {
+			return out[i].Names > out[j].Names
+		}
+		return out[i].Zone < out[j].Zone
+	})
+	return out
+}
+
+// Summary aggregates the cumulative ranking into the Figure 11 inventory:
+// distinct zones, distinct registrable domains, and the count of zones seen
+// on at least minDays days (persistent zones are the high-confidence set).
+func (p *Pipeline) Summary(minDays int) (zones, e2lds, persistent int) {
+	e2set := make(map[string]struct{})
+	for _, rec := range p.zones {
+		zones++
+		if e := p.suffixes.ETLDPlusOne(rec.Zone); e != "" {
+			e2set[e] = struct{}{}
+		}
+		if rec.DaysSeen >= minDays {
+			persistent++
+		}
+	}
+	return zones, len(e2set), persistent
+}

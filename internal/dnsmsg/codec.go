@@ -1,0 +1,567 @@
+package dnsmsg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Flag bit positions within the header's 16-bit flags word.
+const (
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagTC = 1 << 9
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+)
+
+// maxCompressionPointers bounds pointer chains while decompressing names to
+// defeat pointer loops in malformed packets.
+const maxCompressionPointers = 64
+
+// Encode serializes the message to wire format with name compression.
+func (m *Message) Encode() ([]byte, error) {
+	e := encoder{
+		buf:     make([]byte, 0, 512),
+		offsets: make(map[string]int),
+	}
+	flags := uint16(m.Header.Opcode&0xF) << 11
+	if m.Header.Response {
+		flags |= flagQR
+	}
+	if m.Header.Authoritative {
+		flags |= flagAA
+	}
+	if m.Header.Truncated {
+		flags |= flagTC
+	}
+	if m.Header.RecursionDesired {
+		flags |= flagRD
+	}
+	if m.Header.RecursionAvailable {
+		flags |= flagRA
+	}
+	flags |= uint16(m.Header.RCode) & 0xF
+
+	e.u16(m.Header.ID)
+	e.u16(flags)
+	e.u16(uint16(len(m.Questions)))
+	e.u16(uint16(len(m.Answers)))
+	e.u16(uint16(len(m.Authority)))
+	e.u16(uint16(len(m.Additional)))
+
+	for _, q := range m.Questions {
+		if err := e.name(q.Name); err != nil {
+			return nil, fmt.Errorf("question %q: %w", q.Name, err)
+		}
+		e.u16(uint16(q.Type))
+		e.u16(uint16(q.Class))
+	}
+	for _, section := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range section {
+			if err := e.rr(rr); err != nil {
+				return nil, fmt.Errorf("rr %q: %w", rr.Name, err)
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+// Decode parses a wire-format message.
+func Decode(data []byte) (*Message, error) {
+	d := decoder{data: data}
+	id, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]uint16, 4)
+	for i := range counts {
+		if counts[i], err = d.u16(); err != nil {
+			return nil, err
+		}
+	}
+	m := &Message{
+		Header: Header{
+			ID:                 id,
+			Response:           flags&flagQR != 0,
+			Opcode:             uint8(flags >> 11 & 0xF),
+			Authoritative:      flags&flagAA != 0,
+			Truncated:          flags&flagTC != 0,
+			RecursionDesired:   flags&flagRD != 0,
+			RecursionAvailable: flags&flagRA != 0,
+			RCode:              RCode(flags & 0xF),
+		},
+	}
+	for i := 0; i < int(counts[0]); i++ {
+		name, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		class, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, Question{Name: name, Type: Type(typ), Class: Class(class)})
+	}
+	sections := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
+	for si, section := range sections {
+		for i := 0; i < int(counts[si+1]); i++ {
+			rr, err := d.rr()
+			if err != nil {
+				return nil, err
+			}
+			*section = append(*section, rr)
+		}
+	}
+	return m, nil
+}
+
+// encoder accumulates wire bytes and tracks name offsets for compression.
+type encoder struct {
+	buf     []byte
+	offsets map[string]int
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+
+// name emits a possibly-compressed domain name. Compression targets are the
+// suffixes of every name previously emitted (RFC 1035 §4.1.4).
+func (e *encoder) name(name string) error {
+	name = strings.TrimSuffix(name, ".")
+	if len(name) > 253 {
+		return ErrNameTooLong
+	}
+	for name != "" {
+		if off, ok := e.offsets[name]; ok && off < 0x3FFF {
+			e.u16(uint16(0xC000 | off))
+			return nil
+		}
+		dot := strings.IndexByte(name, '.')
+		var label string
+		if dot < 0 {
+			label = name
+		} else {
+			label = name[:dot]
+		}
+		if len(label) > 63 {
+			return ErrLabelTooLong
+		}
+		if len(label) == 0 {
+			return fmt.Errorf("%w: empty label in %q", ErrBadRData, name)
+		}
+		if len(e.buf) < 0x3FFF {
+			e.offsets[name] = len(e.buf)
+		}
+		e.u8(uint8(len(label)))
+		e.buf = append(e.buf, label...)
+		if dot < 0 {
+			break
+		}
+		name = name[dot+1:]
+	}
+	e.u8(0)
+	return nil
+}
+
+func (e *encoder) rr(rr RR) error {
+	if err := e.name(rr.Name); err != nil {
+		return err
+	}
+	e.u16(uint16(rr.Type))
+	e.u16(uint16(rr.Class))
+	e.u32(rr.TTL)
+	// Reserve RDLENGTH, fill after encoding rdata.
+	lenPos := len(e.buf)
+	e.u16(0)
+	start := len(e.buf)
+	if err := e.rdata(rr); err != nil {
+		return err
+	}
+	rdlen := len(e.buf) - start
+	if rdlen > 0xFFFF {
+		return ErrBadRData
+	}
+	binary.BigEndian.PutUint16(e.buf[lenPos:], uint16(rdlen))
+	return nil
+}
+
+func (e *encoder) rdata(rr RR) error {
+	switch rr.Type {
+	case TypeA:
+		ip, err := parseIPv4(rr.RData)
+		if err != nil {
+			return err
+		}
+		e.buf = append(e.buf, ip[:]...)
+	case TypeAAAA:
+		ip, err := parseIPv6(rr.RData)
+		if err != nil {
+			return err
+		}
+		e.buf = append(e.buf, ip[:]...)
+	case TypeCNAME, TypeNS:
+		// Note: compression inside rdata is legal for CNAME/NS.
+		return e.name(rr.RData)
+	case TypeTXT:
+		return e.txt(rr.RData)
+	case TypeSOA:
+		return e.soa(rr.RData)
+	case TypeDNSKEY, TypeRRSIG:
+		// Structured blobs are carried as opaque character strings: the
+		// simulation validates signatures out of band (see authority), so
+		// byte-exact RFC 4034 rdata layout buys nothing here.
+		return e.txt(rr.RData)
+	default:
+		return fmt.Errorf("%w: unsupported type %v", ErrBadRData, rr.Type)
+	}
+	return nil
+}
+
+// txt encodes text as a sequence of <=255-octet character strings.
+func (e *encoder) txt(s string) error {
+	if s == "" {
+		e.u8(0)
+		return nil
+	}
+	for len(s) > 0 {
+		n := len(s)
+		if n > 255 {
+			n = 255
+		}
+		e.u8(uint8(n))
+		e.buf = append(e.buf, s[:n]...)
+		s = s[n:]
+	}
+	return nil
+}
+
+// soa encodes the presentation form "mname rname serial refresh retry expire minimum".
+func (e *encoder) soa(s string) error {
+	fields := strings.Fields(s)
+	if len(fields) != 7 {
+		return fmt.Errorf("%w: SOA wants 7 fields, got %d", ErrBadRData, len(fields))
+	}
+	if err := e.name(fields[0]); err != nil {
+		return err
+	}
+	if err := e.name(fields[1]); err != nil {
+		return err
+	}
+	for _, f := range fields[2:] {
+		var v uint32
+		if _, err := fmt.Sscanf(f, "%d", &v); err != nil {
+			return fmt.Errorf("%w: SOA field %q: %v", ErrBadRData, f, err)
+		}
+		e.u32(v)
+	}
+	return nil
+}
+
+// decoder walks a wire-format buffer.
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if d.pos+1 > len(d.data) {
+		return 0, ErrTruncatedMessage
+	}
+	v := d.data[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.pos+2 > len(d.data) {
+		return 0, ErrTruncatedMessage
+	}
+	v := binary.BigEndian.Uint16(d.data[d.pos:])
+	d.pos += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.data) {
+		return 0, ErrTruncatedMessage
+	}
+	v := binary.BigEndian.Uint32(d.data[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.pos+n > len(d.data) {
+		return nil, ErrTruncatedMessage
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+// name decodes a possibly-compressed domain name starting at the current
+// position.
+func (d *decoder) name() (string, error) {
+	var sb strings.Builder
+	pos := d.pos
+	jumped := false
+	jumps := 0
+	for {
+		if pos >= len(d.data) {
+			return "", ErrTruncatedMessage
+		}
+		b := d.data[pos]
+		switch {
+		case b == 0:
+			if !jumped {
+				d.pos = pos + 1
+			}
+			return sb.String(), nil
+		case b&0xC0 == 0xC0:
+			if pos+2 > len(d.data) {
+				return "", ErrTruncatedMessage
+			}
+			target := int(binary.BigEndian.Uint16(d.data[pos:]) & 0x3FFF)
+			if target >= pos {
+				return "", ErrBadPointer
+			}
+			if !jumped {
+				d.pos = pos + 2
+				jumped = true
+			}
+			jumps++
+			if jumps > maxCompressionPointers {
+				return "", ErrBadPointer
+			}
+			pos = target
+		case b&0xC0 != 0:
+			return "", ErrBadPointer
+		default:
+			n := int(b)
+			if pos+1+n > len(d.data) {
+				return "", ErrTruncatedMessage
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(d.data[pos+1 : pos+1+n])
+			if sb.Len() > 253 {
+				return "", ErrNameTooLong
+			}
+			pos += 1 + n
+		}
+	}
+}
+
+func (d *decoder) rr() (RR, error) {
+	var rr RR
+	name, err := d.name()
+	if err != nil {
+		return rr, err
+	}
+	typ, err := d.u16()
+	if err != nil {
+		return rr, err
+	}
+	class, err := d.u16()
+	if err != nil {
+		return rr, err
+	}
+	ttl, err := d.u32()
+	if err != nil {
+		return rr, err
+	}
+	rdlen, err := d.u16()
+	if err != nil {
+		return rr, err
+	}
+	end := d.pos + int(rdlen)
+	if end > len(d.data) {
+		return rr, ErrTruncatedMessage
+	}
+	rr.Name = name
+	rr.Type = Type(typ)
+	rr.Class = Class(class)
+	rr.TTL = ttl
+	rdata, err := d.rdata(rr.Type, int(rdlen))
+	if err != nil {
+		return rr, err
+	}
+	if d.pos != end {
+		return rr, fmt.Errorf("%w: rdata length mismatch for %v", ErrBadRData, rr.Type)
+	}
+	rr.RData = rdata
+	return rr, nil
+}
+
+func (d *decoder) rdata(typ Type, rdlen int) (string, error) {
+	switch typ {
+	case TypeA:
+		b, err := d.bytes(4)
+		if err != nil {
+			return "", err
+		}
+		return formatIPv4([4]byte(b)), nil
+	case TypeAAAA:
+		b, err := d.bytes(16)
+		if err != nil {
+			return "", err
+		}
+		return formatIPv6([16]byte(b)), nil
+	case TypeCNAME, TypeNS:
+		return d.name()
+	case TypeTXT, TypeDNSKEY, TypeRRSIG:
+		return d.txt(rdlen)
+	case TypeSOA:
+		return d.soa()
+	default:
+		// Skip unknown rdata opaquely and surface it as hex-free placeholder.
+		b, err := d.bytes(rdlen)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("\\# %d", len(b)), nil
+	}
+}
+
+func (d *decoder) txt(rdlen int) (string, error) {
+	end := d.pos + rdlen
+	var sb strings.Builder
+	for d.pos < end {
+		n, err := d.u8()
+		if err != nil {
+			return "", err
+		}
+		b, err := d.bytes(int(n))
+		if err != nil {
+			return "", err
+		}
+		sb.Write(b)
+	}
+	return sb.String(), nil
+}
+
+func (d *decoder) soa() (string, error) {
+	mname, err := d.name()
+	if err != nil {
+		return "", err
+	}
+	rname, err := d.name()
+	if err != nil {
+		return "", err
+	}
+	vals := make([]uint32, 5)
+	for i := range vals {
+		if vals[i], err = d.u32(); err != nil {
+			return "", err
+		}
+	}
+	return fmt.Sprintf("%s %s %d %d %d %d %d", mname, rname, vals[0], vals[1], vals[2], vals[3], vals[4]), nil
+}
+
+func parseIPv4(s string) ([4]byte, error) {
+	var ip [4]byte
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return ip, fmt.Errorf("%w: bad IPv4 %q", ErrBadRData, s)
+	}
+	for i, p := range parts {
+		var v int
+		if _, err := fmt.Sscanf(p, "%d", &v); err != nil || v < 0 || v > 255 {
+			return ip, fmt.Errorf("%w: bad IPv4 octet %q", ErrBadRData, p)
+		}
+		ip[i] = byte(v)
+	}
+	return ip, nil
+}
+
+func formatIPv4(ip [4]byte) string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// parseIPv6 accepts the full 8-group hex form with optional "::" shorthand.
+func parseIPv6(s string) ([16]byte, error) {
+	var ip [16]byte
+	var head, tail []string
+	if i := strings.Index(s, "::"); i >= 0 {
+		if s[:i] != "" {
+			head = strings.Split(s[:i], ":")
+		}
+		if s[i+2:] != "" {
+			tail = strings.Split(s[i+2:], ":")
+		}
+	} else {
+		head = strings.Split(s, ":")
+		if len(head) != 8 {
+			return ip, fmt.Errorf("%w: bad IPv6 %q", ErrBadRData, s)
+		}
+	}
+	if len(head)+len(tail) > 8 {
+		return ip, fmt.Errorf("%w: bad IPv6 %q", ErrBadRData, s)
+	}
+	groups := make([]uint16, 8)
+	for i, g := range head {
+		v, err := parseHexGroup(g)
+		if err != nil {
+			return ip, err
+		}
+		groups[i] = v
+	}
+	for i, g := range tail {
+		v, err := parseHexGroup(g)
+		if err != nil {
+			return ip, err
+		}
+		groups[8-len(tail)+i] = v
+	}
+	for i, g := range groups {
+		binary.BigEndian.PutUint16(ip[2*i:], g)
+	}
+	return ip, nil
+}
+
+func parseHexGroup(g string) (uint16, error) {
+	if len(g) == 0 || len(g) > 4 {
+		return 0, fmt.Errorf("%w: bad IPv6 group %q", ErrBadRData, g)
+	}
+	var v uint16
+	for i := 0; i < len(g); i++ {
+		c := g[i]
+		var d uint16
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint16(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint16(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint16(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("%w: bad IPv6 group %q", ErrBadRData, g)
+		}
+		v = v<<4 | d
+	}
+	return v, nil
+}
+
+// formatIPv6 renders the canonical un-shortened lowercase form. A fixed form
+// keeps RR deduplication keys stable.
+func formatIPv6(ip [16]byte) string {
+	var sb strings.Builder
+	for i := 0; i < 16; i += 2 {
+		if i > 0 {
+			sb.WriteByte(':')
+		}
+		fmt.Fprintf(&sb, "%x", binary.BigEndian.Uint16(ip[i:]))
+	}
+	return sb.String()
+}

@@ -1,0 +1,266 @@
+// Package dnsname provides domain-name manipulation used throughout the
+// disposable-zone pipeline: normalization, label access, N-th level domain
+// (NLD) extraction, and effective top-level domain (eTLD) computation against
+// an embedded public-suffix snapshot.
+//
+// Terminology follows Section III-B of the paper: for
+// d = "a.example.com", TLD(d) = "com", 2LD(d) = "example.com", and
+// 3LD(d) = "a.example.com". The effective TLD captures delegation, not mere
+// lexical splitting, so 2LD("www.example.co.uk") = "example.co.uk".
+package dnsname
+
+import (
+	"errors"
+	"strings"
+)
+
+// Errors reported by name validation.
+var (
+	ErrEmpty      = errors.New("dnsname: empty domain name")
+	ErrBadLabel   = errors.New("dnsname: invalid label")
+	ErrNameLength = errors.New("dnsname: name exceeds 253 octets")
+)
+
+// MaxNameLength is the maximum presentation-format name length accepted,
+// per RFC 1035 (255 octets on the wire, 253 in presentation format).
+const MaxNameLength = 253
+
+// MaxLabelLength is the maximum length of a single label per RFC 1035.
+const MaxLabelLength = 63
+
+// Normalize lower-cases a domain name and strips a single trailing dot.
+// It performs no validation; see Validate.
+func Normalize(name string) string {
+	name = strings.ToLower(name)
+	name = strings.TrimSuffix(name, ".")
+	return name
+}
+
+// Validate checks that name is a plausible DNS name in presentation format:
+// non-empty, at most 253 octets, with labels of 1 to 63 octets each.
+// It accepts names already passed through Normalize. Characters are not
+// restricted to LDH because disposable domains routinely carry arbitrary
+// token bytes; only structural rules are enforced.
+func Validate(name string) error {
+	if name == "" {
+		return ErrEmpty
+	}
+	if len(name) > MaxNameLength {
+		return ErrNameLength
+	}
+	for _, label := range strings.Split(name, ".") {
+		if len(label) == 0 || len(label) > MaxLabelLength {
+			return ErrBadLabel
+		}
+	}
+	return nil
+}
+
+// Labels returns the labels of a normalized name, left to right.
+// The empty name yields nil.
+func Labels(name string) []string {
+	if name == "" {
+		return nil
+	}
+	return strings.Split(name, ".")
+}
+
+// CountLabels returns the number of labels without allocating.
+func CountLabels(name string) int {
+	if name == "" {
+		return 0
+	}
+	return strings.Count(name, ".") + 1
+}
+
+// NLD returns the n rightmost labels of name joined by dots (the "N-th level
+// domain"). If name has fewer than n labels, the whole name is returned.
+// n <= 0 yields the empty string.
+func NLD(name string, n int) string {
+	if n <= 0 || name == "" {
+		return ""
+	}
+	idx := len(name)
+	for i := 0; i < n; i++ {
+		dot := strings.LastIndexByte(name[:idx], '.')
+		if dot < 0 {
+			return name
+		}
+		idx = dot
+	}
+	return name[idx+1:]
+}
+
+// Parent returns the name with its leftmost label removed, or "" when the
+// name has a single label.
+func Parent(name string) string {
+	dot := strings.IndexByte(name, '.')
+	if dot < 0 {
+		return ""
+	}
+	return name[dot+1:]
+}
+
+// LeftLabel returns the leftmost label of name.
+func LeftLabel(name string) string {
+	dot := strings.IndexByte(name, '.')
+	if dot < 0 {
+		return name
+	}
+	return name[:dot]
+}
+
+// IsSubdomainOf reports whether child is equal to, or a strict subdomain of,
+// parent. Both must be normalized.
+func IsSubdomainOf(child, parent string) bool {
+	if parent == "" {
+		return false
+	}
+	if child == parent {
+		return true
+	}
+	return strings.HasSuffix(child, "."+parent)
+}
+
+// Suffixes holds an effective-TLD ruleset. The zero value matches nothing;
+// use DefaultSuffixes or NewSuffixes.
+type Suffixes struct {
+	exact    map[string]struct{}
+	wildcard map[string]struct{} // "*.ck" stored as "ck"
+}
+
+// NewSuffixes builds a ruleset from public-suffix-style rules. Supported rule
+// forms are exact suffixes ("com", "co.uk") and wildcards ("*.compute.amazonaws.com",
+// meaning every direct child of the suffix is itself a suffix). Exception
+// rules ("!city.kobe.jp") are intentionally unsupported: they do not occur in
+// the embedded snapshot.
+func NewSuffixes(rules []string) *Suffixes {
+	s := &Suffixes{
+		exact:    make(map[string]struct{}, len(rules)),
+		wildcard: make(map[string]struct{}),
+	}
+	for _, r := range rules {
+		r = Normalize(strings.TrimSpace(r))
+		if r == "" || strings.HasPrefix(r, "//") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(r, "*."); ok {
+			s.wildcard[rest] = struct{}{}
+			continue
+		}
+		s.exact[r] = struct{}{}
+	}
+	return s
+}
+
+// DefaultSuffixes returns the embedded effective-TLD snapshot. It includes
+// common gTLDs and ccTLDs, multi-label country suffixes (co.uk, com.cn, ...),
+// and — per the paper's correction to Mozilla's list — popular dynamic-DNS
+// zones, whose children are independently operated.
+func DefaultSuffixes() *Suffixes {
+	return NewSuffixes(defaultSuffixRules)
+}
+
+// ETLD returns the effective TLD of a normalized name, or "" when the name
+// itself is a suffix or no rule matches any of its parents. When no rule
+// matches at all, the rightmost label is used (the implicit "*" rule of the
+// public suffix algorithm).
+func (s *Suffixes) ETLD(name string) string {
+	if name == "" {
+		return ""
+	}
+	// Walk suffixes from the most specific: try name itself first (a name
+	// that IS a suffix has no registrable part).
+	best := ""
+	for probe := name; probe != ""; probe = Parent(probe) {
+		if _, ok := s.exact[probe]; ok {
+			best = probe
+			break
+		}
+		if parent := Parent(probe); parent != "" {
+			if _, ok := s.wildcard[parent]; ok {
+				best = probe
+				break
+			}
+		}
+	}
+	if best == "" {
+		// Implicit rule: rightmost label.
+		best = NLD(name, 1)
+	}
+	return best
+}
+
+// ETLDPlusOne returns the registrable domain ("effective 2LD"): the effective
+// TLD plus one additional label. It returns "" when name is itself a suffix
+// or has no label to add.
+func (s *Suffixes) ETLDPlusOne(name string) string {
+	etld := s.ETLD(name)
+	if etld == "" || name == etld {
+		return ""
+	}
+	rest := strings.TrimSuffix(name, "."+etld)
+	if rest == name {
+		return "" // defensive: name did not actually end in etld
+	}
+	lastLabel := rest
+	if dot := strings.LastIndexByte(rest, '.'); dot >= 0 {
+		lastLabel = rest[dot+1:]
+	}
+	return lastLabel + "." + etld
+}
+
+// Depth returns the depth of name in the domain-name tree rooted at ".":
+// the number of labels. (The paper's Figure 8 counts "a.example.com" as
+// depth 3.)
+func Depth(name string) int {
+	return CountLabels(name)
+}
+
+// defaultSuffixRules is a compact snapshot of the public suffix list
+// sufficient for the simulated namespace, extended with dynamic-DNS zones as
+// the paper prescribes.
+var defaultSuffixRules = []string{
+	// Generic TLDs.
+	"com", "net", "org", "edu", "gov", "mil", "int", "info", "biz", "name",
+	"mobi", "pro", "aero", "coop", "museum", "travel", "jobs", "tel", "xxx",
+	// Common ccTLDs (single label).
+	"us", "ca", "mx", "de", "fr", "nl", "es", "it", "se", "no", "fi", "dk",
+	"pl", "ru", "ch", "at", "be", "cz", "gr", "pt", "ie", "hu", "ro", "tr",
+	"cn", "jp", "kr", "in", "tw", "hk", "sg", "my", "th", "vn", "id", "ph",
+	"au", "nz", "br", "ar", "cl", "co", "pe", "ve", "za", "ng", "eg", "ke",
+	"il", "sa", "ae", "ir", "ua", "by", "kz", "io", "me", "tv", "cc", "ws",
+	"dk", "is", "lu", "sk", "si", "hr", "bg", "lt", "lv", "ee",
+	// Multi-label country suffixes.
+	"co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk", "sch.uk",
+	"com.cn", "net.cn", "org.cn", "gov.cn", "edu.cn",
+	"co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
+	"com.au", "net.au", "org.au", "edu.au", "gov.au",
+	"co.nz", "net.nz", "org.nz",
+	"com.br", "net.br", "org.br",
+	"co.in", "net.in", "org.in", "ac.in",
+	"co.kr", "ne.kr", "or.kr",
+	"com.tw", "org.tw", "net.tw",
+	"com.hk", "org.hk", "net.hk",
+	"com.sg", "org.sg", "net.sg",
+	"com.mx", "org.mx", "net.mx",
+	"com.ar", "net.ar", "org.ar",
+	"co.za", "org.za", "net.za",
+	"com.tr", "net.tr", "org.tr",
+	"com.ru", "net.ru", "org.ru",
+	// Cloud/hosting wildcard suffixes.
+	"*.compute.amazonaws.com",
+	"s3.amazonaws.com",
+	"cloudfront.net",
+	"herokuapp.com",
+	"appspot.com",
+	"github.io",
+	// Dynamic DNS zones — the paper's correction to Mozilla's list: children
+	// of these zones are delegated to unrelated parties.
+	"dyndns.org", "dyndns.info", "dyndns.tv", "dnsalias.com", "dnsalias.net",
+	"dnsalias.org", "homeip.net", "no-ip.com", "no-ip.org", "no-ip.info",
+	"zapto.org", "hopto.org", "sytes.net", "ddns.net", "dynu.net",
+	"afraid.org", "mine.nu", "homelinux.com", "homelinux.net", "homelinux.org",
+	"homeunix.com", "homeunix.net", "homeunix.org", "selfip.com", "selfip.net",
+	"selfip.org", "dontexist.com", "dontexist.net", "dontexist.org",
+}

@@ -1,0 +1,261 @@
+package dnsname
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{give: "WWW.Example.COM", want: "www.example.com"},
+		{give: "example.com.", want: "example.com"},
+		{give: "EXAMPLE.COM.", want: "example.com"},
+		{give: "", want: ""},
+		{give: ".", want: ""},
+	}
+	for _, tt := range tests {
+		if got := Normalize(tt.give); got != tt.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	long := strings.Repeat("a", 64)
+	tests := []struct {
+		name    string
+		give    string
+		wantErr error
+	}{
+		{name: "ok", give: "www.example.com", wantErr: nil},
+		{name: "empty", give: "", wantErr: ErrEmpty},
+		{name: "empty label", give: "a..b", wantErr: ErrBadLabel},
+		{name: "long label", give: long + ".com", wantErr: ErrBadLabel},
+		{name: "long name", give: strings.Repeat("abcdefgh.", 30) + "com", wantErr: ErrNameLength},
+		{name: "single label", give: "localhost", wantErr: nil},
+		{name: "token bytes ok", give: "load-0-p-01.up-1852280.example.com", wantErr: nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := Validate(tt.give)
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate(%q) = %v, want %v", tt.give, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLabels(t *testing.T) {
+	got := Labels("a.b.c")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Labels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Labels[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if Labels("") != nil {
+		t.Error("Labels(\"\") should be nil")
+	}
+}
+
+func TestCountLabels(t *testing.T) {
+	tests := []struct {
+		give string
+		want int
+	}{
+		{give: "", want: 0},
+		{give: "com", want: 1},
+		{give: "example.com", want: 2},
+		{give: "a.b.c.d.e", want: 5},
+	}
+	for _, tt := range tests {
+		if got := CountLabels(tt.give); got != tt.want {
+			t.Errorf("CountLabels(%q) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestNLD(t *testing.T) {
+	const name = "p2.a22.i1.ds.ipv6-exp.l.google.com"
+	tests := []struct {
+		n    int
+		want string
+	}{
+		{n: 0, want: ""},
+		{n: 1, want: "com"},
+		{n: 2, want: "google.com"},
+		{n: 3, want: "l.google.com"},
+		{n: 8, want: name},
+		{n: 99, want: name},
+	}
+	for _, tt := range tests {
+		if got := NLD(name, tt.n); got != tt.want {
+			t.Errorf("NLD(%q, %d) = %q, want %q", name, tt.n, got, tt.want)
+		}
+	}
+}
+
+// Property: NLD(name, n) is a suffix of name with exactly min(n, labels)
+// labels.
+func TestNLDProperty(t *testing.T) {
+	f := func(rawLabels []uint8, n uint8) bool {
+		if len(rawLabels) == 0 {
+			return true
+		}
+		labels := make([]string, 0, len(rawLabels))
+		for _, b := range rawLabels {
+			labels = append(labels, strings.Repeat("x", int(b%5)+1))
+		}
+		name := strings.Join(labels, ".")
+		k := int(n%10) + 1
+		got := NLD(name, k)
+		if !strings.HasSuffix(name, got) {
+			return false
+		}
+		wantLabels := k
+		if len(labels) < k {
+			wantLabels = len(labels)
+		}
+		return CountLabels(got) == wantLabels
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParentLeftLabel(t *testing.T) {
+	if got := Parent("a.b.c"); got != "b.c" {
+		t.Errorf("Parent = %q, want b.c", got)
+	}
+	if got := Parent("c"); got != "" {
+		t.Errorf("Parent(single) = %q, want \"\"", got)
+	}
+	if got := LeftLabel("a.b.c"); got != "a" {
+		t.Errorf("LeftLabel = %q, want a", got)
+	}
+	if got := LeftLabel("c"); got != "c" {
+		t.Errorf("LeftLabel(single) = %q, want c", got)
+	}
+}
+
+func TestIsSubdomainOf(t *testing.T) {
+	tests := []struct {
+		child, parent string
+		want          bool
+	}{
+		{child: "a.example.com", parent: "example.com", want: true},
+		{child: "example.com", parent: "example.com", want: true},
+		{child: "badexample.com", parent: "example.com", want: false},
+		{child: "example.com", parent: "a.example.com", want: false},
+		{child: "a.example.com", parent: "", want: false},
+	}
+	for _, tt := range tests {
+		if got := IsSubdomainOf(tt.child, tt.parent); got != tt.want {
+			t.Errorf("IsSubdomainOf(%q, %q) = %v, want %v", tt.child, tt.parent, got, tt.want)
+		}
+	}
+}
+
+func TestETLD(t *testing.T) {
+	s := DefaultSuffixes()
+	tests := []struct {
+		give string
+		want string
+	}{
+		{give: "www.example.com", want: "com"},
+		{give: "www.example.co.uk", want: "co.uk"},
+		{give: "a.b.example.com.cn", want: "com.cn"},
+		{give: "host.no-ip.com", want: "no-ip.com"},
+		{give: "com", want: "com"},
+		{give: "weird.unknowntld", want: "unknowntld"},
+		{give: "x.y.eu-west-1.compute.amazonaws.com", want: "eu-west-1.compute.amazonaws.com"},
+	}
+	for _, tt := range tests {
+		if got := s.ETLD(tt.give); got != tt.want {
+			t.Errorf("ETLD(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestETLDPlusOne(t *testing.T) {
+	s := DefaultSuffixes()
+	tests := []struct {
+		give string
+		want string
+	}{
+		{give: "www.example.com", want: "example.com"},
+		{give: "a.b.example.co.uk", want: "example.co.uk"},
+		{give: "host.dyn.no-ip.com", want: "dyn.no-ip.com"},
+		{give: "com", want: ""},
+		{give: "co.uk", want: ""},
+		{give: "example.com", want: "example.com"},
+		{give: "vm.zone1.eu-west-1.compute.amazonaws.com", want: "zone1.eu-west-1.compute.amazonaws.com"},
+	}
+	for _, tt := range tests {
+		if got := s.ETLDPlusOne(tt.give); got != tt.want {
+			t.Errorf("ETLDPlusOne(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestETLDEmpty(t *testing.T) {
+	s := DefaultSuffixes()
+	if got := s.ETLD(""); got != "" {
+		t.Errorf("ETLD(\"\") = %q, want \"\"", got)
+	}
+	if got := s.ETLDPlusOne(""); got != "" {
+		t.Errorf("ETLDPlusOne(\"\") = %q, want \"\"", got)
+	}
+}
+
+func TestNewSuffixesSkipsComments(t *testing.T) {
+	s := NewSuffixes([]string{"// a comment", "", "com", "*.ck"})
+	if got := s.ETLD("shop.example.com"); got != "com" {
+		t.Errorf("ETLD = %q, want com", got)
+	}
+	if got := s.ETLD("www.city.ck"); got != "city.ck" {
+		t.Errorf("wildcard ETLD = %q, want city.ck", got)
+	}
+}
+
+// Property: ETLDPlusOne(x) is always a suffix of x and a subdomain of
+// ETLD(x), with exactly one more label than the eTLD.
+func TestETLDPlusOneProperty(t *testing.T) {
+	s := DefaultSuffixes()
+	names := []string{
+		"www.google.com", "avqs.mcafee.com", "x.y.z.esoft.com",
+		"deep.chain.of.labels.example.co.uk", "a.b.c.d.e.f.g.sytes.net",
+		"one.two.example.org", "cdn1.akamai.net",
+	}
+	for _, name := range names {
+		e1 := s.ETLDPlusOne(name)
+		if e1 == "" {
+			t.Errorf("ETLDPlusOne(%q) empty", name)
+			continue
+		}
+		if !IsSubdomainOf(name, e1) {
+			t.Errorf("%q not subdomain of its e2LD %q", name, e1)
+		}
+		etld := s.ETLD(name)
+		if CountLabels(e1) != CountLabels(etld)+1 {
+			t.Errorf("e2LD %q should have one more label than eTLD %q", e1, etld)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if got := Depth("a.example.com"); got != 3 {
+		t.Errorf("Depth = %d, want 3 (paper Figure 8 convention)", got)
+	}
+	if got := Depth("i.1.a.example.com"); got != 5 {
+		t.Errorf("Depth = %d, want 5", got)
+	}
+}

@@ -1,0 +1,36 @@
+package dnsname_test
+
+import (
+	"fmt"
+
+	"dnsnoise/internal/dnsname"
+)
+
+// ExampleSuffixes_ETLDPlusOne shows effective-TLD-aware registrable-domain
+// extraction, including the paper's dynamic-DNS correction.
+func ExampleSuffixes_ETLDPlusOne() {
+	s := dnsname.DefaultSuffixes()
+	for _, name := range []string{
+		"p2.tok.191742.i1.ds.ipv6-exp.l.google.com",
+		"deep.chain.example.co.uk",
+		"host.dyn.no-ip.com",
+	} {
+		fmt.Println(s.ETLDPlusOne(name))
+	}
+	// Output:
+	// google.com
+	// example.co.uk
+	// dyn.no-ip.com
+}
+
+// ExampleNLD extracts N-th level domains as defined in Section III-B.
+func ExampleNLD() {
+	d := "a.example.com"
+	fmt.Println(dnsname.NLD(d, 1))
+	fmt.Println(dnsname.NLD(d, 2))
+	fmt.Println(dnsname.NLD(d, 3))
+	// Output:
+	// com
+	// example.com
+	// a.example.com
+}

@@ -1,0 +1,254 @@
+// Package dntree implements the domain name tree of Section V-A: a trie of
+// labels rooted at ".", where a node is black when a resource record for its
+// name was observed in the dataset, and white otherwise. The miner walks
+// zones of this tree, groups black descendants by depth (the G_k sets),
+// extracts the label sets adjacent to the zone under inspection (the L_k
+// sets), and decolors nodes classified as disposable.
+package dntree
+
+import (
+	"sort"
+	"strings"
+
+	"dnsnoise/internal/dnsname"
+)
+
+// Tree is the domain name tree. The zero value is not usable; call New.
+type Tree struct {
+	root     *node
+	suffixes *dnsname.Suffixes
+	e2lds    map[string]struct{}
+	black    int
+}
+
+type node struct {
+	children map[string]*node
+	black    bool
+}
+
+// New returns an empty tree using suffixes for effective-2LD extraction.
+// Passing nil uses dnsname.DefaultSuffixes().
+func New(suffixes *dnsname.Suffixes) *Tree {
+	if suffixes == nil {
+		suffixes = dnsname.DefaultSuffixes()
+	}
+	return &Tree{
+		root:     &node{children: make(map[string]*node)},
+		suffixes: suffixes,
+		e2lds:    make(map[string]struct{}),
+	}
+}
+
+// Insert marks name as a black node, creating intermediate white nodes along
+// the path. Names are normalized. Inserting an existing black node is a
+// no-op.
+func (t *Tree) Insert(name string) {
+	name = dnsname.Normalize(name)
+	if name == "" {
+		return
+	}
+	n := t.walk(name, true)
+	if !n.black {
+		n.black = true
+		t.black++
+	}
+	if e2ld := t.suffixes.ETLDPlusOne(name); e2ld != "" {
+		t.e2lds[e2ld] = struct{}{}
+	}
+}
+
+// walk descends right-to-left through the labels of name, optionally
+// creating missing nodes; returns nil when create is false and the path is
+// absent.
+func (t *Tree) walk(name string, create bool) *node {
+	labels := dnsname.Labels(name)
+	n := t.root
+	for i := len(labels) - 1; i >= 0; i-- {
+		child, ok := n.children[labels[i]]
+		if !ok {
+			if !create {
+				return nil
+			}
+			child = &node{children: make(map[string]*node)}
+			n.children[labels[i]] = child
+		}
+		n = child
+	}
+	return n
+}
+
+// IsBlack reports whether name is currently a black node.
+func (t *Tree) IsBlack(name string) bool {
+	n := t.walk(dnsname.Normalize(name), false)
+	return n != nil && n.black
+}
+
+// BlackCount returns the number of black nodes in the tree.
+func (t *Tree) BlackCount() int { return t.black }
+
+// Decolor turns name's node white, if present and black, and reports
+// whether anything changed. The node (and its descendants) remain in the
+// tree structure.
+func (t *Tree) Decolor(name string) bool {
+	n := t.walk(dnsname.Normalize(name), false)
+	if n == nil || !n.black {
+		return false
+	}
+	n.black = false
+	t.black--
+	return true
+}
+
+// Effective2LDs returns the distinct registrable domains (effective 2LDs)
+// of every name ever inserted, sorted — the starting zones for Algorithm 1.
+func (t *Tree) Effective2LDs() []string {
+	out := make([]string, 0, len(t.e2lds))
+	for z := range t.e2lds {
+		out = append(out, z)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Group is one G_k set: the black strict descendants of Zone at depth
+// Depth, with the distinct labels adjacent to the zone (the L_k set).
+type Group struct {
+	Zone  string
+	Depth int
+	// Names holds the full domain names of the group's black nodes.
+	Names []string
+	// Labels is the distinct set of labels immediately left of Zone among
+	// Names (paper: "labels next to the zone under inspection").
+	Labels []string
+}
+
+// GroupsUnder returns the G_k sets under zone, ordered by increasing depth.
+// The zone's own node (even if black) is not part of any group; only strict
+// descendants count. An absent zone yields nil.
+func (t *Tree) GroupsUnder(zone string) []Group {
+	zone = dnsname.Normalize(zone)
+	zn := t.walk(zone, false)
+	if zn == nil {
+		return nil
+	}
+	zoneDepth := dnsname.Depth(zone)
+	byDepth := make(map[int]*Group)
+	labelSeen := make(map[int]map[string]struct{})
+
+	var descend func(n *node, name string, adjacent string, depth int)
+	descend = func(n *node, name string, adjacent string, depth int) {
+		if n.black {
+			g, ok := byDepth[depth]
+			if !ok {
+				g = &Group{Zone: zone, Depth: depth}
+				byDepth[depth] = g
+				labelSeen[depth] = make(map[string]struct{})
+			}
+			g.Names = append(g.Names, name)
+			if _, dup := labelSeen[depth][adjacent]; !dup {
+				labelSeen[depth][adjacent] = struct{}{}
+				g.Labels = append(g.Labels, adjacent)
+			}
+		}
+		for label, child := range n.children {
+			childAdjacent := adjacent
+			if depth == zoneDepth {
+				// Direct children of the zone define the adjacent label for
+				// their whole subtree.
+				childAdjacent = label
+			}
+			descend(child, label+"."+name, childAdjacent, depth+1)
+		}
+	}
+	for label, child := range zn.children {
+		descend(child, label+"."+zone, label, zoneDepth+1)
+	}
+
+	depths := make([]int, 0, len(byDepth))
+	for d := range byDepth {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	out := make([]Group, 0, len(depths))
+	for _, d := range depths {
+		g := byDepth[d]
+		sort.Strings(g.Names)
+		sort.Strings(g.Labels)
+		out = append(out, *g)
+	}
+	return out
+}
+
+// ChildZones returns the names of zone's direct child nodes (black or
+// white) that still have black descendants or are black themselves — the
+// recursion set of Algorithm 1 (lines 15-17). Sorted.
+func (t *Tree) ChildZones(zone string) []string {
+	zone = dnsname.Normalize(zone)
+	zn := t.walk(zone, false)
+	if zn == nil {
+		return nil
+	}
+	var out []string
+	for label, child := range zn.children {
+		if child.black || hasBlackDescendant(child) {
+			out = append(out, label+"."+zone)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasBlackDescendants reports whether zone has any black strict descendant
+// (Algorithm 1, line 1).
+func (t *Tree) HasBlackDescendants(zone string) bool {
+	zn := t.walk(dnsname.Normalize(zone), false)
+	if zn == nil {
+		return false
+	}
+	return hasBlackDescendant(zn)
+}
+
+func hasBlackDescendant(n *node) bool {
+	for _, child := range n.children {
+		if child.black || hasBlackDescendant(child) {
+			return true
+		}
+	}
+	return false
+}
+
+// NamesUnder returns all black names that are strict descendants of zone,
+// sorted. Useful for reporting and for wildcard collapsing.
+func (t *Tree) NamesUnder(zone string) []string {
+	var out []string
+	for _, g := range t.GroupsUnder(zone) {
+		out = append(out, g.Names...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a compact indented dump, black nodes marked with "*".
+// Intended for debugging and small trees only.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	var dump func(n *node, label string, indent int)
+	dump = func(n *node, label string, indent int) {
+		sb.WriteString(strings.Repeat("  ", indent))
+		sb.WriteString(label)
+		if n.black {
+			sb.WriteString(" *")
+		}
+		sb.WriteByte('\n')
+		labels := make([]string, 0, len(n.children))
+		for l := range n.children {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			dump(n.children[l], l, indent+1)
+		}
+	}
+	dump(t.root, ".", 0)
+	return sb.String()
+}

@@ -1,0 +1,257 @@
+package dntree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dnsnoise/internal/labelgen"
+	"math/rand"
+)
+
+// paperNames reproduces the example of Figure 8.
+var paperNames = []string{
+	"a.example.com",
+	"i.1.a.example.com",
+	"2.a.example.com",
+	"3.a.example.com",
+	"4.b.example.com",
+	"c.example.com",
+}
+
+func paperTree() *Tree {
+	t := New(nil)
+	for _, n := range paperNames {
+		t.Insert(n)
+	}
+	return t
+}
+
+func TestInsertAndBlackness(t *testing.T) {
+	tr := paperTree()
+	if tr.BlackCount() != len(paperNames) {
+		t.Errorf("BlackCount = %d, want %d", tr.BlackCount(), len(paperNames))
+	}
+	for _, n := range paperNames {
+		if !tr.IsBlack(n) {
+			t.Errorf("%q should be black", n)
+		}
+	}
+	// Intermediate nodes on the path are white.
+	for _, n := range []string{"example.com", "b.example.com", "1.a.example.com", "com"} {
+		if tr.IsBlack(n) {
+			t.Errorf("%q should be white", n)
+		}
+	}
+}
+
+func TestInsertIdempotent(t *testing.T) {
+	tr := New(nil)
+	tr.Insert("a.example.com")
+	tr.Insert("A.Example.COM.")
+	if tr.BlackCount() != 1 {
+		t.Errorf("BlackCount = %d, want 1 (normalized duplicate)", tr.BlackCount())
+	}
+	tr.Insert("")
+	if tr.BlackCount() != 1 {
+		t.Errorf("empty insert changed the tree")
+	}
+}
+
+func TestGroupsUnderPaperExample(t *testing.T) {
+	tr := paperTree()
+	groups := tr.GroupsUnder("example.com")
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3 (G3, G4, G5)", len(groups))
+	}
+	// G3 = {a.example.com, c.example.com}, L3 = {a, c}
+	g3 := groups[0]
+	if g3.Depth != 3 {
+		t.Errorf("g3 depth = %d", g3.Depth)
+	}
+	wantNames := []string{"a.example.com", "c.example.com"}
+	if strings.Join(g3.Names, ",") != strings.Join(wantNames, ",") {
+		t.Errorf("G3 = %v, want %v", g3.Names, wantNames)
+	}
+	if strings.Join(g3.Labels, ",") != "a,c" {
+		t.Errorf("L3 = %v, want [a c]", g3.Labels)
+	}
+	// G4 = {2.a..., 3.a..., 4.b...}, L4 = {a, b} (labels adjacent to zone).
+	g4 := groups[1]
+	if len(g4.Names) != 3 {
+		t.Errorf("G4 = %v", g4.Names)
+	}
+	if strings.Join(g4.Labels, ",") != "a,b" {
+		t.Errorf("L4 = %v, want [a b] (paper Section V-A1)", g4.Labels)
+	}
+	// G5 = {i.1.a.example.com}, L5 = {a}.
+	g5 := groups[2]
+	if len(g5.Names) != 1 || g5.Names[0] != "i.1.a.example.com" {
+		t.Errorf("G5 = %v", g5.Names)
+	}
+	if strings.Join(g5.Labels, ",") != "a" {
+		t.Errorf("L5 = %v, want [a]", g5.Labels)
+	}
+}
+
+func TestDecolorPaperFigure9(t *testing.T) {
+	tr := paperTree()
+	// Figure 9: decoloring a.example.com and c.example.com.
+	if !tr.Decolor("a.example.com") || !tr.Decolor("c.example.com") {
+		t.Fatal("Decolor should succeed on black nodes")
+	}
+	if tr.Decolor("a.example.com") {
+		t.Error("second Decolor should report false")
+	}
+	if tr.Decolor("never-inserted.example.com") {
+		t.Error("Decolor of absent node should report false")
+	}
+	groups := tr.GroupsUnder("example.com")
+	if len(groups) != 2 {
+		t.Fatalf("groups after decolor = %d, want 2 (G4, G5)", len(groups))
+	}
+	if groups[0].Depth != 4 || groups[1].Depth != 5 {
+		t.Errorf("depths = %d, %d", groups[0].Depth, groups[1].Depth)
+	}
+	// Descendants of decolored nodes remain.
+	if !tr.IsBlack("2.a.example.com") {
+		t.Error("descendants must survive decoloring")
+	}
+	if tr.BlackCount() != 4 {
+		t.Errorf("BlackCount = %d, want 4", tr.BlackCount())
+	}
+}
+
+func TestChildZones(t *testing.T) {
+	tr := paperTree()
+	got := tr.ChildZones("example.com")
+	want := "a.example.com,b.example.com,c.example.com"
+	if strings.Join(got, ",") != want {
+		t.Errorf("ChildZones = %v, want %s", got, want)
+	}
+	// After decoloring c (a leaf), c.example.com has no black descendants
+	// and is not black itself -> drops out of the recursion set.
+	tr.Decolor("c.example.com")
+	got = tr.ChildZones("example.com")
+	want = "a.example.com,b.example.com"
+	if strings.Join(got, ",") != want {
+		t.Errorf("ChildZones after decolor = %v, want %s", got, want)
+	}
+}
+
+func TestHasBlackDescendants(t *testing.T) {
+	tr := paperTree()
+	if !tr.HasBlackDescendants("example.com") {
+		t.Error("example.com should have black descendants")
+	}
+	if !tr.HasBlackDescendants("a.example.com") {
+		t.Error("a.example.com should have black descendants (2,3,i.1)")
+	}
+	if tr.HasBlackDescendants("c.example.com") {
+		t.Error("leaf c.example.com has no descendants")
+	}
+	if tr.HasBlackDescendants("absent.example.com") {
+		t.Error("absent zone should report false")
+	}
+}
+
+func TestEffective2LDs(t *testing.T) {
+	tr := New(nil)
+	tr.Insert("a.example.com")
+	tr.Insert("b.example.co.uk")
+	tr.Insert("x.y.host.no-ip.com")
+	got := tr.Effective2LDs()
+	want := []string{"example.co.uk", "example.com", "host.no-ip.com"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("Effective2LDs = %v, want %v", got, want)
+	}
+}
+
+func TestNamesUnder(t *testing.T) {
+	tr := paperTree()
+	got := tr.NamesUnder("a.example.com")
+	want := []string{"2.a.example.com", "3.a.example.com", "i.1.a.example.com"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("NamesUnder = %v, want %v", got, want)
+	}
+	if tr.NamesUnder("absent.zone.test") != nil {
+		t.Error("NamesUnder absent zone should be nil")
+	}
+}
+
+func TestGroupsUnderAbsentZone(t *testing.T) {
+	tr := paperTree()
+	if got := tr.GroupsUnder("not.present.test"); got != nil {
+		t.Errorf("GroupsUnder absent = %v", got)
+	}
+}
+
+func TestStringDump(t *testing.T) {
+	tr := New(nil)
+	tr.Insert("a.example.com")
+	dump := tr.String()
+	for _, want := range []string{"com", "example", "a *"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// Property: after inserting N distinct names under one zone, the union of
+// all groups' Names equals the inserted set, and every group's depth
+// exceeds the zone's.
+func TestGroupPartitionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%50) + 1
+		tr := New(nil)
+		inserted := make(map[string]struct{})
+		for i := 0; i < n; i++ {
+			depth := rng.Intn(3) + 1
+			labels := make([]string, depth)
+			for j := range labels {
+				labels[j] = labelgen.Token(rng, rng.Intn(6)+1)
+			}
+			name := strings.Join(labels, ".") + ".zone.test"
+			tr.Insert(name)
+			inserted[name] = struct{}{}
+		}
+		groups := tr.GroupsUnder("zone.test")
+		seen := make(map[string]struct{})
+		for _, g := range groups {
+			if g.Depth <= 2 {
+				return false
+			}
+			for _, name := range g.Names {
+				if _, dup := seen[name]; dup {
+					return false // groups must partition
+				}
+				seen[name] = struct{}{}
+				if _, ok := inserted[name]; !ok {
+					return false
+				}
+			}
+		}
+		return len(seen) == len(inserted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoloring every name empties all groups.
+func TestDecolorAllProperty(t *testing.T) {
+	tr := paperTree()
+	for _, n := range paperNames {
+		tr.Decolor(n)
+	}
+	if tr.BlackCount() != 0 {
+		t.Errorf("BlackCount = %d, want 0", tr.BlackCount())
+	}
+	if groups := tr.GroupsUnder("example.com"); len(groups) != 0 {
+		t.Errorf("groups = %v, want none", groups)
+	}
+	if tr.HasBlackDescendants("example.com") {
+		t.Error("no black descendants should remain")
+	}
+}

@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dnsnoise/internal/cache"
+	"dnsnoise/internal/core"
+	"dnsnoise/internal/features"
+	"dnsnoise/internal/pdns"
+	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/workload"
+)
+
+// --- Figure 15 + Section VI-C: passive DNS database growth ----------------
+
+// Fig15Result tracks the 13-day pDNS bootstrap and the wildcard mitigation.
+type Fig15Result struct {
+	Days []pdns.DayCounts
+	// Store composition after the window.
+	TotalRRs         int
+	DisposableRRs    int
+	DisposableFrac   float64 // paper: 88% after 13 days
+	FirstDayNewShare float64 // disposable share of day-1 new RRs (paper: 68%)
+	LastDayNewShare  float64 // disposable share of final-day new RRs (paper: 94%)
+	StorageBytes     uint64
+	// Wildcard collapse (Section VI-C), computed with the MINED zone set.
+	Collapse pdns.CollapseResult
+}
+
+// Fig15PDNSGrowth bootstraps a pDNS database over `days` December days,
+// then trains and runs the miner on the final day to drive the wildcard
+// collapse with mined (not ground-truth) zones.
+func Fig15PDNSGrowth(scale Scale, days int) (*Fig15Result, error) {
+	env, err := NewEnv(scale)
+	if err != nil {
+		return nil, err
+	}
+	store := pdns.NewStore()
+
+	var finalFindings []core.Finding
+	for d := 0; d < days; d++ {
+		p := workload.DecemberProfile(dateAt(d))
+		p.MeasurementBoost *= 1 + 0.35*float64(d)/float64(maxInt(days-1, 1))
+		collector, err := env.RunDay(p, store.Tap(), nil)
+		if err != nil {
+			return nil, err
+		}
+		if d == days-1 {
+			byName := collector.ByName()
+			tree := core.BuildTree(byName, env.Suffixes)
+			examples := core.BuildTrainingSet(tree, byName, env.Registry.TrainingLabels(401), core.TrainingConfig{})
+			clf, err := core.TrainClassifier(examples, core.TrainingConfig{})
+			if err != nil {
+				return nil, err
+			}
+			miner, err := core.NewMiner(clf, core.MinerConfig{Theta: 0.9})
+			if err != nil {
+				return nil, err
+			}
+			tree = core.BuildTree(byName, env.Suffixes)
+			finalFindings, err = miner.Mine(tree, byName)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res := &Fig15Result{
+		Days:          store.Days(),
+		TotalRRs:      store.Len(),
+		DisposableRRs: store.DisposableCount(),
+		StorageBytes:  store.StorageBytes(),
+	}
+	if res.TotalRRs > 0 {
+		res.DisposableFrac = float64(res.DisposableRRs) / float64(res.TotalRRs)
+	}
+	if len(res.Days) > 0 {
+		first, last := res.Days[0], res.Days[len(res.Days)-1]
+		res.FirstDayNewShare = frac(first.Disposable, first.New)
+		res.LastDayNewShare = frac(last.Disposable, last.New)
+	}
+	matcher := core.NewMatcher(finalFindings)
+	res.Collapse = store.CollapseWildcards(matcher.Match)
+	return res, nil
+}
+
+// Render prints the growth table and mitigation headline.
+func (r *Fig15Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 15 / Section VI-C — pDNS growth over %d days\n", len(r.Days))
+	header := []string{"day", "new RRs", "disposable", "share"}
+	var rows [][]string
+	for _, d := range r.Days {
+		rows = append(rows, []string{
+			d.Date.Format("01-02"), fmt.Sprintf("%d", d.New),
+			fmt.Sprintf("%d", d.Disposable), pct(frac(d.Disposable, d.New)),
+		})
+	}
+	sb.WriteString(renderTable(header, rows))
+	fmt.Fprintf(&sb, "store: %d RRs, %s disposable (paper: 88%%), %.1f MB\n",
+		r.TotalRRs, pct(r.DisposableFrac), float64(r.StorageBytes)/1e6)
+	fmt.Fprintf(&sb, "daily new-RR disposable share: %s -> %s (paper: 68%% -> 94%%)\n",
+		pct(r.FirstDayNewShare), pct(r.LastDayNewShare))
+	fmt.Fprintf(&sb, "wildcard collapse: %d -> %d records; %d disposable RRs fold into %d wildcards (%.2f%%, paper: 0.7%%)\n",
+		r.Collapse.Before, r.Collapse.After, r.Collapse.Collapsed,
+		r.Collapse.Wildcards, r.Collapse.DisposableRatio()*100)
+	return sb.String()
+}
+
+// --- Section VI-A: cache pressure from disposable domains -----------------
+
+// CachePoint is one operating point of the cache-pressure sweep.
+type CachePoint struct {
+	DisposableFrac     float64
+	HitRate            float64
+	PrematureEvictions uint64 // live non-disposable victims of disposable inserts
+	AboveQueries       uint64
+	// NonDispMissRate is the cache-miss rate of NON-disposable queries:
+	// the paper's degradation metric, isolated from volume shifts.
+	NonDispMissRate float64
+}
+
+// CachePressureResult is the Section VI-A sweep.
+type CachePressureResult struct {
+	CacheSize int
+	Points    []CachePoint
+}
+
+// CachePressure sweeps the disposable share of query volume with a
+// deliberately small cache and measures premature evictions of useful
+// entries and the resulting above-traffic inflation for non-disposable
+// names — the paper's "DNS service degradation" mechanism.
+func CachePressure(scale Scale, fracs []float64) (*CachePressureResult, error) {
+	if len(fracs) == 0 {
+		fracs = []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4}
+	}
+	cacheSize := scale.CacheSize / 16
+	if cacheSize < 256 {
+		cacheSize = 256
+	}
+	res := &CachePressureResult{CacheSize: cacheSize}
+	for _, f := range fracs {
+		s := scale
+		s.CacheSize = cacheSize
+		env, err := NewEnv(s)
+		if err != nil {
+			return nil, err
+		}
+		p := workload.DecemberProfile(dateAt(0))
+		p.DisposableFrac = f
+		if _, err := env.RunDay(p, nil, nil); err != nil {
+			return nil, err
+		}
+		st := env.Cluster.Stats()
+		var premature uint64
+		for _, cs := range env.Cluster.CacheStats() {
+			premature += cs.PrematureEvictions[cache.CategoryOther][cache.CategoryDisposable]
+		}
+		res.Points = append(res.Points, CachePoint{
+			DisposableFrac:     f,
+			HitRate:            frac64(st.CacheHits, st.Queries),
+			PrematureEvictions: premature,
+			AboveQueries:       st.UpstreamRTs,
+			NonDispMissRate: frac64(st.MissesByCategory[cache.CategoryOther],
+				st.QueriesByCategory[cache.CategoryOther]),
+		})
+	}
+	return res, nil
+}
+
+func frac64(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Render prints the sweep table.
+func (r *CachePressureResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Section VI-A — cache pressure sweep (per-server cache: %d entries)\n", r.CacheSize)
+	header := []string{"disposable%", "hit rate", "premature evictions", "above RTs", "non-disp miss rate"}
+	var rows [][]string
+	for _, pt := range r.Points {
+		rows = append(rows, []string{
+			pct(pt.DisposableFrac), pct(pt.HitRate),
+			fmt.Sprintf("%d", pt.PrematureEvictions),
+			fmt.Sprintf("%d", pt.AboveQueries),
+			pct(pt.NonDispMissRate),
+		})
+	}
+	sb.WriteString(renderTable(header, rows))
+	sb.WriteString("expected shape: premature evictions and the non-disposable miss rate grow with the disposable share\n")
+	return sb.String()
+}
+
+// --- Section VI-B: DNSSEC validation load ---------------------------------
+
+// DNSSECResult quantifies validation work caused by disposable traffic.
+type DNSSECResult struct {
+	Validations        uint64
+	ValidationErrs     uint64
+	DisposableQueries  uint64
+	DisposableMisses   uint64
+	ValidationsPerDisp float64 // paper's point: ~1 never-reused validation per disposable query
+	SignaturesSigned   uint64  // authoritative-side signing operations
+}
+
+// DNSSECLoad signs every disposable zone, enables the validating resolver,
+// and measures signature validations attributable to disposable queries.
+func DNSSECLoad(scale Scale) (*DNSSECResult, error) {
+	// Enumerate the disposable zone origins to sign. Registry construction
+	// is deterministic by seed, so this preview matches the registry NewEnv
+	// will rebuild.
+	preview := workload.NewRegistry(workload.RegistryConfig{
+		Seed:               scale.Seed,
+		NonDisposableZones: scale.NonDisposableZones,
+		DisposableZones:    scale.DisposableZones,
+		HostsPerZoneMax:    scale.HostsPerZoneMax,
+	})
+	signed := make(map[string]bool)
+	for _, z := range preview.Disposable {
+		signed[z.Zone] = true
+	}
+	env, err := NewEnv(scale,
+		WithSignedZones(signed),
+		WithResolverOptions(resolver.WithValidation(true)))
+	if err != nil {
+		return nil, err
+	}
+	p := workload.DecemberProfile(dateAt(0))
+	if _, err := env.RunDay(p, nil, nil); err != nil {
+		return nil, err
+	}
+	st := env.Cluster.Stats()
+	res := &DNSSECResult{
+		Validations:       st.Validations,
+		ValidationErrs:    st.ValidationErrs,
+		DisposableQueries: st.QueriesByCategory[cache.CategoryDisposable],
+		DisposableMisses:  st.MissesByCategory[cache.CategoryDisposable],
+		SignaturesSigned:  env.Authority.Stats().Signatures,
+	}
+	if res.DisposableMisses > 0 {
+		res.ValidationsPerDisp = float64(st.Validations) / float64(res.DisposableMisses)
+	}
+	return res, nil
+}
+
+// Render prints the validation load.
+func (r *DNSSECResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Section VI-B — DNSSEC validation load with signed disposable zones\n")
+	fmt.Fprintf(&sb, "  validations: %d (errors: %d), authoritative signings: %d\n",
+		r.Validations, r.ValidationErrs, r.SignaturesSigned)
+	fmt.Fprintf(&sb, "  disposable queries: %d, disposable cache misses: %d\n", r.DisposableQueries, r.DisposableMisses)
+	fmt.Fprintf(&sb, "  validations per disposable miss: %.2f (paper: ~1 never-reused validation per disposable query)\n",
+		r.ValidationsPerDisp)
+	return sb.String()
+}
+
+// --- Ablations -------------------------------------------------------------
+
+// AblationResult compares classifier quality across design choices.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// AblationRow is one ablation variant's cross-validated quality.
+type AblationRow struct {
+	Name string
+	AUC  float64
+	TPR  float64
+	FPR  float64
+}
+
+// FeatureAblation cross-validates the classifier with the full feature
+// vector, tree-structure features only, and CHR features only — the design
+// question of Section V-A2.
+func FeatureAblation(scale Scale) (*AblationResult, error) {
+	env, err := NewEnv(scale)
+	if err != nil {
+		return nil, err
+	}
+	collector, err := env.RunDay(workload.DecemberProfile(dateAt(0)), nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	byName := collector.ByName()
+	tree := core.BuildTree(byName, env.Suffixes)
+	labels := env.Registry.TrainingLabels(401)
+
+	variants := []struct {
+		name string
+		mask []int
+	}{
+		{name: "all-features", mask: nil},
+		{name: "tree-structure-only", mask: features.TreeStructureIdx},
+		{name: "cache-hit-rate-only", mask: features.CacheHitRateIdx},
+	}
+	res := &AblationResult{}
+	for i, v := range variants {
+		cfg := core.TrainingConfig{FeatureMask: v.mask}
+		examples := core.BuildTrainingSet(tree, byName, labels, cfg)
+		cv, err := core.EvaluateClassifier(examples, 10, cfg, rand.New(rand.NewSource(scale.Seed+300+int64(i))))
+		if err != nil {
+			return nil, fmt.Errorf("variant %s: %w", v.name, err)
+		}
+		c := cv.ConfusionAt(0.5)
+		res.Rows = append(res.Rows, AblationRow{Name: v.name, AUC: cv.AUC(), TPR: c.TPR(), FPR: c.FPR()})
+	}
+	return res, nil
+}
+
+// Render prints the ablation table.
+func (r *AblationResult) Render() string {
+	header := []string{"variant", "AUC", "TPR@0.5", "FPR@0.5"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Name, fmt.Sprintf("%.4f", row.AUC), pct(row.TPR), pct(row.FPR)})
+	}
+	return renderTable(header, rows)
+}
+
+// SharedCacheAblation compares the paper's per-server independent caches
+// against one shared cache of equal total capacity.
+func SharedCacheAblation(scale Scale) (*AblationResult, error) {
+	res := &AblationResult{}
+	variants := []struct {
+		name    string
+		servers int
+		size    int
+	}{
+		{name: "independent-caches", servers: scale.Servers, size: scale.CacheSize},
+		{name: "one-shared-cache", servers: 1, size: scale.CacheSize * scale.Servers},
+	}
+	for _, v := range variants {
+		s := scale
+		s.Servers = v.servers
+		s.CacheSize = v.size
+		env, err := NewEnv(s)
+		if err != nil {
+			return nil, err
+		}
+		collector, err := env.RunDay(workload.DecemberProfile(dateAt(0)), nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		st := env.Cluster.Stats()
+		_ = collector
+		res.Rows = append(res.Rows, AblationRow{
+			Name: v.name,
+			AUC:  frac64(st.CacheHits, st.Queries), // reported as hit rate
+		})
+	}
+	return res, nil
+}
+
+// RenderHitRates prints the shared-cache ablation (AUC column is hit rate).
+func (r *AblationResult) RenderHitRates() string {
+	header := []string{"variant", "cluster hit rate"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Name, pct(row.AUC)})
+	}
+	return renderTable(header, rows)
+}

@@ -1,0 +1,40 @@
+package features
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dnsnoise/internal/cache"
+	"dnsnoise/internal/chrstat"
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/dntree"
+	"dnsnoise/internal/labelgen"
+	"dnsnoise/internal/resolver"
+)
+
+func BenchmarkFromGroup(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	c := chrstat.NewCollector()
+	g := dntree.Group{Zone: "bench.test", Depth: 3}
+	for i := 0; i < 200; i++ {
+		label := labelgen.Token(rng, 20)
+		name := label + ".bench.test"
+		g.Names = append(g.Names, name)
+		g.Labels = append(g.Labels, label)
+		rr := dnsmsg.RR{Name: name, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 60,
+			RData: fmt.Sprintf("127.0.0.%d", i%255)}
+		ob := resolver.Observation{QName: name, RR: rr, RCode: dnsmsg.RCodeNoError, Category: cache.CategoryDisposable}
+		c.BelowTap().Observe(ob)
+		c.AboveTap().Observe(ob)
+	}
+	byName := c.ByName()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := FromGroup(g, byName)
+		if v.Cardinality == 0 {
+			b.Fatal("empty vector")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package labelgen generates domain-name labels. It reproduces the literal
+// name grammars of the paper's Figure 6 — eSoft system telemetry, McAfee
+// file-reputation hashes, Google's ipv6-exp measurement names — plus DNSBL
+// reversed-octet queries, tracking-beacon tokens, and plausible human-chosen
+// labels for non-disposable zones.
+//
+// Every generator draws from a caller-supplied *rand.Rand so traces are
+// reproducible from a seed.
+package labelgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+const (
+	base36     = "0123456789abcdefghijklmnopqrstuvwxyz"
+	base16     = "0123456789abcdef"
+	consonants = "bcdfghjklmnpqrstvwz"
+	vowels     = "aeiouy"
+)
+
+// Token returns an n-character lowercase base-36 token: the high-entropy
+// building block of most disposable names.
+func Token(rng *rand.Rand, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = base36[rng.Intn(len(base36))]
+	}
+	return string(b)
+}
+
+// HexToken returns an n-character lowercase hexadecimal token.
+func HexToken(rng *rand.Rand, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = base16[rng.Intn(len(base16))]
+	}
+	return string(b)
+}
+
+// HumanWord returns a pronounceable word of roughly n characters by
+// alternating consonants and vowels — a stand-in for the hand-picked labels
+// of non-disposable zones (www, mail, shop, static1, ...). Low entropy by
+// construction.
+func HumanWord(rng *rand.Rand, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.Grow(n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			sb.WriteByte(consonants[rng.Intn(len(consonants))])
+		} else {
+			sb.WriteByte(vowels[rng.Intn(len(vowels))])
+		}
+	}
+	return sb.String()
+}
+
+// ESoftName reproduces Figure 6(i): system telemetry smuggled into labels,
+// e.g. "load-0-p-01.up-1852280.mem-...-p-50.swap-...-p-44.3302068.1222092134".
+// It returns the labels left of the zone (deepest first), ready to be joined
+// with the zone suffix. The device and session IDs identify a pseudo-device
+// so repeated reports from one device share the trailing labels.
+func ESoftName(rng *rand.Rand, deviceID uint32) []string {
+	load := rng.Intn(100)
+	up := rng.Intn(2_000_000)
+	mem1, mem2 := rng.Intn(500_000_000), rng.Intn(600_000_000)
+	memp := rng.Intn(60)
+	swap1, swap2 := rng.Intn(300_000_000), rng.Intn(600_000_000)
+	swapp := rng.Intn(60)
+	session := rng.Uint32()
+	return []string{
+		fmt.Sprintf("load-0-p-%02d", load),
+		fmt.Sprintf("up-%d", up),
+		fmt.Sprintf("mem-%d-%d-0-p-%02d", mem1, mem2, memp),
+		fmt.Sprintf("swap-%d-%d-0-p-%02d", swap1, swap2, swapp),
+		fmt.Sprintf("%d", deviceID),
+		fmt.Sprintf("%d", session),
+	}
+}
+
+// McAfeeName reproduces Figure 6(ii): Global Threat Intelligence file
+// reputation queries, e.g. "0.0.0.0.1.0.0.4e.135jg5e1pd7s4735ftrqweufm5".
+// The per-file hash token makes each queried name effectively unique.
+func McAfeeName(rng *rand.Rand) []string {
+	return []string{
+		"0", "0", "0", "0", "1", "0", "0", "4e",
+		Token(rng, 26),
+	}
+}
+
+// GoogleIPv6Name reproduces Figure 6(iii): the ipv6-exp measurement names,
+// e.g. "p2.a22a43lt5rwfg.ihg5ki5i6q3cfn3n.191742.i1.ds". The i1/i2/s1 and
+// ds/v4 variants mirror the experiment's probe matrix.
+func GoogleIPv6Name(rng *rand.Rand) []string {
+	probes := []string{"i1", "i2", "s1"}
+	nets := []string{"ds", "v4"}
+	return []string{
+		fmt.Sprintf("p%d", rng.Intn(4)+1),
+		"a" + Token(rng, 12),
+		Token(rng, 16),
+		fmt.Sprintf("%d", rng.Intn(900_000)+100_000),
+		probes[rng.Intn(len(probes))],
+		nets[rng.Intn(len(nets))],
+	}
+}
+
+// DNSBLName generates a reversed-IPv4 blocklist query label set
+// ("4.3.2.1" for 1.2.3.4), the classic overloaded-DNS pattern the paper
+// groups with disposable traffic.
+func DNSBLName(rng *rand.Rand) []string {
+	return []string{
+		fmt.Sprintf("%d", rng.Intn(256)),
+		fmt.Sprintf("%d", rng.Intn(256)),
+		fmt.Sprintf("%d", rng.Intn(256)),
+		fmt.Sprintf("%d", rng.Intn(256)),
+	}
+}
+
+// TrackingName generates a cookie-tracking / ad-beacon style name: one wide
+// token plus a short shard label, e.g. "x7k2m9q4w1z8.b3".
+func TrackingName(rng *rand.Rand) []string {
+	return []string{
+		Token(rng, 12),
+		fmt.Sprintf("b%d", rng.Intn(8)),
+	}
+}
+
+// CDNShardName generates an Akamai-style content shard label pair, e.g.
+// "e1234.g". These names are automatically generated but REUSED across
+// clients: the paper found only 0.6% of disposable zones were CDNs, so the
+// generator deliberately produces a small recurring pool (controlled by
+// poolSize) rather than unbounded fresh names.
+func CDNShardName(rng *rand.Rand, poolSize int) []string {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	return []string{
+		fmt.Sprintf("e%d", rng.Intn(poolSize)),
+		string(rune('a' + rng.Intn(8))),
+	}
+}
+
+// HostName returns a typical non-disposable host label: drawn mostly from a
+// fixed popular set, occasionally a short human word with a numeric suffix.
+func HostName(rng *rand.Rand) string {
+	common := []string{
+		"www", "mail", "smtp", "imap", "pop", "ftp", "ns1", "ns2", "api",
+		"cdn", "static", "img", "news", "blog", "shop", "m", "login",
+		"search", "video", "music", "maps", "docs", "drive", "chat",
+	}
+	if rng.Float64() < 0.8 {
+		return common[rng.Intn(len(common))]
+	}
+	w := HumanWord(rng, rng.Intn(5)+3)
+	if rng.Float64() < 0.4 {
+		return fmt.Sprintf("%s%d", w, rng.Intn(10))
+	}
+	return w
+}
+
+// ZoneName returns a plausible registrable-domain left label for seeding
+// simulated zones ("vexora", "talbin3", ...).
+func ZoneName(rng *rand.Rand) string {
+	w := HumanWord(rng, rng.Intn(6)+4)
+	if rng.Float64() < 0.2 {
+		return fmt.Sprintf("%s%d", w, rng.Intn(100))
+	}
+	return w
+}

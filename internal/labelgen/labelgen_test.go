@@ -1,0 +1,254 @@
+package labelgen
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dnsnoise/internal/dnsname"
+	"dnsnoise/internal/stats"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestTokenAlphabetAndLength(t *testing.T) {
+	r := rng(1)
+	for _, n := range []int{1, 5, 26, 63} {
+		tok := Token(r, n)
+		if len(tok) != n {
+			t.Errorf("Token(%d) len = %d", n, len(tok))
+		}
+		for _, c := range tok {
+			if !strings.ContainsRune(base36, c) {
+				t.Errorf("Token produced %q outside base36", c)
+			}
+		}
+	}
+	if Token(r, 0) != "" || Token(r, -3) != "" {
+		t.Error("Token with n<=0 should be empty")
+	}
+}
+
+func TestHexTokenAlphabet(t *testing.T) {
+	tok := HexToken(rng(2), 32)
+	if len(tok) != 32 {
+		t.Fatalf("len = %d", len(tok))
+	}
+	if !regexp.MustCompile(`^[0-9a-f]+$`).MatchString(tok) {
+		t.Errorf("HexToken = %q, not hex", tok)
+	}
+}
+
+func TestHumanWordShape(t *testing.T) {
+	w := HumanWord(rng(3), 6)
+	if len(w) != 6 {
+		t.Fatalf("len = %d", len(w))
+	}
+	for i, c := range w {
+		if i%2 == 0 && !strings.ContainsRune(consonants, c) {
+			t.Errorf("pos %d: %q not a consonant", i, c)
+		}
+		if i%2 == 1 && !strings.ContainsRune(vowels, c) {
+			t.Errorf("pos %d: %q not a vowel", i, c)
+		}
+	}
+	if HumanWord(rng(3), 0) != "" {
+		t.Error("HumanWord(0) should be empty")
+	}
+}
+
+func TestESoftNameGrammar(t *testing.T) {
+	labels := ESoftName(rng(4), 3302068)
+	if len(labels) != 6 {
+		t.Fatalf("labels = %v", labels)
+	}
+	if !regexp.MustCompile(`^load-0-p-\d{2}$`).MatchString(labels[0]) {
+		t.Errorf("load label = %q", labels[0])
+	}
+	if !regexp.MustCompile(`^up-\d+$`).MatchString(labels[1]) {
+		t.Errorf("up label = %q", labels[1])
+	}
+	if !regexp.MustCompile(`^mem-\d+-\d+-0-p-\d{2}$`).MatchString(labels[2]) {
+		t.Errorf("mem label = %q", labels[2])
+	}
+	if !regexp.MustCompile(`^swap-\d+-\d+-0-p-\d{2}$`).MatchString(labels[3]) {
+		t.Errorf("swap label = %q", labels[3])
+	}
+	if labels[4] != "3302068" {
+		t.Errorf("device label = %q, want 3302068", labels[4])
+	}
+	full := strings.Join(labels, ".") + ".device.trans.manage.esoft.com"
+	if err := dnsname.Validate(full); err != nil {
+		t.Errorf("generated name invalid: %v", err)
+	}
+}
+
+func TestMcAfeeNameGrammar(t *testing.T) {
+	labels := McAfeeName(rng(5))
+	if len(labels) != 9 {
+		t.Fatalf("labels = %v", labels)
+	}
+	want := []string{"0", "0", "0", "0", "1", "0", "0", "4e"}
+	for i, w := range want {
+		if labels[i] != w {
+			t.Errorf("label %d = %q, want %q", i, labels[i], w)
+		}
+	}
+	if len(labels[8]) != 26 {
+		t.Errorf("hash token len = %d, want 26", len(labels[8]))
+	}
+	// Like the paper's example, full names under avqs.mcafee.com carry 11
+	// periods.
+	full := strings.Join(labels, ".") + ".avqs.mcafee.com"
+	if strings.Count(full, ".") != 11 {
+		t.Errorf("periods = %d, want 11 (%s)", strings.Count(full, "."), full)
+	}
+}
+
+func TestGoogleIPv6NameGrammar(t *testing.T) {
+	labels := GoogleIPv6Name(rng(6))
+	if len(labels) != 6 {
+		t.Fatalf("labels = %v", labels)
+	}
+	if !regexp.MustCompile(`^p[1-4]$`).MatchString(labels[0]) {
+		t.Errorf("probe label = %q", labels[0])
+	}
+	if !strings.HasPrefix(labels[1], "a") || len(labels[1]) != 13 {
+		t.Errorf("token label = %q", labels[1])
+	}
+	if labels[4] != "i1" && labels[4] != "i2" && labels[4] != "s1" {
+		t.Errorf("probe id = %q", labels[4])
+	}
+	if labels[5] != "ds" && labels[5] != "v4" {
+		t.Errorf("net label = %q", labels[5])
+	}
+}
+
+func TestDNSBLNameIsReversedOctets(t *testing.T) {
+	labels := DNSBLName(rng(7))
+	if len(labels) != 4 {
+		t.Fatalf("labels = %v", labels)
+	}
+	for _, l := range labels {
+		var v int
+		if _, err := sscanInt(l, &v); err != nil || v < 0 || v > 255 {
+			t.Errorf("octet %q out of range", l)
+		}
+	}
+}
+
+func sscanInt(s string, v *int) (int, error) {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, errNotDigit
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+var errNotDigit = regexpError("not a digit")
+
+type regexpError string
+
+func (e regexpError) Error() string { return string(e) }
+
+func TestTrackingName(t *testing.T) {
+	labels := TrackingName(rng(8))
+	if len(labels) != 2 || len(labels[0]) != 12 {
+		t.Errorf("labels = %v", labels)
+	}
+	if !strings.HasPrefix(labels[1], "b") {
+		t.Errorf("shard = %q", labels[1])
+	}
+}
+
+func TestCDNShardPoolIsBounded(t *testing.T) {
+	r := rng(9)
+	seen := make(map[string]bool)
+	for i := 0; i < 2000; i++ {
+		labels := CDNShardName(r, 50)
+		seen[strings.Join(labels, ".")] = true
+	}
+	// 50 shard numbers x 8 letters = at most 400 distinct names.
+	if len(seen) > 400 {
+		t.Errorf("CDN pool produced %d distinct names, want <= 400", len(seen))
+	}
+	if got := CDNShardName(r, 0); len(got) != 2 {
+		t.Errorf("poolSize floor failed: %v", got)
+	}
+}
+
+func TestHostNameMostlyCommon(t *testing.T) {
+	r := rng(10)
+	common := 0
+	for i := 0; i < 1000; i++ {
+		h := HostName(r)
+		if h == "www" || h == "mail" || h == "api" || h == "cdn" || h == "static" {
+			common++
+		}
+		if err := dnsname.Validate(h + ".example.com"); err != nil {
+			t.Fatalf("HostName produced invalid label %q: %v", h, err)
+		}
+	}
+	if common == 0 {
+		t.Error("HostName never produced a common label in 1000 draws")
+	}
+}
+
+// The load-bearing statistical property: algorithmic tokens must have
+// clearly higher Shannon entropy than human-ish labels, because the miner's
+// tree-structure features depend on that separation.
+func TestEntropySeparation(t *testing.T) {
+	r := rng(11)
+	var algo, human []float64
+	for i := 0; i < 300; i++ {
+		algo = append(algo, stats.ShannonEntropy(Token(r, 16)))
+		human = append(human, stats.ShannonEntropy(HumanWord(r, 8)))
+	}
+	if am, hm := stats.Mean(algo), stats.Mean(human); am <= hm+0.5 {
+		t.Errorf("entropy separation too small: algo %.2f vs human %.2f", am, hm)
+	}
+}
+
+// Property: all generators produce valid DNS labels for any seed.
+func TestGeneratorsProduceValidLabels(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng(seed)
+		sets := [][]string{
+			ESoftName(r, r.Uint32()),
+			McAfeeName(r),
+			GoogleIPv6Name(r),
+			DNSBLName(r),
+			TrackingName(r),
+			CDNShardName(r, 100),
+		}
+		for _, labels := range sets {
+			for _, l := range labels {
+				if len(l) == 0 || len(l) > 63 {
+					return false
+				}
+				if strings.Contains(l, ".") {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Determinism: the same seed yields the same names.
+func TestDeterminism(t *testing.T) {
+	a := ESoftName(rng(42), 7)
+	b := ESoftName(rng(42), 7)
+	if strings.Join(a, ".") != strings.Join(b, ".") {
+		t.Errorf("same seed produced different names: %v vs %v", a, b)
+	}
+}

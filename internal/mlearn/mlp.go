@@ -1,0 +1,136 @@
+package mlearn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a single-hidden-layer feed-forward neural network trained with
+// mini-batch gradient descent on standardized features — the "Neural
+// Networks" candidate of the paper's model-selection experiment
+// (Section V-C).
+type MLP struct {
+	// Hidden is the hidden layer width (default 16).
+	Hidden int
+	// LR is the learning rate (default 0.1).
+	LR float64
+	// Epochs is the number of full passes (default 300).
+	Epochs int
+	// Seed controls weight initialization (default 1).
+	Seed int64
+
+	w1     [][]float64 // hidden x (dim+1), last column is bias
+	w2     []float64   // hidden+1, last entry is bias
+	scaler scaler
+	fitted bool
+}
+
+var _ Classifier = (*MLP)(nil)
+
+func (m *MLP) setDefaults() {
+	if m.Hidden == 0 {
+		m.Hidden = 16
+	}
+	if m.LR == 0 {
+		m.LR = 0.1
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 300
+	}
+	if m.Seed == 0 {
+		m.Seed = 1
+	}
+}
+
+// Fit trains the network with the logistic loss.
+func (m *MLP) Fit(x [][]float64, y []bool) error {
+	dim, err := checkTrainingSet(x, y)
+	if err != nil {
+		return err
+	}
+	m.setDefaults()
+	m.scaler = fitScaler(x, dim)
+	xs := make([][]float64, len(x))
+	for i, row := range x {
+		xs[i] = m.scaler.transform(row)
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.w1 = make([][]float64, m.Hidden)
+	limit := math.Sqrt(6 / float64(dim+m.Hidden))
+	for h := range m.w1 {
+		m.w1[h] = make([]float64, dim+1)
+		for j := range m.w1[h] {
+			m.w1[h][j] = (rng.Float64()*2 - 1) * limit
+		}
+	}
+	m.w2 = make([]float64, m.Hidden+1)
+	for j := range m.w2 {
+		m.w2[j] = (rng.Float64()*2 - 1) * limit
+	}
+
+	hidden := make([]float64, m.Hidden)
+	gradW2 := make([]float64, m.Hidden+1)
+	n := float64(len(xs))
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for i, row := range xs {
+			// Forward.
+			for h := 0; h < m.Hidden; h++ {
+				z := m.w1[h][dim] // bias
+				for j, v := range row {
+					z += m.w1[h][j] * v
+				}
+				hidden[h] = math.Tanh(z)
+			}
+			z2 := m.w2[m.Hidden]
+			for h, v := range hidden {
+				z2 += m.w2[h] * v
+			}
+			p := sigmoid(z2)
+			target := 0.0
+			if y[i] {
+				target = 1
+			}
+			// Backward (per-sample SGD keeps the implementation small; the
+			// learning rate is scaled by 1/n per epoch equivalence).
+			diff := (p - target) * m.LR / math.Sqrt(n)
+			for h, v := range hidden {
+				gradW2[h] = diff * v
+			}
+			gradW2[m.Hidden] = diff
+			for h := 0; h < m.Hidden; h++ {
+				// dL/dhidden_h before activation.
+				dh := diff * m.w2[h] * (1 - hidden[h]*hidden[h])
+				for j, v := range row {
+					m.w1[h][j] -= dh * v
+				}
+				m.w1[h][dim] -= dh
+			}
+			for h := range m.w2 {
+				m.w2[h] -= gradW2[h]
+			}
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// PredictProb runs the forward pass.
+func (m *MLP) PredictProb(sample []float64) (float64, error) {
+	if !m.fitted {
+		return 0, ErrNotFitted
+	}
+	dim := len(m.w1[0]) - 1
+	if len(sample) != dim {
+		return 0, ErrDimMismatch
+	}
+	row := m.scaler.transform(sample)
+	z2 := m.w2[m.Hidden]
+	for h := 0; h < m.Hidden; h++ {
+		z := m.w1[h][dim]
+		for j, v := range row {
+			z += m.w1[h][j] * v
+		}
+		z2 += m.w2[h] * math.Tanh(z)
+	}
+	return sigmoid(z2), nil
+}

@@ -1,0 +1,164 @@
+package pdns
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/cache"
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/resolver"
+)
+
+var day1 = time.Date(2011, 11, 28, 10, 0, 0, 0, time.UTC)
+
+func rrA(name, ip string) dnsmsg.RR {
+	return dnsmsg.RR{Name: name, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 300, RData: ip}
+}
+
+func TestInsertDeduplicates(t *testing.T) {
+	s := NewStore()
+	rr := rrA("www.example.com", "192.0.2.1")
+	s.Insert(rr, cache.CategoryOther, day1)
+	s.Insert(rr, cache.CategoryOther, day1.Add(time.Hour))
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	// Different rdata is a different record.
+	s.Insert(rrA("www.example.com", "192.0.2.2"), cache.CategoryOther, day1)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	// TTL is not part of the identity.
+	rr2 := rr
+	rr2.TTL = 60
+	s.Insert(rr2, cache.CategoryOther, day1)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (TTL excluded from key)", s.Len())
+	}
+}
+
+func TestFirstSeenWins(t *testing.T) {
+	s := NewStore()
+	rr := rrA("www.example.com", "192.0.2.1")
+	s.Insert(rr, cache.CategoryOther, day1)
+	s.Insert(rr, cache.CategoryOther, day1.AddDate(0, 0, 3))
+	recs := s.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if !recs[0].FirstSeen.Equal(day1) {
+		t.Errorf("FirstSeen = %v, want %v", recs[0].FirstSeen, day1)
+	}
+}
+
+func TestDayCounts(t *testing.T) {
+	s := NewStore()
+	s.AddSeries("google", func(r *Record) bool {
+		return strings.HasSuffix(r.Name, ".google.com")
+	})
+	s.Insert(rrA("www.google.com", "192.0.2.1"), cache.CategoryOther, day1)
+	s.Insert(rrA("x.other.com", "192.0.2.2"), cache.CategoryOther, day1)
+	s.Insert(rrA("tok1.d.test", "127.0.0.1"), cache.CategoryDisposable, day1)
+	day2 := day1.AddDate(0, 0, 1)
+	s.Insert(rrA("tok2.d.test", "127.0.0.2"), cache.CategoryDisposable, day2)
+	// Duplicate on day 2 of a day-1 record must not count as new.
+	s.Insert(rrA("www.google.com", "192.0.2.1"), cache.CategoryOther, day2)
+
+	days := s.Days()
+	if len(days) != 2 {
+		t.Fatalf("days = %d, want 2", len(days))
+	}
+	if days[0].New != 3 || days[0].Disposable != 1 {
+		t.Errorf("day1 = %+v", days[0])
+	}
+	if days[1].New != 1 || days[1].Disposable != 1 {
+		t.Errorf("day2 = %+v", days[1])
+	}
+	if days[0].PerSeries[0] != 1 || days[1].PerSeries[0] != 0 {
+		t.Errorf("google series = %d, %d", days[0].PerSeries[0], days[1].PerSeries[0])
+	}
+	if got := s.SeriesNames(); len(got) != 1 || got[0] != "google" {
+		t.Errorf("SeriesNames = %v", got)
+	}
+}
+
+func TestTapFiltersFailures(t *testing.T) {
+	s := NewStore()
+	tap := s.Tap()
+	tap.Observe(resolver.Observation{Time: day1, QName: "x.test", RCode: dnsmsg.RCodeNXDomain})
+	tap.Observe(resolver.Observation{Time: day1, QName: "y.test", RR: rrA("y.test", "192.0.2.1"), RCode: dnsmsg.RCodeNoError})
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (NXDOMAIN excluded)", s.Len())
+	}
+}
+
+func TestDisposableCountAndStorage(t *testing.T) {
+	s := NewStore()
+	s.Insert(rrA("a.d.test", "127.0.0.1"), cache.CategoryDisposable, day1)
+	s.Insert(rrA("www.ok.test", "192.0.2.1"), cache.CategoryOther, day1)
+	if got := s.DisposableCount(); got != 1 {
+		t.Errorf("DisposableCount = %d, want 1", got)
+	}
+	want := uint64(len("a.d.test")+len("127.0.0.1")+24) + uint64(len("www.ok.test")+len("192.0.2.1")+24)
+	if got := s.StorageBytes(); got != want {
+		t.Errorf("StorageBytes = %d, want %d", got, want)
+	}
+}
+
+func TestCollapseWildcards(t *testing.T) {
+	s := NewStore()
+	// 1000 disposable records under one zone, 10 ordinary records.
+	for i := 0; i < 1000; i++ {
+		s.Insert(rrA(fmt.Sprintf("tok%d.dns.xx.fbcdn.test", i), "192.0.2.7"), cache.CategoryDisposable, day1)
+	}
+	for i := 0; i < 10; i++ {
+		s.Insert(rrA(fmt.Sprintf("h%d.ok.test", i), "192.0.2.1"), cache.CategoryOther, day1)
+	}
+	zoneOf := func(name string) (string, bool) {
+		if strings.HasSuffix(name, ".dns.xx.fbcdn.test") {
+			return "dns.xx.fbcdn.test", true
+		}
+		return "", false
+	}
+	res := s.CollapseWildcards(zoneOf)
+	if res.Before != 1010 {
+		t.Errorf("Before = %d", res.Before)
+	}
+	if res.After != 11 {
+		t.Errorf("After = %d, want 11 (10 kept + 1 wildcard)", res.After)
+	}
+	if res.Collapsed != 1000 || res.Wildcards != 1 {
+		t.Errorf("Collapsed = %d Wildcards = %d", res.Collapsed, res.Wildcards)
+	}
+	if got := res.Ratio(); got < 0.0105 || got > 0.0115 {
+		t.Errorf("Ratio = %v, want ~0.011", got)
+	}
+	if res.BytesAfter >= s.StorageBytes() {
+		t.Errorf("BytesAfter = %d should be far below %d", res.BytesAfter, s.StorageBytes())
+	}
+	// The store itself is untouched by the simulation of the mitigation.
+	if s.Len() != 1010 {
+		t.Errorf("store mutated: Len = %d", s.Len())
+	}
+}
+
+func TestCollapseEmptyStore(t *testing.T) {
+	s := NewStore()
+	res := s.CollapseWildcards(func(string) (string, bool) { return "", false })
+	if res.Before != 0 || res.After != 0 || res.Ratio() != 0 {
+		t.Errorf("empty collapse = %+v", res)
+	}
+}
+
+func TestDisposableRatio(t *testing.T) {
+	r := CollapseResult{Collapsed: 1000, Wildcards: 7}
+	if got := r.DisposableRatio(); got != 0.007 {
+		t.Errorf("DisposableRatio = %v, want 0.007", got)
+	}
+	var zero CollapseResult
+	if zero.DisposableRatio() != 0 {
+		t.Error("zero collapse DisposableRatio should be 0")
+	}
+}

@@ -1,0 +1,59 @@
+package resolver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/authority"
+	"dnsnoise/internal/dnsmsg"
+)
+
+func benchCluster(b *testing.B) *Cluster {
+	b.Helper()
+	up := authority.NewServer()
+	z, err := authority.NewZone("bench.test", authority.WithSynth(
+		func(name string, qtype dnsmsg.Type) ([]dnsmsg.RR, bool) {
+			return []dnsmsg.RR{{Name: name, Type: qtype, Class: dnsmsg.ClassIN, TTL: 300, RData: "198.18.0.1"}}, true
+		}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := up.AddZone(z); err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCluster(up, WithServers(2), WithCacheSize(1<<14))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkResolveCacheHit(b *testing.B) {
+	c := benchCluster(b)
+	t0 := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+	q := Query{Time: t0, ClientID: 1, Name: "hot.bench.test", Type: dnsmsg.TypeA}
+	if _, err := c.Resolve(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Resolve(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolveCacheMiss(b *testing.B) {
+	c := benchCluster(b)
+	t0 := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := Query{Time: t0, ClientID: 1, Name: fmt.Sprintf("tok%d.bench.test", i), Type: dnsmsg.TypeA}
+		if _, err := c.Resolve(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

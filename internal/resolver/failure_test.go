@@ -1,0 +1,120 @@
+package resolver
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/authority"
+	"dnsnoise/internal/dnsmsg"
+)
+
+// flakyUpstream decorates an authority with injected transport failures.
+type flakyUpstream struct {
+	inner    *authority.Server
+	rng      *rand.Rand
+	failProb float64
+	failures int
+	calls    int
+}
+
+var errInjected = errors.New("injected transport failure")
+
+func (f *flakyUpstream) HandleWire(query []byte) ([]byte, error) {
+	f.calls++
+	if f.rng.Float64() < f.failProb {
+		f.failures++
+		return nil, errInjected
+	}
+	return f.inner.HandleWire(query)
+}
+
+func flakyCluster(t *testing.T, failProb float64, opts ...Option) (*Cluster, *flakyUpstream) {
+	t.Helper()
+	flaky := &flakyUpstream{
+		inner:    testUpstream(t),
+		rng:      rand.New(rand.NewSource(44)),
+		failProb: failProb,
+	}
+	c, err := NewCluster(flaky, append([]Option{WithServers(1)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, flaky
+}
+
+func TestRetryRecoversFromTransientFailure(t *testing.T) {
+	// 40% failure probability with 3 retries: the vast majority of queries
+	// must still resolve, and none may surface a transport error.
+	c, flaky := flakyCluster(t, 0.4, WithUpstreamRetries(3))
+	servfails := 0
+	for i := 0; i < 200; i++ {
+		at := t0.Add(time.Duration(i) * 400 * time.Second) // defeat caching
+		r, err := c.Resolve(Query{Time: at, ClientID: 1, Name: "www.example.com", Type: dnsmsg.TypeA})
+		if err != nil {
+			t.Fatalf("Resolve surfaced transport error: %v", err)
+		}
+		if r.RCode == dnsmsg.RCodeServFail {
+			servfails++
+		}
+	}
+	if flaky.failures == 0 {
+		t.Fatal("fault injection never fired")
+	}
+	// P(4 consecutive failures) = 0.4^4 = 2.6%; allow generous slack.
+	if servfails > 20 {
+		t.Errorf("servfails = %d of 200, retries should absorb most failures", servfails)
+	}
+	if c.Stats().ServFails != uint64(servfails) {
+		t.Errorf("ServFails stat = %d, want %d", c.Stats().ServFails, servfails)
+	}
+}
+
+func TestTotalOutageDegradesToServFail(t *testing.T) {
+	c, _ := flakyCluster(t, 1.0, WithUpstreamRetries(2))
+	r, err := c.Resolve(Query{Time: t0, ClientID: 1, Name: "www.example.com", Type: dnsmsg.TypeA})
+	if err != nil {
+		t.Fatalf("outage must degrade, not error: %v", err)
+	}
+	if r.RCode != dnsmsg.RCodeServFail {
+		t.Errorf("RCode = %v, want SERVFAIL", r.RCode)
+	}
+	st := c.Stats()
+	if st.UpstreamErrors == 0 {
+		t.Error("UpstreamErrors not counted")
+	}
+	// 1 initial + 2 retries.
+	if st.UpstreamRTs != 3 {
+		t.Errorf("UpstreamRTs = %d, want 3 (retries)", st.UpstreamRTs)
+	}
+}
+
+func TestServFailIsNotCached(t *testing.T) {
+	c, flaky := flakyCluster(t, 1.0, WithUpstreamRetries(0))
+	if _, err := c.Resolve(Query{Time: t0, ClientID: 1, Name: "www.example.com", Type: dnsmsg.TypeA}); err != nil {
+		t.Fatal(err)
+	}
+	// Upstream heals; the next query must reach it rather than replay a
+	// cached failure.
+	flaky.failProb = 0
+	r, err := c.Resolve(Query{Time: t0.Add(time.Second), ClientID: 1, Name: "www.example.com", Type: dnsmsg.TypeA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RCode != dnsmsg.RCodeNoError || len(r.Answers) != 1 {
+		t.Errorf("post-outage resolve = %+v, want success", r)
+	}
+}
+
+func TestServFailTapsObserveFailure(t *testing.T) {
+	c, _ := flakyCluster(t, 1.0, WithUpstreamRetries(0))
+	var below []Observation
+	c.SetTaps(TapFunc(func(ob Observation) { below = append(below, ob) }), nil)
+	if _, err := c.Resolve(Query{Time: t0, ClientID: 1, Name: "www.example.com", Type: dnsmsg.TypeA}); err != nil {
+		t.Fatal(err)
+	}
+	if len(below) != 1 || below[0].RCode != dnsmsg.RCodeServFail {
+		t.Errorf("below observations = %+v, want one SERVFAIL", below)
+	}
+}

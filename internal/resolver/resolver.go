@@ -1,0 +1,592 @@
+// Package resolver simulates a recursive DNS (RDNS) server cluster of the
+// kind the paper measured at a large ISP: several servers, each with an
+// independent fixed-size LRU cache, serving a shared client population and
+// recursing to authoritative servers on cache misses.
+//
+// The cluster exposes the two observation points the paper's datasets are
+// built from:
+//
+//   - "below" — answers sent from the RDNS servers to clients, and
+//   - "above" — answers received by the RDNS servers from authorities.
+//
+// Both taps see the answer section of each response, one observation per
+// resource record, exactly like the fpDNS collection described in
+// Section III-A.
+package resolver
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"time"
+
+	"dnsnoise/internal/authority"
+	"dnsnoise/internal/cache"
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/dnsname"
+)
+
+// Errors reported by the cluster.
+var (
+	ErrNoUpstream = errors.New("resolver: no upstream authority configured")
+	ErrChainLoop  = errors.New("resolver: CNAME chain too long")
+)
+
+// maxChainDepth bounds CNAME chain following.
+const maxChainDepth = 8
+
+// Query is one client resolution request. Category carries the workload's
+// ground-truth label; it is used only for cache-pressure accounting and is
+// invisible to the mining pipeline.
+type Query struct {
+	Time     time.Time
+	ClientID uint32
+	Name     string
+	Type     dnsmsg.Type
+	Category cache.Category
+}
+
+// Observation is one tapped answer record. QName is the name whose
+// resolution produced the record (the client's question below, the hop's
+// question above). For negative responses (NXDOMAIN), RR is the zero value
+// and RCode identifies the outcome.
+type Observation struct {
+	Time     time.Time
+	ClientID uint32
+	Server   int // index of the RDNS server that produced/received it
+	QName    string
+	RR       dnsmsg.RR
+	RCode    dnsmsg.RCode
+	Category cache.Category
+}
+
+// MultiTap fans observations out to every non-nil tap.
+func MultiTap(taps ...Tap) Tap {
+	kept := make([]Tap, 0, len(taps))
+	for _, t := range taps {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	return TapFunc(func(ob Observation) {
+		for _, t := range kept {
+			t.Observe(ob)
+		}
+	})
+}
+
+// Tap consumes observations from one side of the cluster.
+type Tap interface {
+	Observe(ob Observation)
+}
+
+// TapFunc adapts a function to the Tap interface.
+type TapFunc func(Observation)
+
+// Observe calls f(ob).
+func (f TapFunc) Observe(ob Observation) { f(ob) }
+
+var _ Tap = TapFunc(nil)
+
+// Response summarizes the answer returned to the client.
+type Response struct {
+	RCode     dnsmsg.RCode
+	Answers   []dnsmsg.RR
+	FromCache bool
+}
+
+// Affinity selects how clients map to cluster servers.
+type Affinity int
+
+// Affinity modes. AffinityHash pins each client to one server (typical ISP
+// load-balancer behaviour); AffinityRoundRobin sprays queries across all
+// servers, which degrades per-server cache locality.
+const (
+	AffinityHash Affinity = iota + 1
+	AffinityRoundRobin
+)
+
+// Stats aggregates cluster-wide counters.
+type Stats struct {
+	Queries        uint64
+	CacheHits      uint64
+	CacheMisses    uint64
+	UpstreamRTs    uint64 // round trips to the authority (incl. chain + DNSKEY)
+	NXDomains      uint64
+	NegCacheHits   uint64
+	Validations    uint64 // DNSSEC signature verifications performed
+	ValidationErrs uint64
+	WireBytesUp    uint64 // bytes exchanged with the authority
+	UpstreamErrors uint64 // failed exchanges (after retries)
+	ServFails      uint64 // SERVFAIL responses returned to clients
+	// Per-category splits, indexed by cache.Category.
+	QueriesByCategory [2]uint64
+	MissesByCategory  [2]uint64
+}
+
+// Upstream is the authoritative side the cluster recurses to: anything
+// that answers a wire-format DNS query with a wire-format response. The
+// in-process authority.Server satisfies it directly; udptransport.Client
+// satisfies it over a real UDP socket.
+type Upstream interface {
+	HandleWire(query []byte) ([]byte, error)
+}
+
+// Cluster is a set of simulated recursive DNS servers.
+type Cluster struct {
+	servers  []*server
+	upstream Upstream
+	opts     options
+	below    Tap
+	above    Tap
+	stats    Stats
+	rrIndex  uint64 // round-robin cursor
+	keys     map[string]ed25519.PublicKey
+}
+
+type server struct {
+	cache    *cache.LRU
+	negCache *cache.LRU
+}
+
+type options struct {
+	numServers    int
+	cacheSize     int
+	negCache      bool
+	validate      bool
+	affinity      Affinity
+	minTTL        time.Duration
+	maxTTL        time.Duration
+	deprioritizer func(name string) bool
+	retries       int
+}
+
+// Option configures a Cluster.
+type Option interface {
+	apply(*options)
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+// WithServers sets the number of RDNS servers in the cluster (default 4).
+func WithServers(n int) Option {
+	return optionFunc(func(o *options) {
+		if n > 0 {
+			o.numServers = n
+		}
+	})
+}
+
+// WithCacheSize sets each server's cache capacity in entries (default 1<<16).
+func WithCacheSize(n int) Option {
+	return optionFunc(func(o *options) {
+		if n > 0 {
+			o.cacheSize = n
+		}
+	})
+}
+
+// WithNegativeCache enables RFC 2308 negative caching. The paper observed
+// the monitored resolvers NOT honoring it (hence 40% NXDOMAIN traffic above),
+// so the default is off.
+func WithNegativeCache(enabled bool) Option {
+	return optionFunc(func(o *options) { o.negCache = enabled })
+}
+
+// WithValidation enables DNSSEC validation of signed answers (Section VI-B).
+func WithValidation(enabled bool) Option {
+	return optionFunc(func(o *options) { o.validate = enabled })
+}
+
+// WithAffinity selects the client-to-server mapping (default AffinityHash).
+func WithAffinity(a Affinity) Option {
+	return optionFunc(func(o *options) {
+		if a == AffinityHash || a == AffinityRoundRobin {
+			o.affinity = a
+		}
+	})
+}
+
+// WithMinTTL floors cached TTLs: some resolver implementations hold records
+// for a minimum period even when the authority says 0 (RFC 1536/1912
+// discussion in Section VI-A). Default 0 (honor the authority).
+func WithMinTTL(d time.Duration) Option {
+	return optionFunc(func(o *options) {
+		if d >= 0 {
+			o.minTTL = d
+		}
+	})
+}
+
+// WithUpstreamRetries sets how many times a failed upstream exchange is
+// retried before the query is answered SERVFAIL (default 1). Transport
+// errors (timeouts, socket failures) trigger retries; well-formed negative
+// responses do not.
+func WithUpstreamRetries(n int) Option {
+	return optionFunc(func(o *options) {
+		if n >= 0 {
+			o.retries = n
+		}
+	})
+}
+
+// WithDeprioritizer installs the Section VI-A caching mitigation: answers
+// whose query name matches pred are cached at the lowest priority (next
+// eviction victim), so one-time disposable entries stop displacing useful
+// records. The predicate typically wraps a mined zone matcher.
+func WithDeprioritizer(pred func(name string) bool) Option {
+	return optionFunc(func(o *options) { o.deprioritizer = pred })
+}
+
+// WithMaxTTL caps cached TTLs (default 24h).
+func WithMaxTTL(d time.Duration) Option {
+	return optionFunc(func(o *options) {
+		if d > 0 {
+			o.maxTTL = d
+		}
+	})
+}
+
+// NewCluster builds a cluster recursing to upstream.
+func NewCluster(upstream Upstream, opts ...Option) (*Cluster, error) {
+	if upstream == nil || upstream == (*authority.Server)(nil) {
+		return nil, ErrNoUpstream
+	}
+	o := options{
+		numServers: 4,
+		cacheSize:  1 << 16,
+		affinity:   AffinityHash,
+		maxTTL:     24 * time.Hour,
+		retries:    1,
+	}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	c := &Cluster{
+		upstream: upstream,
+		opts:     o,
+		keys:     make(map[string]ed25519.PublicKey),
+	}
+	for i := 0; i < o.numServers; i++ {
+		c.servers = append(c.servers, &server{
+			cache:    cache.NewLRU(o.cacheSize),
+			negCache: cache.NewLRU(o.cacheSize / 4),
+		})
+	}
+	return c, nil
+}
+
+// SetTaps installs the below/above observation taps; either may be nil.
+func (c *Cluster) SetTaps(below, above Tap) {
+	c.below = below
+	c.above = above
+}
+
+// Stats returns a copy of cluster counters.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// NumServers returns the number of servers in the cluster.
+func (c *Cluster) NumServers() int { return len(c.servers) }
+
+// CacheStats returns per-server cache statistics.
+func (c *Cluster) CacheStats() []cache.Stats {
+	out := make([]cache.Stats, len(c.servers))
+	for i, s := range c.servers {
+		out[i] = s.cache.Stats()
+	}
+	return out
+}
+
+// cacheValue is what a positive cache entry stores: the full answer section
+// for the queried (name, type).
+type cacheValue struct {
+	answers []dnsmsg.RR
+}
+
+// Resolve processes one client query through the cluster.
+func (c *Cluster) Resolve(q Query) (Response, error) {
+	c.stats.Queries++
+	c.stats.QueriesByCategory[q.Category]++
+	q.Name = dnsname.Normalize(q.Name)
+	srv := c.pickServer(q.ClientID)
+	s := c.servers[srv]
+	key := q.Name + "|" + q.Type.String()
+
+	// Positive cache.
+	if v, ok := s.cache.Get(key, q.Time); ok {
+		cv := v.(cacheValue)
+		c.stats.CacheHits++
+		c.emitBelow(q, srv, cv.answers, dnsmsg.RCodeNoError)
+		return Response{RCode: dnsmsg.RCodeNoError, Answers: cv.answers, FromCache: true}, nil
+	}
+	// Negative cache.
+	if c.opts.negCache {
+		if _, ok := s.negCache.Get(key, q.Time); ok {
+			c.stats.NegCacheHits++
+			c.stats.NXDomains++
+			c.emitBelow(q, srv, nil, dnsmsg.RCodeNXDomain)
+			return Response{RCode: dnsmsg.RCodeNXDomain, FromCache: true}, nil
+		}
+	}
+	c.stats.CacheMisses++
+	c.stats.MissesByCategory[q.Category]++
+
+	answers, rcode, err := c.recurse(q, srv, s)
+	if errors.Is(err, errUpstreamUnavailable) {
+		// The authority could not be reached after retries: degrade to
+		// SERVFAIL, as a production resolver would, rather than failing
+		// the simulation.
+		c.stats.ServFails++
+		c.emitBelow(q, srv, nil, dnsmsg.RCodeServFail)
+		return Response{RCode: dnsmsg.RCodeServFail}, nil
+	}
+	if err != nil {
+		return Response{}, err
+	}
+	if rcode == dnsmsg.RCodeNXDomain {
+		c.stats.NXDomains++
+		if c.opts.negCache {
+			s.negCache.Put(key, struct{}{}, c.clampTTL(300), q.Category, q.Time)
+		}
+		c.emitBelow(q, srv, nil, dnsmsg.RCodeNXDomain)
+		return Response{RCode: rcode}, nil
+	}
+	c.emitBelow(q, srv, answers, rcode)
+	return Response{RCode: rcode, Answers: answers}, nil
+}
+
+// recurse performs the iterative resolution against the upstream authority,
+// following CNAME chains and caching every RRset it learns.
+func (c *Cluster) recurse(q Query, srv int, s *server) ([]dnsmsg.RR, dnsmsg.RCode, error) {
+	var chain []dnsmsg.RR
+	name := q.Name
+	for depth := 0; ; depth++ {
+		if depth >= maxChainDepth {
+			return nil, 0, fmt.Errorf("%w: %q", ErrChainLoop, q.Name)
+		}
+		resp, err := c.exchange(name, q.Type)
+		if err != nil {
+			return nil, 0, err
+		}
+		c.emitAbove(q, srv, resp)
+		if resp.Header.RCode != dnsmsg.RCodeNoError {
+			if len(chain) > 0 {
+				// A broken chain still returns the prefix gathered so far,
+				// mirroring common resolver behaviour; the final rcode wins.
+				return chain, resp.Header.RCode, nil
+			}
+			return nil, resp.Header.RCode, nil
+		}
+		answers, rrsig := splitRRSIG(resp.Answers)
+		if c.opts.validate && rrsig != nil {
+			c.validate(q, srv, rrsig, answers)
+		}
+		if len(answers) == 0 {
+			return chain, dnsmsg.RCodeNoError, nil // NODATA
+		}
+		// Cache this hop's RRset under the name queried at this hop.
+		c.cachePut(s, name+"|"+q.Type.String(), name, cacheValue{answers: answers},
+			c.clampTTL(answers[0].TTL), q)
+		chain = append(chain, answers...)
+		last := answers[len(answers)-1]
+		if last.Type == dnsmsg.TypeCNAME && q.Type != dnsmsg.TypeCNAME {
+			name = last.RData
+			continue
+		}
+		if name != q.Name {
+			// Terminal hop of a chain: replace the original name's entry
+			// with the full chain so a later hit replays the complete
+			// answer section. The chain lives only as long as its
+			// shortest-lived link.
+			c.cachePut(s, q.Name+"|"+q.Type.String(), q.Name, cacheValue{answers: chain},
+				c.clampTTL(minChainTTL(chain)), q)
+		}
+		return chain, dnsmsg.RCodeNoError, nil
+	}
+}
+
+// cachePut stores a positive entry, demoting deprioritized names to the
+// cold end of the LRU.
+func (c *Cluster) cachePut(s *server, key, name string, v cacheValue, ttl time.Duration, q Query) {
+	if c.opts.deprioritizer != nil && c.opts.deprioritizer(name) {
+		s.cache.PutLowPriority(key, v, ttl, q.Category, q.Time)
+		return
+	}
+	s.cache.Put(key, v, ttl, q.Category, q.Time)
+}
+
+func minChainTTL(chain []dnsmsg.RR) uint32 {
+	min := chain[0].TTL
+	for _, rr := range chain[1:] {
+		if rr.TTL < min {
+			min = rr.TTL
+		}
+	}
+	return min
+}
+
+// errUpstreamUnavailable marks an exchange that failed after retries.
+var errUpstreamUnavailable = errors.New("resolver: upstream unavailable")
+
+// exchange performs one wire-level round trip with the authority, retrying
+// transport failures per WithUpstreamRetries.
+func (c *Cluster) exchange(name string, qtype dnsmsg.Type) (*dnsmsg.Message, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.retries; attempt++ {
+		c.stats.UpstreamRTs++
+		query := dnsmsg.NewQuery(uint16(c.stats.UpstreamRTs), name, qtype)
+		wire, err := query.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("encode upstream query: %w", err)
+		}
+		c.stats.WireBytesUp += uint64(len(wire))
+		respWire, err := c.upstream.HandleWire(wire)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.stats.WireBytesUp += uint64(len(respWire))
+		resp, err := dnsmsg.Decode(respWire)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resp, nil
+	}
+	c.stats.UpstreamErrors++
+	return nil, fmt.Errorf("%w: %v", errUpstreamUnavailable, lastErr)
+}
+
+// validate verifies the RRSIG over answers, fetching (and caching in the
+// key map) the zone DNSKEY over the wire on first use.
+func (c *Cluster) validate(q Query, srv int, rrsig *dnsmsg.RR, answers []dnsmsg.RR) {
+	zone := signerZone(rrsig.RData)
+	pub, ok := c.keys[zone]
+	if !ok {
+		// The DNSKEY fetch is a genuine upstream round trip; the key is
+		// parsed from the response like a real validating resolver.
+		resp, err := c.exchange(zone, dnsmsg.TypeDNSKEY)
+		if err != nil || resp.Header.RCode != dnsmsg.RCodeNoError {
+			c.stats.ValidationErrs++
+			return
+		}
+		c.emitAbove(q, srv, resp)
+		var dnskey *dnsmsg.RR
+		for i := range resp.Answers {
+			if resp.Answers[i].Type == dnsmsg.TypeDNSKEY {
+				dnskey = &resp.Answers[i]
+				break
+			}
+		}
+		if dnskey == nil {
+			c.stats.ValidationErrs++
+			return
+		}
+		pub, err = authority.PublicKeyFromDNSKEY(*dnskey)
+		if err != nil {
+			c.stats.ValidationErrs++
+			return
+		}
+		c.keys[zone] = pub
+	}
+	c.stats.Validations++
+	if err := authority.Verify(pub, *rrsig, answers); err != nil {
+		c.stats.ValidationErrs++
+	}
+}
+
+// signerZone extracts the signer-zone field from RRSIG rdata
+// ("<type> <alg> <labels> <ttl> <zone> sig=... keytag=...").
+func signerZone(rdata string) string {
+	fields := 0
+	start := 0
+	for i := 0; i <= len(rdata); i++ {
+		if i == len(rdata) || rdata[i] == ' ' {
+			if i > start {
+				if fields == 4 {
+					return rdata[start:i]
+				}
+				fields++
+			}
+			start = i + 1
+		}
+	}
+	return ""
+}
+
+func splitRRSIG(answers []dnsmsg.RR) ([]dnsmsg.RR, *dnsmsg.RR) {
+	for i := range answers {
+		if answers[i].Type == dnsmsg.TypeRRSIG {
+			sig := answers[i]
+			rest := make([]dnsmsg.RR, 0, len(answers)-1)
+			rest = append(rest, answers[:i]...)
+			rest = append(rest, answers[i+1:]...)
+			return rest, &sig
+		}
+	}
+	return answers, nil
+}
+
+func (c *Cluster) clampTTL(ttl uint32) time.Duration {
+	d := time.Duration(ttl) * time.Second
+	if d < c.opts.minTTL {
+		d = c.opts.minTTL
+	}
+	if d > c.opts.maxTTL {
+		d = c.opts.maxTTL
+	}
+	return d
+}
+
+func (c *Cluster) pickServer(clientID uint32) int {
+	n := uint64(len(c.servers))
+	if n == 1 {
+		return 0
+	}
+	if c.opts.affinity == AffinityRoundRobin {
+		c.rrIndex++
+		return int(c.rrIndex % n)
+	}
+	// Hash affinity: a cheap integer mix keeps adjacent client IDs from
+	// clustering on one server.
+	h := uint64(clientID) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % n)
+}
+
+func (c *Cluster) emitBelow(q Query, srv int, answers []dnsmsg.RR, rcode dnsmsg.RCode) {
+	if c.below == nil {
+		return
+	}
+	if len(answers) == 0 {
+		c.below.Observe(Observation{Time: q.Time, ClientID: q.ClientID, Server: srv, QName: q.Name, RCode: rcode, Category: q.Category})
+		return
+	}
+	for _, rr := range answers {
+		if rr.Type == dnsmsg.TypeRRSIG {
+			continue
+		}
+		c.below.Observe(Observation{Time: q.Time, ClientID: q.ClientID, Server: srv, QName: q.Name, RR: rr, RCode: rcode, Category: q.Category})
+	}
+}
+
+func (c *Cluster) emitAbove(q Query, srv int, resp *dnsmsg.Message) {
+	if c.above == nil {
+		return
+	}
+	qname := q.Name
+	if len(resp.Questions) > 0 {
+		qname = resp.Questions[0].Name
+	}
+	if resp.Header.RCode != dnsmsg.RCodeNoError || len(resp.Answers) == 0 {
+		c.above.Observe(Observation{Time: q.Time, ClientID: q.ClientID, Server: srv, QName: qname, RCode: resp.Header.RCode, Category: q.Category})
+		return
+	}
+	for _, rr := range resp.Answers {
+		if rr.Type == dnsmsg.TypeRRSIG {
+			continue
+		}
+		c.above.Observe(Observation{Time: q.Time, ClientID: q.ClientID, Server: srv, QName: qname, RR: rr, RCode: resp.Header.RCode, Category: q.Category})
+	}
+}

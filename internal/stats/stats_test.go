@@ -1,0 +1,400 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "single", give: []float64{5}, want: 5},
+		{name: "pair", give: []float64{1, 3}, want: 2},
+		{name: "negatives", give: []float64{-2, 2}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(nil) = %v, want 0", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "odd", give: []float64{3, 1, 2}, want: 2},
+		{name: "even", give: []float64{4, 1, 3, 2}, want: 2.5},
+		{name: "repeated", give: []float64{1, 1, 1, 9}, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Median(tt.give); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Median(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil {
+		t.Fatalf("MinMax: %v", err)
+	}
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 7)", min, max)
+	}
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("MinMax(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0, want: 10},
+		{q: 0.25, want: 20},
+		{q: 0.5, want: 30},
+		{q: 1, want: 50},
+		{q: -0.5, want: 10}, // clamped
+		{q: 1.5, want: 50},  // clamped
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tt.q, err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Quantile(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{x: 0, want: 0},
+		{x: 1, want: 0.25},
+		{x: 2, want: 0.75},
+		{x: 2.5, want: 0.75},
+		{x: 3, want: 1},
+		{x: 99, want: 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d, want 4", c.Len())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if got := c.At(5); got != 0 {
+		t.Errorf("empty CDF At = %v, want 0", got)
+	}
+	if pts := c.Points(10); pts != nil {
+		t.Errorf("empty CDF Points = %v, want nil", pts)
+	}
+	if _, err := c.Quantile(0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty CDF Quantile err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 1, 2, 3, 4})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points len = %d, want 5", len(pts))
+	}
+	if pts[0].X != 0 || pts[len(pts)-1].X != 4 {
+		t.Errorf("Points range = [%v, %v], want [0, 4]", pts[0].X, pts[len(pts)-1].X)
+	}
+	if pts[len(pts)-1].Y != 1 {
+		t.Errorf("final Y = %v, want 1", pts[len(pts)-1].Y)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Errorf("CDF not monotone at %d: %v < %v", i, pts[i].Y, pts[i-1].Y)
+		}
+	}
+}
+
+// Property: CDF.At is monotone non-decreasing and bounded in [0, 1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		c := NewCDF(xs)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pl, ph := c.At(lo), c.At(hi)
+		return pl >= 0 && ph <= 1 && pl <= ph
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile and CDF are approximate inverses on continuous samples.
+func TestQuantileCDFInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	c := NewCDF(xs)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		v, err := c.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.At(v); math.Abs(got-q) > 0.01 {
+			t.Errorf("At(Quantile(%v)) = %v, want ~%v", q, got, q)
+		}
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if h == nil {
+		t.Fatal("NewHistogram returned nil")
+	}
+	for _, x := range []float64{-1, 0, 1.5, 2, 9.9, 10, 100} {
+		h.Observe(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	if h.Underflow() != 1 {
+		t.Errorf("Underflow = %d, want 1", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("Overflow = %d, want 2", h.Overflow())
+	}
+	bins := h.Bins()
+	if len(bins) != 5 {
+		t.Fatalf("Bins len = %d, want 5", len(bins))
+	}
+	// 0 and 1.5 land in [0,2); 2 lands in [2,4); 9.9 lands in [8,10).
+	if bins[0].Count != 2 {
+		t.Errorf("bin 0 count = %d, want 2", bins[0].Count)
+	}
+	if bins[1].Count != 1 {
+		t.Errorf("bin 1 count = %d, want 1", bins[1].Count)
+	}
+	if bins[4].Count != 1 {
+		t.Errorf("bin 4 count = %d, want 1", bins[4].Count)
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	if h := NewHistogram(5, 5, 3); h != nil {
+		t.Error("NewHistogram with hi==lo should be nil")
+	}
+	if h := NewHistogram(0, 10, 0); h != nil {
+		t.Error("NewHistogram with 0 bins should be nil")
+	}
+	if h := NewLogHistogram(0, 10, 3); h != nil {
+		t.Error("NewLogHistogram with lo==0 should be nil")
+	}
+	if h := NewLogHistogram(10, 1, 3); h != nil {
+		t.Error("NewLogHistogram with hi<lo should be nil")
+	}
+}
+
+func TestLogHistogramEdges(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 3)
+	if h == nil {
+		t.Fatal("NewLogHistogram returned nil")
+	}
+	bins := h.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("Bins len = %d, want 3", len(bins))
+	}
+	wantEdges := []float64{1, 10, 100, 1000}
+	for i, b := range bins {
+		if !almostEqual(b.Lo, wantEdges[i], 1e-9) {
+			t.Errorf("bin %d Lo = %v, want %v", i, b.Lo, wantEdges[i])
+		}
+	}
+	if !almostEqual(bins[2].Hi, 1000, 0) {
+		t.Errorf("final Hi = %v, want 1000", bins[2].Hi)
+	}
+	h.Observe(1)
+	h.Observe(9.99)
+	h.Observe(10)
+	h.Observe(999)
+	bins = h.Bins()
+	if bins[0].Count != 2 || bins[1].Count != 1 || bins[2].Count != 1 {
+		t.Errorf("counts = %v, want [2 1 1]", []int{bins[0].Count, bins[1].Count, bins[2].Count})
+	}
+}
+
+// Property: histogram conserves observations.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewHistogram(0, 1, 10)
+		n := 0
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Observe(v)
+			n++
+		}
+		sum := h.Underflow() + h.Overflow()
+		for _, b := range h.Bins() {
+			sum += b.Count
+		}
+		return sum == n && h.Total() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShannonEntropy(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+		want float64
+	}{
+		{name: "empty", give: "", want: 0},
+		{name: "uniform single", give: "aaaa", want: 0},
+		{name: "two symbols", give: "abab", want: 1},
+		{name: "four symbols", give: "abcd", want: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ShannonEntropy(tt.give); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("ShannonEntropy(%q) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: entropy is permutation-invariant and bounded by log2 of the
+// alphabet size.
+func TestEntropyProperties(t *testing.T) {
+	f := func(s string) bool {
+		h := ShannonEntropy(s)
+		if h < 0 {
+			return false
+		}
+		if len(s) > 0 && h > math.Log2(256)+1e-9 {
+			return false
+		}
+		// Permutation invariance: reverse the string.
+		b := []byte(s)
+		for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+			b[i], b[j] = b[j], b[i]
+		}
+		return almostEqual(h, ShannonEntropy(string(b)), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractions(t *testing.T) {
+	xs := []float64{0, 0, 0.5, 1}
+	if got := FractionZero(xs); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("FractionZero = %v, want 0.5", got)
+	}
+	if got := FractionLeq(xs, 0.5); !almostEqual(got, 0.75, 1e-12) {
+		t.Errorf("FractionLeq = %v, want 0.75", got)
+	}
+	if got := FractionZero(nil); got != 0 {
+		t.Errorf("FractionZero(nil) = %v, want 0", got)
+	}
+	if got := FractionLeq(nil, 1); got != 0 {
+		t.Errorf("FractionLeq(nil) = %v, want 0", got)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	qs := []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 1}
+	prev := math.Inf(-1)
+	for _, q := range qs {
+		v, err := Quantile(xs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Errorf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+	sort.Float64s(xs)
+	if v, _ := Quantile(xs, 0); v != xs[0] {
+		t.Errorf("Quantile(0) = %v, want min %v", v, xs[0])
+	}
+	if v, _ := Quantile(xs, 1); v != xs[len(xs)-1] {
+		t.Errorf("Quantile(1) = %v, want max %v", v, xs[len(xs)-1])
+	}
+}

@@ -1,0 +1,132 @@
+// Package traceio serializes query traces as JSON Lines, so generated
+// workloads can be stored, inspected, and replayed by the CLI tools.
+package traceio
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"dnsnoise/internal/cache"
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/resolver"
+)
+
+// ErrBadEvent reports a malformed trace line.
+var ErrBadEvent = errors.New("traceio: malformed event")
+
+// Event is one serialized query.
+type Event struct {
+	// Time is RFC 3339 with sub-second precision.
+	Time time.Time `json:"ts"`
+	// Client is the anonymized client ID.
+	Client uint32 `json:"client"`
+	// Name is the queried domain name.
+	Name string `json:"name"`
+	// Type is the query type mnemonic ("A", "AAAA", ...).
+	Type string `json:"type"`
+	// Disposable carries the generator's ground-truth label.
+	Disposable bool `json:"disposable"`
+}
+
+// FromQuery converts a resolver query to its serialized form.
+func FromQuery(q resolver.Query) Event {
+	return Event{
+		Time:       q.Time,
+		Client:     q.ClientID,
+		Name:       q.Name,
+		Type:       q.Type.String(),
+		Disposable: q.Category == cache.CategoryDisposable,
+	}
+}
+
+// ToQuery converts a deserialized event back to a resolver query.
+func (e Event) ToQuery() (resolver.Query, error) {
+	typ, err := dnsmsg.ParseType(e.Type)
+	if err != nil {
+		return resolver.Query{}, fmt.Errorf("%w: %v", ErrBadEvent, err)
+	}
+	cat := cache.CategoryOther
+	if e.Disposable {
+		cat = cache.CategoryDisposable
+	}
+	return resolver.Query{
+		Time:     e.Time,
+		ClientID: e.Client,
+		Name:     e.Name,
+		Type:     typ,
+		Category: cat,
+	}, nil
+}
+
+// Writer emits events as JSON lines.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one event.
+func (w *Writer) Write(e Event) error {
+	if err := w.enc.Encode(e); err != nil {
+		return fmt.Errorf("traceio: write event: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of events written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains the buffer; call before closing the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("traceio: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader parses JSON-line events.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next event, or io.EOF when the trace is exhausted.
+func (r *Reader) Next() (Event, error) {
+	for r.sc.Scan() {
+		r.line++
+		raw := r.sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return Event{}, fmt.Errorf("%w: line %d: %v", ErrBadEvent, r.line, err)
+		}
+		if e.Name == "" || e.Type == "" {
+			return Event{}, fmt.Errorf("%w: line %d: missing name or type", ErrBadEvent, r.line)
+		}
+		return e, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Event{}, fmt.Errorf("traceio: scan: %w", err)
+	}
+	return Event{}, io.EOF
+}

@@ -1,0 +1,113 @@
+package traceio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/cache"
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/resolver"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	queries := []resolver.Query{
+		{
+			Time:     time.Date(2011, 12, 1, 8, 30, 0, 0, time.UTC),
+			ClientID: 42,
+			Name:     "www.example.com",
+			Type:     dnsmsg.TypeA,
+			Category: cache.CategoryOther,
+		},
+		{
+			Time:     time.Date(2011, 12, 1, 8, 30, 1, 0, time.UTC),
+			ClientID: 7,
+			Name:     "tok123.avqs.mcafee.com",
+			Type:     dnsmsg.TypeAAAA,
+			Category: cache.CategoryDisposable,
+		},
+	}
+	for _, q := range queries {
+		if err := w.Write(FromQuery(q)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 2 {
+		t.Errorf("Count = %d, want 2", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	for i, want := range queries {
+		ev, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		got, err := ev.ToQuery()
+		if err != nil {
+			t.Fatalf("ToQuery %d: %v", i, err)
+		}
+		if !got.Time.Equal(want.Time) || got.ClientID != want.ClientID ||
+			got.Name != want.Name || got.Type != want.Type || got.Category != want.Category {
+			t.Errorf("query %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after trace end: %v, want io.EOF", err)
+	}
+}
+
+func TestReaderSkipsBlankLines(t *testing.T) {
+	input := `{"ts":"2011-12-01T00:00:00Z","client":1,"name":"a.test","type":"A","disposable":false}
+
+{"ts":"2011-12-01T00:00:01Z","client":2,"name":"b.test","type":"A","disposable":true}
+`
+	r := NewReader(strings.NewReader(input))
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("events = %d, want 2", n)
+	}
+}
+
+func TestReaderRejectsMalformed(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{name: "bad json", input: "{not json}\n"},
+		{name: "missing name", input: `{"ts":"2011-12-01T00:00:00Z","client":1,"type":"A"}` + "\n"},
+		{name: "missing type", input: `{"ts":"2011-12-01T00:00:00Z","client":1,"name":"a.test"}` + "\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := NewReader(strings.NewReader(tt.input))
+			if _, err := r.Next(); !errors.Is(err, ErrBadEvent) {
+				t.Errorf("Next = %v, want ErrBadEvent", err)
+			}
+		})
+	}
+}
+
+func TestToQueryRejectsUnknownType(t *testing.T) {
+	e := Event{Name: "x.test", Type: "BOGUS"}
+	if _, err := e.ToQuery(); !errors.Is(err, ErrBadEvent) {
+		t.Errorf("ToQuery = %v, want ErrBadEvent", err)
+	}
+}

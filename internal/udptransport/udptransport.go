@@ -1,0 +1,213 @@
+// Package udptransport carries DNS wire messages over real UDP sockets, so
+// the simulated resolver and authority can be separated across processes or
+// machines. The Server wraps anything that answers wire queries (the
+// authority server); the Client implements the resolver's Upstream interface
+// over the network.
+package udptransport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dnsnoise/internal/dnsmsg"
+)
+
+// Errors returned by the transport.
+var (
+	ErrClosed  = errors.New("udptransport: server closed")
+	ErrTimeout = errors.New("udptransport: query timed out")
+)
+
+// maxPacket is the largest UDP payload accepted; generous for the
+// simulator's non-EDNS messages.
+const maxPacket = 4096
+
+// Handler answers a wire-format DNS query.
+type Handler interface {
+	HandleWire(query []byte) ([]byte, error)
+}
+
+// Server answers DNS queries from a UDP socket.
+type Server struct {
+	conn    *net.UDPConn
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0" for an ephemeral port; "" defaults
+// to that) and starts answering queries with handler until Close.
+func Serve(handler Handler, addr string) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("udptransport: nil handler")
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: listen: %w", err)
+	}
+	s := &Server{
+		conn:    conn,
+		handler: handler,
+		done:    make(chan struct{}),
+	}
+	go s.serveLoop()
+	return s, nil
+}
+
+// Addr returns the bound address, suitable for NewClient.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.conn.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) serveLoop() {
+	defer close(s.done)
+	buf := make([]byte, maxPacket)
+	for {
+		n, raddr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed (or fatal socket error): stop serving
+		}
+		query := make([]byte, n)
+		copy(query, buf[:n])
+		resp, err := s.handler.HandleWire(query)
+		if err != nil || len(resp) == 0 {
+			// Unanswerable garbage: drop it, like a real server under
+			// junk traffic. The client's timeout handles the rest.
+			continue
+		}
+		// Best effort; a lost response packet is the client's problem.
+		_, _ = s.conn.WriteToUDP(resp, raddr)
+	}
+}
+
+// Client sends DNS queries to a UDP server and implements the resolver's
+// Upstream contract (HandleWire). It is safe for sequential use; a mutex
+// serializes callers.
+type Client struct {
+	raddr   *net.UDPAddr
+	timeout time.Duration
+	retries int
+
+	mu   sync.Mutex
+	conn *net.UDPConn
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-attempt response deadline (default 2s).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// WithRetries sets how many times a timed-out query is retried (default 1).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) {
+		if n >= 0 {
+			c.retries = n
+		}
+	}
+}
+
+// NewClient prepares a client for the server at addr.
+func NewClient(addr string, opts ...ClientOption) (*Client, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: resolve %q: %w", addr, err)
+	}
+	c := &Client{raddr: raddr, timeout: 2 * time.Second, retries: 1}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// HandleWire sends the query and returns the matching response, satisfying
+// resolver.Upstream. Responses whose ID does not match the query are
+// discarded (late packets from earlier attempts).
+func (c *Client) HandleWire(query []byte) ([]byte, error) {
+	if len(query) < 2 {
+		return nil, dnsmsg.ErrTruncatedMessage
+	}
+	queryID := uint16(query[0])<<8 | uint16(query[1])
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		conn, err := net.DialUDP("udp", nil, c.raddr)
+		if err != nil {
+			return nil, fmt.Errorf("udptransport: dial: %w", err)
+		}
+		c.conn = conn
+	}
+	buf := make([]byte, maxPacket)
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if _, err := c.conn.Write(query); err != nil {
+			return nil, fmt.Errorf("udptransport: send: %w", err)
+		}
+		deadline := time.Now().Add(c.timeout)
+		if err := c.conn.SetReadDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("udptransport: deadline: %w", err)
+		}
+		for {
+			n, err := c.conn.Read(buf)
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					break // next attempt
+				}
+				return nil, fmt.Errorf("udptransport: recv: %w", err)
+			}
+			if n < 2 {
+				continue
+			}
+			respID := uint16(buf[0])<<8 | uint16(buf[1])
+			if respID != queryID {
+				continue // stale response from an earlier attempt
+			}
+			resp := make([]byte, n)
+			copy(resp, buf[:n])
+			return resp, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d attempts", ErrTimeout, c.retries+1)
+}
+
+// Close releases the client socket.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

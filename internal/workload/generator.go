@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"dnsnoise/internal/cache"
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/labelgen"
+	"dnsnoise/internal/resolver"
+)
+
+// GeneratorConfig sizes the client population and traffic volume.
+type GeneratorConfig struct {
+	Seed int64
+	// Clients is the stub-resolver population size (default 5000).
+	Clients int
+	// BaseEventsPerDay is the February-scale query volume; each profile's
+	// VolumeScale multiplies it (default 200_000).
+	BaseEventsPerDay int
+}
+
+func (c *GeneratorConfig) setDefaults() {
+	if c.Clients == 0 {
+		c.Clients = 5000
+	}
+	if c.BaseEventsPerDay == 0 {
+		c.BaseEventsPerDay = 200_000
+	}
+}
+
+// Generator produces client query streams against a Registry.
+type Generator struct {
+	cfg       GeneratorConfig
+	registry  *Registry
+	rng       *rand.Rand
+	nxPool    []string
+	nxPoolCap int
+}
+
+// NewGenerator builds a generator over registry.
+func NewGenerator(registry *Registry, cfg GeneratorConfig) *Generator {
+	cfg.setDefaults()
+	return &Generator{
+		cfg:       cfg,
+		registry:  registry,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		nxPoolCap: cfg.BaseEventsPerDay / 40,
+	}
+}
+
+// Registry returns the namespace this generator draws from.
+func (g *Generator) Registry() *Registry { return g.registry }
+
+// EventsFor returns the event count a profile's day will produce.
+func (g *Generator) EventsFor(p Profile) int {
+	scale := p.VolumeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	return int(float64(g.cfg.BaseEventsPerDay) * scale)
+}
+
+// GenerateDay emits one day of queries in timestamp order. The profile is
+// applied to the registry first (TTL mixture, measurement boost). The emit
+// callback receives each query; returning false stops generation early.
+func (g *Generator) GenerateDay(p Profile, emit func(resolver.Query) bool) {
+	p.ApplyToRegistry(g.registry, g.rng)
+	n := g.EventsFor(p)
+	times := diurnalTimes(g.rng, p.Date, n)
+
+	dispPicker := newZonePicker(g.registry.Disposable)
+	// CDN zones receive direct client queries alongside their
+	// CNAME-driven traffic: sharded content URLs embed the CDN names.
+	ordinary := make([]*ZoneSpec, 0, len(g.registry.NonDisposable)+len(g.registry.CDN))
+	ordinary = append(ordinary, g.registry.NonDisposable...)
+	ordinary = append(ordinary, g.registry.CDN...)
+	nonDispPicker := newZonePicker(ordinary)
+
+	for i := 0; i < n; i++ {
+		q := g.nextQuery(p, times[i], dispPicker, nonDispPicker)
+		if !emit(q) {
+			return
+		}
+	}
+}
+
+// nextQuery draws a single query according to the profile mix.
+func (g *Generator) nextQuery(p Profile, at time.Time, disp, nonDisp *zonePicker) resolver.Query {
+	client := uint32(g.rng.Intn(g.cfg.Clients))
+	r := g.rng.Float64()
+	switch {
+	case r < p.NXFrac:
+		return resolver.Query{
+			Time: at, ClientID: client,
+			Name: g.nxName(), Type: dnsmsg.TypeA,
+			Category: cache.CategoryOther,
+		}
+	case r < p.NXFrac+p.DisposableFrac:
+		zone := disp.pick(g.rng)
+		name, qtype := zone.NextName(g.rng)
+		return resolver.Query{
+			Time: at, ClientID: client,
+			Name: name, Type: qtype,
+			Category: cache.CategoryDisposable,
+		}
+	default:
+		zone := nonDisp.pick(g.rng)
+		name, qtype := zone.NextName(g.rng)
+		return resolver.Query{
+			Time: at, ClientID: client,
+			Name: name, Type: qtype,
+			Category: cache.CategoryOther,
+		}
+	}
+}
+
+// nxName mints a nonexistent name. Most NXDOMAIN traffic in the wild is
+// repetitive — misconfigured clients re-asking the same dead names — so 70%
+// of draws reuse a bounded junk pool and 30% are fresh typo-like names
+// under real zones.
+func (g *Generator) nxName() string {
+	if len(g.nxPool) > 0 && g.rng.Float64() < 0.7 {
+		return g.nxPool[g.rng.Intn(len(g.nxPool))]
+	}
+	var name string
+	if g.rng.Float64() < 0.8 && len(g.registry.NonDisposable) > 0 {
+		zone := g.registry.NonDisposable[g.rng.Intn(len(g.registry.NonDisposable))]
+		name = labelgen.Token(g.rng, 6+g.rng.Intn(8)) + "." + zone.Zone
+	} else {
+		name = labelgen.Token(g.rng, 8) + "." + labelgen.ZoneName(g.rng) + ".com"
+	}
+	if len(g.nxPool) < g.nxPoolCap {
+		g.nxPool = append(g.nxPool, name)
+	} else if g.nxPoolCap > 0 {
+		g.nxPool[g.rng.Intn(len(g.nxPool))] = name
+	}
+	return name
+}
+
+// diurnalTimes draws n timestamps across the day following the human diurnal
+// curve the paper shows in Figure 2: a 4-5am trough and an evening peak. The
+// returned slice is sorted (generation is sequential in time).
+func diurnalTimes(rng *rand.Rand, date time.Time, n int) []time.Time {
+	day := time.Date(date.Year(), date.Month(), date.Day(), 0, 0, 0, 0, date.Location())
+	// Build an hourly intensity table, then sample inside hours.
+	weights := make([]float64, 24)
+	var total float64
+	for h := 0; h < 24; h++ {
+		weights[h] = diurnalIntensity(h)
+		total += weights[h]
+	}
+	// Deterministic allocation of events to hours, largest remainder.
+	counts := make([]int, 24)
+	assigned := 0
+	for h := 0; h < 24; h++ {
+		counts[h] = int(float64(n) * weights[h] / total)
+		assigned += counts[h]
+	}
+	for h := 0; assigned < n; h = (h + 1) % 24 {
+		counts[h]++
+		assigned++
+	}
+	out := make([]time.Time, 0, n)
+	for h := 0; h < 24; h++ {
+		base := day.Add(time.Duration(h) * time.Hour)
+		step := float64(time.Hour) / float64(counts[h]+1)
+		for i := 0; i < counts[h]; i++ {
+			jitter := time.Duration(rng.Int63n(int64(step)))
+			out = append(out, base.Add(time.Duration(float64(i)*step)).Add(jitter))
+		}
+	}
+	return out
+}
+
+// diurnalIntensity returns the relative load at local hour h: an evening
+// peak near 20:00 and an early-morning trough — matching the Figure 2 shape
+// ("traffic dropped after midnight and rose at 10am").
+func diurnalIntensity(h int) float64 {
+	v := 1 + 0.55*math.Cos(2*math.Pi*float64(h-20)/24)
+	if v < 0.15 {
+		v = 0.15
+	}
+	return v
+}
+
+// zonePicker samples zones proportionally to their weights using the alias
+// structure of a cumulative table (binary search per draw).
+type zonePicker struct {
+	zones []*ZoneSpec
+	cum   []float64
+	total float64
+}
+
+func newZonePicker(zones []*ZoneSpec) *zonePicker {
+	p := &zonePicker{zones: zones, cum: make([]float64, len(zones))}
+	for i, z := range zones {
+		w := z.Weight
+		if w <= 0 {
+			w = 1e-6
+		}
+		p.total += w
+		p.cum[i] = p.total
+	}
+	return p
+}
+
+func (p *zonePicker) pick(rng *rand.Rand) *ZoneSpec {
+	if len(p.zones) == 0 {
+		return nil
+	}
+	x := rng.Float64() * p.total
+	lo, hi := 0, len(p.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return p.zones[lo]
+}

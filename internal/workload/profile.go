@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// TTLWeight is one bucket of a TTL mixture distribution.
+type TTLWeight struct {
+	TTL    uint32
+	Weight float64
+}
+
+// Profile calibrates one simulated measurement date. The aggregate knobs
+// (disposable volume share, TTL mixture) are tuned to the paper's published
+// per-date aggregates; everything downstream of them is measured, not
+// scripted.
+type Profile struct {
+	// Label is the paper's date string, e.g. "02/01/2011".
+	Label string
+	// Date anchors event timestamps.
+	Date time.Time
+	// DisposableFrac is the fraction of client query volume aimed at
+	// disposable zones.
+	DisposableFrac float64
+	// NXFrac is the fraction of client queries that hit nonexistent names
+	// (typos, misconfigurations, stale references).
+	NXFrac float64
+	// TTLDist is the disposable-zone TTL mixture for this date (Figure 14:
+	// early 2011 is dominated by TTL=1s, December by TTL=300s).
+	TTLDist []TTLWeight
+	// MeasurementBoost multiplies the weight of measurement-kind zones:
+	// Google's ipv6 experiment ramped up over 2011 (Figure 5).
+	MeasurementBoost float64
+	// VolumeScale multiplies the base events-per-day (traffic grew ~2.5x
+	// between February and December 2011).
+	VolumeScale float64
+}
+
+// SampleDisposableTTL draws a TTL from the profile's mixture.
+func (p Profile) SampleDisposableTTL(rng *rand.Rand) uint32 {
+	var total float64
+	for _, tw := range p.TTLDist {
+		total += tw.Weight
+	}
+	if total <= 0 {
+		return 300
+	}
+	x := rng.Float64() * total
+	for _, tw := range p.TTLDist {
+		x -= tw.Weight
+		if x < 0 {
+			return tw.TTL
+		}
+	}
+	return p.TTLDist[len(p.TTLDist)-1].TTL
+}
+
+// ApplyToRegistry re-draws each disposable zone's TTL from the profile's
+// mixture and applies the measurement boost. High-volume operators (the
+// flagship zones) adopt the era's dominant TTL deterministically — the
+// paper observed exactly this: early-2011 disposable traffic was dominated
+// by one-second TTLs, and by December the big players had switched to 300s.
+// Call before generating a day.
+func (p Profile) ApplyToRegistry(r *Registry, rng *rand.Rand) {
+	mode := p.ModeTTL()
+	for _, z := range r.Disposable {
+		if z.Weight >= 5 {
+			z.TTL = mode
+		} else {
+			z.TTL = p.SampleDisposableTTL(rng)
+		}
+		if z.Kind == KindMeasurement && p.MeasurementBoost > 0 {
+			z.Weight = baseMeasurementWeight(z) * p.MeasurementBoost
+		}
+	}
+}
+
+// ModeTTL returns the highest-weight bucket of the TTL mixture.
+func (p Profile) ModeTTL() uint32 {
+	best, bestW := uint32(300), -1.0
+	for _, tw := range p.TTLDist {
+		if tw.Weight > bestW {
+			best, bestW = tw.TTL, tw.Weight
+		}
+	}
+	return best
+}
+
+// baseMeasurementWeight returns the pre-boost weight: the flagship Google
+// experiment carries weight 30, generated measurement zones keep their
+// registry weight (stored once on first use).
+func baseMeasurementWeight(z *ZoneSpec) float64 {
+	if z.baseWeight == 0 {
+		z.baseWeight = z.Weight
+	}
+	return z.baseWeight
+}
+
+// ttlDistEarly2011 reproduces the February shape of Figure 14: 0.8% zero
+// TTL, 28% one-second TTL, remainder split across small values.
+var ttlDistEarly2011 = []TTLWeight{
+	{TTL: 0, Weight: 0.008},
+	{TTL: 1, Weight: 0.28},
+	{TTL: 30, Weight: 0.18},
+	{TTL: 60, Weight: 0.22},
+	{TTL: 300, Weight: 0.20},
+	{TTL: 3600, Weight: 0.08},
+	{TTL: 86400, Weight: 0.032},
+}
+
+// ttlDistMid2011 is the transitional autumn mixture.
+var ttlDistMid2011 = []TTLWeight{
+	{TTL: 0, Weight: 0.004},
+	{TTL: 1, Weight: 0.12},
+	{TTL: 30, Weight: 0.14},
+	{TTL: 60, Weight: 0.20},
+	{TTL: 300, Weight: 0.40},
+	{TTL: 3600, Weight: 0.10},
+	{TTL: 86400, Weight: 0.036},
+}
+
+// ttlDistLate2011 reproduces the December shape of Figure 14: mode at 300s.
+var ttlDistLate2011 = []TTLWeight{
+	{TTL: 0, Weight: 0.002},
+	{TTL: 1, Weight: 0.04},
+	{TTL: 30, Weight: 0.08},
+	{TTL: 60, Weight: 0.16},
+	{TTL: 300, Weight: 0.55},
+	{TTL: 3600, Weight: 0.12},
+	{TTL: 86400, Weight: 0.048},
+}
+
+// PaperDates returns the six dated profiles used for the growth experiments
+// (Figures 11, 13, 14 and Tables I, II). Disposable volume share and the
+// measurement boost ramp across 2011 as the paper measured.
+func PaperDates() []Profile {
+	d := func(m time.Month, day int) time.Time {
+		return time.Date(2011, m, day, 0, 0, 0, 0, time.UTC)
+	}
+	return []Profile{
+		{
+			Label: "02/01/2011", Date: d(time.February, 1),
+			DisposableFrac: 0.018, NXFrac: 0.07,
+			TTLDist: ttlDistEarly2011, MeasurementBoost: 1.0, VolumeScale: 1.0,
+		},
+		{
+			Label: "09/02/2011", Date: d(time.September, 2),
+			DisposableFrac: 0.020, NXFrac: 0.07,
+			TTLDist: ttlDistMid2011, MeasurementBoost: 1.6, VolumeScale: 1.5,
+		},
+		{
+			Label: "09/13/2011", Date: d(time.September, 13),
+			DisposableFrac: 0.021, NXFrac: 0.07,
+			TTLDist: ttlDistMid2011, MeasurementBoost: 1.7, VolumeScale: 1.55,
+		},
+		{
+			Label: "11/14/2011", Date: d(time.November, 14),
+			DisposableFrac: 0.023, NXFrac: 0.07,
+			TTLDist: ttlDistLate2011, MeasurementBoost: 2.2, VolumeScale: 2.1,
+		},
+		{
+			Label: "11/29/2011", Date: d(time.November, 29),
+			DisposableFrac: 0.024, NXFrac: 0.07,
+			TTLDist: ttlDistLate2011, MeasurementBoost: 2.4, VolumeScale: 2.3,
+		},
+		{
+			Label: "12/30/2011", Date: d(time.December, 30),
+			DisposableFrac: 0.026, NXFrac: 0.07,
+			TTLDist: ttlDistLate2011, MeasurementBoost: 2.8, VolumeScale: 2.5,
+		},
+	}
+}
+
+// DecemberProfile returns the December calibration anchored at an arbitrary
+// date, used for the multi-day experiments (Figures 2, 5, 15).
+func DecemberProfile(date time.Time) Profile {
+	return Profile{
+		Label: date.Format("01/02/2006"), Date: date,
+		DisposableFrac: 0.024, NXFrac: 0.07,
+		TTLDist: ttlDistLate2011, MeasurementBoost: 2.4, VolumeScale: 2.3,
+	}
+}
+
+// FebruaryProfile returns the February calibration anchored at a date, used
+// for the single-day early-2011 experiments (Figures 3, 14).
+func FebruaryProfile(date time.Time) Profile {
+	return Profile{
+		Label: date.Format("01/02/2006"), Date: date,
+		DisposableFrac: 0.018, NXFrac: 0.07,
+		TTLDist: ttlDistEarly2011, MeasurementBoost: 1.0, VolumeScale: 1.0,
+	}
+}
