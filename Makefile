@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet bench clean
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full test suite under the race detector; the parallel resolver and
+# experiment tests drive worker/tap/accumulator interleavings on purpose.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Micro-benchmarks for the resolver hot path, then the cluster throughput
+# harness, which records sequential-vs-parallel numbers (plus host CPU count)
+# in BENCH_resolver.json for cross-commit comparison.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/resolver/...
+	$(GO) run ./cmd/dnsnoise-bench -out BENCH_resolver.json
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_resolver.json

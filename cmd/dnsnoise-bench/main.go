@@ -1,0 +1,198 @@
+// Command dnsnoise-bench measures resolver cluster throughput — the same
+// query stream resolved sequentially and through the per-server worker
+// goroutines — and writes the results to a JSON file so successive commits
+// have a comparable perf trajectory.
+//
+// Usage:
+//
+//	dnsnoise-bench                        # writes BENCH_resolver.json
+//	dnsnoise-bench -out bench.json -servers 8 -queries 200000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/authority"
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/resolver"
+)
+
+// benchResult is one benchmark's record in the output file.
+type benchResult struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	N             int     `json:"iterations"`
+}
+
+type report struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Servers    int           `json:"servers"`
+	Queries    int           `json:"workload_queries"`
+	Sequential benchResult   `json:"sequential"`
+	Parallel   benchResult   `json:"parallel"`
+	Speedup    float64       `json:"speedup"`
+	Note       string        `json:"note,omitempty"`
+	Extra      []benchResult `json:"extra,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dnsnoise-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func newCluster(servers int) (*resolver.Cluster, error) {
+	up := authority.NewServer()
+	z, err := authority.NewZone("bench.test", authority.WithSynth(
+		func(name string, qtype dnsmsg.Type) ([]dnsmsg.RR, bool) {
+			return []dnsmsg.RR{{Name: name, Type: qtype, Class: dnsmsg.ClassIN, TTL: 300, RData: "198.18.0.1"}}, true
+		}))
+	if err != nil {
+		return nil, err
+	}
+	if err := up.AddZone(z); err != nil {
+		return nil, err
+	}
+	return resolver.NewCluster(up,
+		resolver.WithServers(servers), resolver.WithCacheSize(1<<14))
+}
+
+// benchQueries mirrors the resolver package's benchmark mix: ≈80% repeats
+// over a hot name set (cache hits), 20% fresh names (upstream misses).
+func benchQueries(n int) []resolver.Query {
+	t0 := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+	qs := make([]resolver.Query, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("host%d.bench.test", i%97)
+		if i%5 == 0 {
+			name = fmt.Sprintf("cold%d.bench.test", i)
+		}
+		qs = append(qs, resolver.Query{
+			Time:     t0.Add(time.Duration(i) * time.Second),
+			ClientID: uint32(i % 512),
+			Name:     name,
+			Type:     dnsmsg.TypeA,
+		})
+	}
+	return qs
+}
+
+func toResult(name string, r testing.BenchmarkResult) benchResult {
+	ns := float64(r.NsPerOp())
+	qps := 0.0
+	if ns > 0 {
+		qps = 1e9 / ns
+	}
+	return benchResult{
+		Name:          name,
+		NsPerOp:       ns,
+		QueriesPerSec: qps,
+		AllocsPerOp:   r.AllocsPerOp(),
+		BytesPerOp:    r.AllocedBytesPerOp(),
+		N:             r.N,
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dnsnoise-bench", flag.ContinueOnError)
+	var (
+		out     = fs.String("out", "BENCH_resolver.json", "output JSON path ('-' for stdout)")
+		servers = fs.Int("servers", 4, "RDNS servers in the cluster")
+		queries = fs.Int("queries", 100_000, "pre-generated workload size")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *servers < 1 {
+		return fmt.Errorf("-servers must be >= 1 (got %d)", *servers)
+	}
+	if *queries < 1 {
+		return fmt.Errorf("-queries must be >= 1 (got %d)", *queries)
+	}
+	qs := benchQueries(*queries)
+
+	seq := testing.Benchmark(func(b *testing.B) {
+		c, err := newCluster(*servers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Resolve(qs[i%len(qs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	par := testing.Benchmark(func(b *testing.B) {
+		c, err := newCluster(*servers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			n := len(qs)
+			if rest := b.N - done; rest < n {
+				n = rest
+			}
+			if err := c.ResolveBatch(qs[:n]); err != nil {
+				b.Fatal(err)
+			}
+			done += n
+		}
+	})
+
+	rep := report{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Servers:    *servers,
+		Queries:    *queries,
+		Sequential: toResult("BenchmarkClusterSequential", seq),
+		Parallel:   toResult("BenchmarkClusterParallel", par),
+	}
+	if rep.Parallel.NsPerOp > 0 {
+		rep.Speedup = rep.Sequential.NsPerOp / rep.Parallel.NsPerOp
+	}
+	if rep.NumCPU == 1 {
+		rep.Note = "single-CPU host: per-server workers cannot run concurrently, so speedup ~1x measures scheduling overhead only; expect near-linear scaling up to the server count on multi-core hosts"
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sequential: %8.1f ns/op (%.0f queries/s)\n", rep.Sequential.NsPerOp, rep.Sequential.QueriesPerSec)
+	fmt.Printf("parallel:   %8.1f ns/op (%.0f queries/s)\n", rep.Parallel.NsPerOp, rep.Parallel.QueriesPerSec)
+	fmt.Printf("speedup:    %.2fx on %d CPUs (%d servers)\n", rep.Speedup, rep.NumCPU, rep.Servers)
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -4,16 +4,19 @@
 // Usage:
 //
 //	dnsnoise-exp -id all            # every experiment at the default scale
+//	dnsnoise-exp -id all -parallel 4
 //	dnsnoise-exp -id fig12 -scale small
 //	dnsnoise-exp -list
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"dnsnoise/internal/experiments"
@@ -165,10 +168,11 @@ func render(out io.Writer, r interface{ Render() string }, err error) error {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("dnsnoise-exp", flag.ContinueOnError)
 	var (
-		id    = fs.String("id", "all", "experiment id, or 'all'")
-		scale = fs.String("scale", "default", "simulation scale: small or default")
-		list  = fs.Bool("list", false, "list experiment ids and exit")
-		seed  = fs.Int64("seed", 0, "override the scale's seed (0 keeps the default)")
+		id       = fs.String("id", "all", "experiment id, or 'all'")
+		scale    = fs.String("scale", "default", "simulation scale: small or default")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		seed     = fs.Int64("seed", 0, "override the scale's seed (0 keeps the default)")
+		parallel = fs.Int("parallel", 1, "run up to N experiments concurrently (each builds its own environment)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -195,21 +199,65 @@ func run(args []string, stdout io.Writer) error {
 		sc.Seed = *seed
 	}
 
-	ran := 0
+	var selected []experiment
 	for _, e := range exps {
-		if *id != "all" && e.id != *id {
-			continue
+		if *id == "all" || e.id == *id {
+			selected = append(selected, e)
 		}
-		ran++
-		start := time.Now()
-		fmt.Fprintf(stdout, "=== %s — %s ===\n", e.id, e.about)
-		if err := e.run(sc, stdout); err != nil {
-			return fmt.Errorf("experiment %s: %w", e.id, err)
-		}
-		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
 	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		return fmt.Errorf("unknown experiment id %q (try -list)", *id)
+	}
+	if *parallel < 1 {
+		*parallel = 1
+	}
+	if *parallel == 1 {
+		// Sequential runs stream output as each experiment completes.
+		for _, e := range selected {
+			start := time.Now()
+			fmt.Fprintf(stdout, "=== %s — %s ===\n", e.id, e.about)
+			if err := e.run(sc, stdout); err != nil {
+				return fmt.Errorf("experiment %s: %w", e.id, err)
+			}
+			fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
+		}
+		return nil
+	}
+
+	// Experiments are independent (each builds its own registry, authority,
+	// cluster and generator from the scale's seed), so they fan out over a
+	// bounded worker pool. Output is buffered per experiment and printed in
+	// catalog order, so -parallel changes wall-clock only, never the report.
+	type report struct {
+		buf bytes.Buffer
+		err error
+	}
+	reports := make([]report, len(selected))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, *parallel)
+	for i, e := range selected {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, e experiment) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			fmt.Fprintf(&reports[i].buf, "=== %s — %s ===\n", e.id, e.about)
+			if err := e.run(sc, &reports[i].buf); err != nil {
+				reports[i].err = fmt.Errorf("experiment %s: %w", e.id, err)
+				return
+			}
+			fmt.Fprintf(&reports[i].buf, "(%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
+		}(i, e)
+	}
+	wg.Wait()
+	for i := range reports {
+		if reports[i].err != nil {
+			return reports[i].err
+		}
+		if _, err := stdout.Write(reports[i].buf.Bytes()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -69,6 +69,7 @@ func run(args []string, stdout io.Writer) error {
 		cacheSz   = fs.Int("cache", 1<<16, "per-server cache entries")
 		theta     = fs.Float64("theta", 0.9, "classification threshold")
 		top       = fs.Int("top", 25, "findings to print")
+		parallel  = fs.Bool("parallel", false, "replay through per-server resolver workers (one goroutine per simulated server)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,27 +105,66 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	collector := chrstat.NewCollector()
-	cluster.SetTaps(collector.BelowTap(), collector.AboveTap())
-
 	reader := traceio.NewReader(in)
-	events := 0
-	for {
-		ev, err := reader.Next()
-		if err == io.EOF {
-			break
+	var collector *chrstat.Collector
+	var events int
+	if *parallel {
+		// Per-server worker replay: the trace is decoded here and routed to
+		// one goroutine per simulated server; CHR accounting lands in
+		// per-server shards merged afterwards. Per-server cache behaviour
+		// is identical to the sequential path (hash affinity fixes each
+		// client's server, and per-server order is preserved).
+		sharded := chrstat.NewShardedCollector(cluster.NumServers())
+		cluster.SetTaps(sharded.BelowTap(), sharded.AboveTap())
+		queries := make(chan resolver.Query, 1024)
+		var readErr error
+		go func() {
+			defer close(queries)
+			for {
+				ev, err := reader.Next()
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					readErr = err
+					return
+				}
+				q, err := ev.ToQuery()
+				if err != nil {
+					readErr = err
+					return
+				}
+				queries <- q
+				events++
+			}
+		}()
+		if err := cluster.ResolveStream(queries); err != nil {
+			return fmt.Errorf("replay: %w", err)
 		}
-		if err != nil {
-			return err
+		if readErr != nil {
+			return readErr
 		}
-		q, err := ev.ToQuery()
-		if err != nil {
-			return err
+		collector = sharded.Merge()
+	} else {
+		collector = chrstat.NewCollector()
+		cluster.SetTaps(collector.BelowTap(), collector.AboveTap())
+		for {
+			ev, err := reader.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			q, err := ev.ToQuery()
+			if err != nil {
+				return err
+			}
+			if _, err := cluster.Resolve(q); err != nil {
+				return fmt.Errorf("replay event %d: %w", events, err)
+			}
+			events++
 		}
-		if _, err := cluster.Resolve(q); err != nil {
-			return fmt.Errorf("replay event %d: %w", events, err)
-		}
-		events++
 	}
 	if events == 0 {
 		return fmt.Errorf("trace is empty")

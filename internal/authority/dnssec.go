@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"dnsnoise/internal/dnsmsg"
 )
@@ -26,7 +27,7 @@ type Signer struct {
 	priv   ed25519.PrivateKey
 	pub    ed25519.PublicKey
 	keyTag uint16
-	signed uint64 // RRsets signed
+	signed atomic.Uint64 // RRsets signed
 }
 
 // NewSigner creates a signer for zone, drawing key material from rand
@@ -52,7 +53,7 @@ func (s *Signer) Zone() string { return s.zone }
 func (s *Signer) KeyTag() uint16 { return s.keyTag }
 
 // SignedCount returns how many RRsets this signer has signed.
-func (s *Signer) SignedCount() uint64 { return s.signed }
+func (s *Signer) SignedCount() uint64 { return s.signed.Load() }
 
 // DNSKEY returns the zone's public-key record.
 func (s *Signer) DNSKEY() dnsmsg.RR {
@@ -81,7 +82,7 @@ func (s *Signer) Sign(rrset []dnsmsg.RR) (dnsmsg.RR, error) {
 	}
 	msg := canonicalRRSetBytes(rrset)
 	sig := ed25519.Sign(s.priv, msg)
-	s.signed++
+	s.signed.Add(1)
 	return dnsmsg.RR{
 		Name:  owner,
 		Type:  dnsmsg.TypeRRSIG,

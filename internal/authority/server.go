@@ -2,6 +2,7 @@ package authority
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dnsnoise/internal/dnsmsg"
 	"dnsnoise/internal/dnsname"
@@ -20,10 +21,18 @@ type ServerStats struct {
 // wire-correct responses. It stands in for the entire authoritative side of
 // the Internet: root, TLD and leaf delegations are collapsed into a direct
 // lookup, which preserves everything the recursive cache observes.
+//
+// Resolve and HandleWire are safe for concurrent use once all zones are
+// registered: the zone and key maps are read-only after setup and the
+// counters are atomic.
 type Server struct {
 	zones map[string]*Zone
 	keys  map[string]dnsmsg.RR // zone origin -> DNSKEY for signed zones
-	stats ServerStats
+
+	queriesServed    atomic.Uint64
+	nxDomains        atomic.Uint64
+	signatures       atomic.Uint64
+	unmatchedQueries atomic.Uint64
 }
 
 // NewServer returns a server with no zones.
@@ -59,7 +68,14 @@ func (s *Server) DNSKEY(origin string) (dnsmsg.RR, bool) {
 }
 
 // Stats returns a copy of the server counters.
-func (s *Server) Stats() ServerStats { return s.stats }
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		QueriesServed:    s.queriesServed.Load(),
+		NXDomains:        s.nxDomains.Load(),
+		Signatures:       s.signatures.Load(),
+		UnmatchedQueries: s.unmatchedQueries.Load(),
+	}
+}
 
 // findZone locates the longest-suffix zone containing name.
 func (s *Server) findZone(name string) (*Zone, bool) {
@@ -75,7 +91,7 @@ func (s *Server) findZone(name string) (*Zone, bool) {
 // NXDOMAIN responses carry the zone SOA in the authority section; signed
 // zones attach an RRSIG after each positive answer RRset.
 func (s *Server) Resolve(name string, qtype dnsmsg.Type) *dnsmsg.Message {
-	s.stats.QueriesServed++
+	s.queriesServed.Add(1)
 	name = dnsname.Normalize(name)
 	q := dnsmsg.NewQuery(0, name, qtype)
 
@@ -91,13 +107,13 @@ func (s *Server) Resolve(name string, qtype dnsmsg.Type) *dnsmsg.Message {
 	}
 	z, ok := s.findZone(name)
 	if !ok {
-		s.stats.UnmatchedQueries++
-		s.stats.NXDomains++
+		s.unmatchedQueries.Add(1)
+		s.nxDomains.Add(1)
 		return dnsmsg.NewResponse(q, dnsmsg.RCodeNXDomain)
 	}
 	answers, err := z.Lookup(name, qtype)
 	if err != nil {
-		s.stats.NXDomains++
+		s.nxDomains.Add(1)
 		resp := dnsmsg.NewResponse(q, dnsmsg.RCodeNXDomain)
 		resp.Header.Authoritative = true
 		resp.Authority = append(resp.Authority, z.SOA())
@@ -116,7 +132,7 @@ func (s *Server) Resolve(name string, qtype dnsmsg.Type) *dnsmsg.Message {
 	if z.signer != nil {
 		if rrsig, err := z.signer.Sign(answers); err == nil {
 			resp.Answers = append(resp.Answers, rrsig)
-			s.stats.Signatures++
+			s.signatures.Add(1)
 		}
 	}
 	return resp

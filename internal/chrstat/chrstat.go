@@ -14,6 +14,8 @@
 package chrstat
 
 import (
+	"sync"
+
 	"dnsnoise/internal/cache"
 	"dnsnoise/internal/dnsmsg"
 	"dnsnoise/internal/resolver"
@@ -101,39 +103,43 @@ func NewCollector() *Collector {
 
 // BelowTap returns the tap to install below the resolvers.
 func (c *Collector) BelowTap() resolver.Tap {
-	return resolver.TapFunc(func(ob resolver.Observation) {
-		c.belowTotal++
-		if ob.QName != "" {
-			c.queriedNames[ob.QName] = struct{}{}
-		}
-		if ob.RCode != dnsmsg.RCodeNoError {
-			c.belowNX++
-			return
-		}
-		if ob.RR.Name == "" {
-			return // NODATA
-		}
-		c.resolvedNF[ob.RR.Name] = struct{}{}
-		st := c.stat(ob.RR, ob.Category)
-		st.Below++
-		st.trackClient(ob.ClientID)
-	})
+	return resolver.TapFunc(c.observeBelow)
 }
 
 // AboveTap returns the tap to install above the resolvers.
 func (c *Collector) AboveTap() resolver.Tap {
-	return resolver.TapFunc(func(ob resolver.Observation) {
-		c.aboveTotal++
-		if ob.RCode != dnsmsg.RCodeNoError {
-			c.aboveNX++
-			return
-		}
-		if ob.RR.Name == "" {
-			return
-		}
-		st := c.stat(ob.RR, ob.Category)
-		st.Above++
-	})
+	return resolver.TapFunc(c.observeAbove)
+}
+
+func (c *Collector) observeBelow(ob resolver.Observation) {
+	c.belowTotal++
+	if ob.QName != "" {
+		c.queriedNames[ob.QName] = struct{}{}
+	}
+	if ob.RCode != dnsmsg.RCodeNoError {
+		c.belowNX++
+		return
+	}
+	if ob.RR.Name == "" {
+		return // NODATA
+	}
+	c.resolvedNF[ob.RR.Name] = struct{}{}
+	st := c.stat(ob.RR, ob.Category)
+	st.Below++
+	st.trackClient(ob.ClientID)
+}
+
+func (c *Collector) observeAbove(ob resolver.Observation) {
+	c.aboveTotal++
+	if ob.RCode != dnsmsg.RCodeNoError {
+		c.aboveNX++
+		return
+	}
+	if ob.RR.Name == "" {
+		return
+	}
+	st := c.stat(ob.RR, ob.Category)
+	st.Above++
 }
 
 func (c *Collector) stat(rr dnsmsg.RR, cat cache.Category) *RRStat {
@@ -307,8 +313,11 @@ func (c *Collector) Tail(inTail func(*RRStat) bool) TailStats {
 
 // HourlyCounter buckets observation volumes by hour for the Figure 2
 // traffic profile. Series membership is decided by predicates over the
-// observation.
+// observation. The tap is mutex-guarded, so it may be installed directly on
+// a cluster driven by concurrent workers; contention is acceptable because
+// hourly counting is far off the CHR hot path.
 type HourlyCounter struct {
+	mu     sync.Mutex
 	series []hourlySeries
 }
 
@@ -331,15 +340,17 @@ func (h *HourlyCounter) AddSeries(name string, pred func(resolver.Observation) b
 	})
 }
 
-// Tap returns a resolver tap feeding the counter.
+// Tap returns a resolver tap feeding the counter. Safe for concurrent use.
 func (h *HourlyCounter) Tap() resolver.Tap {
 	return resolver.TapFunc(func(ob resolver.Observation) {
 		hour := ob.Time.Unix() / 3600
+		h.mu.Lock()
 		for i := range h.series {
 			if h.series[i].pred(ob) {
 				h.series[i].counts[hour]++
 			}
 		}
+		h.mu.Unlock()
 	})
 }
 

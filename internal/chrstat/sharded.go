@@ -1,0 +1,117 @@
+package chrstat
+
+import (
+	"fmt"
+
+	"dnsnoise/internal/resolver"
+)
+
+// ShardedCollector is the concurrent counterpart of Collector for clusters
+// driven by per-server worker goroutines (resolver.ResolveStream). Each
+// simulated server gets a private Collector shard; the taps route every
+// observation to the shard named by its Server index, so shards are only
+// ever touched by their own worker and no locking is needed on the hot
+// path. Merge folds the shards into one ordinary Collector after the run.
+//
+// Because hash affinity pins each client to one server, shard client sets
+// are disjoint and the merged per-record client counts (including the
+// 64-client saturation behaviour) match what a sequential Collector
+// observing the same traffic would report.
+type ShardedCollector struct {
+	shards []*Collector
+}
+
+// NewShardedCollector returns a collector with one shard per server.
+func NewShardedCollector(numServers int) *ShardedCollector {
+	if numServers < 1 {
+		numServers = 1
+	}
+	shards := make([]*Collector, numServers)
+	for i := range shards {
+		shards[i] = NewCollector()
+	}
+	return &ShardedCollector{shards: shards}
+}
+
+// BelowTap returns the below-side tap. Safe for concurrent use as long as
+// observations with the same Server index arrive from one goroutine, which
+// is exactly the contract ResolveStream provides.
+func (s *ShardedCollector) BelowTap() resolver.Tap {
+	return resolver.TapFunc(func(ob resolver.Observation) {
+		s.shard(ob.Server).observeBelow(ob)
+	})
+}
+
+// AboveTap returns the above-side tap, with the same contract as BelowTap.
+func (s *ShardedCollector) AboveTap() resolver.Tap {
+	return resolver.TapFunc(func(ob resolver.Observation) {
+		s.shard(ob.Server).observeAbove(ob)
+	})
+}
+
+func (s *ShardedCollector) shard(i int) *Collector {
+	if i < 0 || i >= len(s.shards) {
+		panic(fmt.Sprintf("chrstat: observation from server %d, collector has %d shards", i, len(s.shards)))
+	}
+	return s.shards[i]
+}
+
+// NumShards returns the number of per-server shards.
+func (s *ShardedCollector) NumShards() int { return len(s.shards) }
+
+// Shard exposes one per-server shard, e.g. for per-server CHR breakdowns.
+func (s *ShardedCollector) Shard(i int) *Collector { return s.shards[i] }
+
+// Merge folds all shards into a single Collector, deterministically: shards
+// are absorbed in server order. The result is equivalent to a sequential
+// Collector that observed the union of the shard streams — counter totals
+// and distinct-name sets are exact, and per-record client counts agree
+// including saturation (see absorb).
+func (s *ShardedCollector) Merge() *Collector {
+	out := NewCollector()
+	for _, sh := range s.shards {
+		out.absorb(sh)
+	}
+	return out
+}
+
+// absorb folds src into c.
+func (c *Collector) absorb(src *Collector) {
+	c.belowTotal += src.belowTotal
+	c.aboveTotal += src.aboveTotal
+	c.belowNX += src.belowNX
+	c.aboveNX += src.aboveNX
+	for name := range src.queriedNames {
+		c.queriedNames[name] = struct{}{}
+	}
+	for name := range src.resolvedNF {
+		c.resolvedNF[name] = struct{}{}
+	}
+	for key, st := range src.perRR {
+		dst, ok := c.perRR[key]
+		if !ok {
+			dst = &RRStat{Name: st.Name, Type: st.Type, TTL: st.TTL, Category: st.Category}
+			c.perRR[key] = dst
+		}
+		dst.absorb(st)
+	}
+}
+
+// absorb folds one shard's record stats into dst. Client sets union up to
+// the tracking cap: the count saturates at maxTrackedClients exactly when a
+// sequential observer of the combined stream would saturate, because either
+// some shard already overflowed (>=65 distinct clients on one stream) or
+// the disjoint shard sets union past the cap during insertion.
+func (dst *RRStat) absorb(src *RRStat) {
+	dst.Below += src.Below
+	dst.Above += src.Above
+	for id := range src.clients {
+		if dst.clientsOverflow {
+			break
+		}
+		dst.trackClient(id)
+	}
+	if src.clientsOverflow {
+		dst.clientsOverflow = true
+	}
+}

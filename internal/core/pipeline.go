@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"dnsnoise/internal/chrstat"
@@ -61,6 +62,12 @@ func (p *Pipeline) ProcessDay(date time.Time, byName map[string][]*chrstat.RRSta
 	if err != nil {
 		return nil, fmt.Errorf("day %s: %w", date.Format("2006-01-02"), err)
 	}
+	p.fold(date, findings)
+	return findings, nil
+}
+
+// fold accumulates one day's findings into the cumulative ranking.
+func (p *Pipeline) fold(date time.Time, findings []Finding) {
 	p.days++
 	for _, f := range findings {
 		rec, ok := p.zones[f.Zone]
@@ -79,7 +86,59 @@ func (p *Pipeline) ProcessDay(date time.Time, byName map[string][]*chrstat.RRSta
 			sort.Ints(rec.Depths)
 		}
 	}
-	return findings, nil
+}
+
+// DayInput names one day's statistics for batch processing.
+type DayInput struct {
+	Date   time.Time
+	ByName map[string][]*chrstat.RRStat
+}
+
+// ProcessDays mines a batch of independent days with up to workers
+// concurrent miners, then folds the findings into the cumulative ranking in
+// input order — so the resulting ranking (FirstSeen/LastSeen, day counts)
+// is identical to calling ProcessDay once per day sequentially. Mining
+// (tree build + Algorithm 1) dominates day cost and is read-only over its
+// inputs, which is what makes the fan-out safe; the fold is cheap and stays
+// single-threaded. The per-day findings are returned in input order.
+func (p *Pipeline) ProcessDays(days []DayInput, workers int) ([][]Finding, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(days) {
+		workers = len(days)
+	}
+	type mined struct {
+		findings []Finding
+		err      error
+	}
+	results := make([]mined, len(days))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range days {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tree := BuildTree(days[i].ByName, p.suffixes)
+			findings, err := p.miner.Mine(tree, days[i].ByName)
+			if err != nil {
+				err = fmt.Errorf("day %s: %w", days[i].Date.Format("2006-01-02"), err)
+			}
+			results[i] = mined{findings: findings, err: err}
+		}(i)
+	}
+	wg.Wait()
+	out := make([][]Finding, len(days))
+	for i, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		p.fold(days[i].Date, r.findings)
+		out[i] = r.findings
+	}
+	return out, nil
 }
 
 func containsInt(xs []int, v int) bool {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"dnsnoise/internal/chrstat"
 	"dnsnoise/internal/dnsname"
@@ -50,8 +51,17 @@ func (c *TrainingConfig) setDefaults() {
 func BuildTrainingSet(tree *dntree.Tree, byName map[string][]*chrstat.RRStat,
 	labels map[string]bool, cfg TrainingConfig) []features.Example {
 	cfg.setDefaults()
+	// Iterate zones in sorted order: example order decides cross-validation
+	// fold membership downstream, and map order would make every CV metric
+	// wobble between otherwise identical runs.
+	zones := make([]string, 0, len(labels))
+	for zone := range labels {
+		zones = append(zones, zone)
+	}
+	sort.Strings(zones)
 	var out []features.Example
-	for zone, disposable := range labels {
+	for _, zone := range zones {
+		disposable := labels[zone]
 		zone = dnsname.Normalize(zone)
 		for _, g := range tree.GroupsUnder(zone) {
 			if len(g.Names) < cfg.MinGroupSize {

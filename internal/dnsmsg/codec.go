@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Flag bit positions within the header's 16-bit flags word.
@@ -19,12 +20,34 @@ const (
 // defeat pointer loops in malformed packets.
 const maxCompressionPointers = 64
 
+// encoderPool recycles the compression-offset map between encodes; the
+// output buffer itself is owned by the caller (Encode hands it over,
+// AppendEncode appends to the caller's slice), so only the map is pooled.
+var encoderPool = sync.Pool{
+	New: func() any { return &encoder{offsets: make(map[string]int, 16)} },
+}
+
 // Encode serializes the message to wire format with name compression.
 func (m *Message) Encode() ([]byte, error) {
-	e := encoder{
-		buf:     make([]byte, 0, 512),
-		offsets: make(map[string]int),
-	}
+	return m.AppendEncode(make([]byte, 0, 512))
+}
+
+// AppendEncode serializes the message to wire format with name compression,
+// appending to dst (which may be nil or a recycled buffer) and returning the
+// extended slice. Compression offsets are relative to the message start, so
+// dst may already hold unrelated bytes.
+func (m *Message) AppendEncode(dst []byte) ([]byte, error) {
+	e := encoderPool.Get().(*encoder)
+	e.buf = dst
+	e.base = len(dst)
+	out, err := e.encode(m)
+	e.buf = nil // do not retain the caller's buffer
+	clear(e.offsets)
+	encoderPool.Put(e)
+	return out, err
+}
+
+func (e *encoder) encode(m *Message) ([]byte, error) {
 	flags := uint16(m.Header.Opcode&0xF) << 11
 	if m.Header.Response {
 		flags |= flagQR
@@ -125,8 +148,11 @@ func Decode(data []byte) (*Message, error) {
 }
 
 // encoder accumulates wire bytes and tracks name offsets for compression.
+// Offsets are stored relative to base (the message start within buf) so an
+// encoder can append to a buffer that already holds other data.
 type encoder struct {
 	buf     []byte
+	base    int
 	offsets map[string]int
 }
 
@@ -159,8 +185,8 @@ func (e *encoder) name(name string) error {
 		if len(label) == 0 {
 			return fmt.Errorf("%w: empty label in %q", ErrBadRData, name)
 		}
-		if len(e.buf) < 0x3FFF {
-			e.offsets[name] = len(e.buf)
+		if len(e.buf)-e.base < 0x3FFF {
+			e.offsets[name] = len(e.buf) - e.base
 		}
 		e.u8(uint8(len(label)))
 		e.buf = append(e.buf, label...)

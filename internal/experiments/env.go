@@ -156,6 +156,32 @@ func (e *Env) RunDay(p workload.Profile, extraBelow, extraAbove resolver.Tap) (*
 	return collector, nil
 }
 
+// RunDayParallel is RunDay driven through the cluster's per-server worker
+// goroutines: the generator feeds a query channel from this goroutine while
+// one worker per simulated server resolves its shard of the stream. The
+// per-day CHR accounting lands in a sharded collector merged after the run,
+// so the returned Collector matches a sequential RunDay of the same seeded
+// day (see resolver.ResolveStream for the ordering argument). Extra taps
+// observe from concurrent workers and must be safe for concurrent use.
+func (e *Env) RunDayParallel(p workload.Profile, extraBelow, extraAbove resolver.Tap) (*chrstat.Collector, error) {
+	sharded := chrstat.NewShardedCollector(e.Cluster.NumServers())
+	below := resolver.MultiTap(sharded.BelowTap(), extraBelow)
+	above := resolver.MultiTap(sharded.AboveTap(), extraAbove)
+	e.Cluster.SetTaps(below, above)
+	queries := make(chan resolver.Query, 1024)
+	go func() {
+		defer close(queries)
+		e.Generator.GenerateDay(p, func(q resolver.Query) bool {
+			queries <- q
+			return true
+		})
+	}()
+	if err := e.Cluster.ResolveStream(queries); err != nil {
+		return nil, fmt.Errorf("day %s: %w", p.Label, err)
+	}
+	return sharded.Merge(), nil
+}
+
 // GoogleNames matches names under google.com.
 func GoogleNames(name string) bool {
 	return dnsname.IsSubdomainOf(name, "google.com")

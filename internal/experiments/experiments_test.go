@@ -8,7 +8,7 @@ import (
 // tinyScale keeps individual experiment tests fast.
 func tinyScale() Scale {
 	return Scale{
-		Seed:               3,
+		Seed:               15,
 		NonDisposableZones: 220,
 		DisposableZones:    60,
 		HostsPerZoneMax:    36,

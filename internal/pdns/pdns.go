@@ -7,6 +7,7 @@ package pdns
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"dnsnoise/internal/cache"
@@ -36,8 +37,13 @@ type DayCounts struct {
 
 // Store is the rpDNS database. It consumes the below-the-resolver stream
 // (successful resolutions only, like the paper's rpDNS) and deduplicates
-// records by (name, type, rdata).
+// records by (name, type, rdata). Insert (and thus the tap) is
+// mutex-guarded, so the store may be attached to a cluster driven by
+// concurrent per-server workers; dedup means most observations take the
+// lock only for a map lookup. Readers (Len, Records, Days, ...) take the
+// same lock and may run while insertion is in flight.
 type Store struct {
+	mu        sync.Mutex
 	firstSeen map[string]*Record
 	seriesFn  []func(*Record) bool
 	seriesNm  []string
@@ -77,9 +83,11 @@ func (s *Store) Tap() resolver.Tap {
 }
 
 // Insert records one observed RR at instant at. Duplicate tuples are
-// ignored; the first sighting wins.
+// ignored; the first sighting wins. Safe for concurrent use.
 func (s *Store) Insert(rr dnsmsg.RR, cat cache.Category, at time.Time) {
 	key := rr.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.firstSeen[key]; ok {
 		return
 	}
@@ -113,10 +121,16 @@ func (s *Store) Insert(rr dnsmsg.RR, cat cache.Category, at time.Time) {
 }
 
 // Len returns the number of distinct records stored.
-func (s *Store) Len() int { return len(s.firstSeen) }
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.firstSeen)
+}
 
 // DisposableCount returns how many stored records are disposable.
 func (s *Store) DisposableCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := 0
 	for _, rec := range s.firstSeen {
 		if rec.Category == cache.CategoryDisposable {
@@ -128,6 +142,8 @@ func (s *Store) DisposableCount() int {
 
 // Days returns per-day new-record counts sorted by date.
 func (s *Store) Days() []DayCounts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]DayCounts, 0, len(s.days))
 	for _, dc := range s.days {
 		out = append(out, *dc)
@@ -138,6 +154,8 @@ func (s *Store) Days() []DayCounts {
 
 // Records returns all stored records; order is undefined.
 func (s *Store) Records() []*Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]*Record, 0, len(s.firstSeen))
 	for _, rec := range s.firstSeen {
 		out = append(out, rec)
@@ -148,6 +166,8 @@ func (s *Store) Records() []*Record {
 // StorageBytes estimates the database's storage cost as the sum of tuple
 // sizes: name + rdata + fixed overhead per record (type, timestamp, index).
 func (s *Store) StorageBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	const overhead = 24
 	var total uint64
 	for _, rec := range s.firstSeen {
@@ -189,6 +209,8 @@ func (r CollapseResult) DisposableRatio() float64 {
 // zoneOf returns the covering disposable zone and true, or false when the
 // name is not under any mined disposable zone.
 func (s *Store) CollapseWildcards(zoneOf func(name string) (string, bool)) CollapseResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	res := CollapseResult{Before: len(s.firstSeen)}
 	wildcards := make(map[string]struct{})
 	kept := 0

@@ -1,0 +1,183 @@
+package resolver
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel resolution: one worker goroutine per simulated RDNS server.
+//
+// AffinityHash pins each client to exactly one server, so the cluster's
+// query stream is a union of independent per-server substreams. The router
+// (caller goroutine) splits the incoming stream by pickServer and feeds each
+// server's worker over a bounded channel, preserving per-server FIFO order.
+// Every server therefore sees the identical subsequence it would see under
+// sequential Resolve, so its LRU cache — and hence the paper's black-box
+// cache-hit-ratio measurements — behaves bit-identically.
+//
+// Queries are routed in batches to amortize channel synchronization:
+// a cache hit costs ~100ns, a channel handoff roughly the same, so
+// per-query sends would halve throughput.
+
+// streamBatchSize is how many queries the router accumulates per server
+// before handing the batch to its worker.
+const streamBatchSize = 64
+
+// shardChanCap bounds each server's pending-batch queue. Small enough to
+// keep memory bounded, large enough to decouple router and worker bursts.
+const shardChanCap = 32
+
+// StreamOption configures one ResolveStream/ResolveBatch run.
+type StreamOption interface {
+	applyStream(*streamOptions)
+}
+
+type streamOptions struct {
+	bufferedTaps bool
+}
+
+type streamOptionFunc func(*streamOptions)
+
+func (f streamOptionFunc) applyStream(o *streamOptions) { f(o) }
+
+// WithBufferedTaps defers tap delivery: each worker appends its
+// observations to a private buffer, and after all workers finish the
+// buffers are drained into the taps server by server, in server order,
+// from the calling goroutine. Observations within a server stay in
+// resolution order. The mode trades tap latency and memory for two
+// guarantees tests want: taps need not be concurrency-safe, and a given
+// seed yields one deterministic delivery order.
+func WithBufferedTaps() StreamOption {
+	return streamOptionFunc(func(o *streamOptions) { o.bufferedTaps = true })
+}
+
+// ResolveStream consumes queries until the channel closes, resolving each
+// on its affinity-selected server's worker goroutine. It blocks until every
+// in-flight query finishes and returns the first resolution error, if any
+// (the stream keeps draining after an error so producers never block).
+// Round-robin affinity is routed by the single router goroutine, so its
+// query interleaving is exactly the arrival order, as in sequential mode.
+func (c *Cluster) ResolveStream(queries <-chan Query, opts ...StreamOption) error {
+	return c.runParallel(func(route func(Query)) {
+		for q := range queries {
+			route(q)
+		}
+	}, opts...)
+}
+
+// ResolveBatch resolves a slice of queries through the per-server workers
+// and blocks until all complete, returning the first error encountered.
+func (c *Cluster) ResolveBatch(queries []Query, opts ...StreamOption) error {
+	return c.runParallel(func(route func(Query)) {
+		for _, q := range queries {
+			route(q)
+		}
+	}, opts...)
+}
+
+// runParallel spins up one worker per server, invokes feed with a routing
+// function on the caller goroutine, then flushes, joins, and (in buffered
+// mode) drains observation buffers deterministically.
+func (c *Cluster) runParallel(feed func(route func(Query)), opts ...StreamOption) error {
+	var so streamOptions
+	for _, opt := range opts {
+		opt.applyStream(&so)
+	}
+
+	n := len(c.servers)
+	chans := make([]chan []Query, n)
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+
+	for i, s := range c.servers {
+		s.buffered = so.bufferedTaps
+		if so.bufferedTaps {
+			s.obBuf = s.obBuf[:0]
+		}
+		ch := make(chan []Query, shardChanCap)
+		chans[i] = ch
+		wg.Add(1)
+		go func(s *server, ch <-chan []Query) {
+			defer wg.Done()
+			for batch := range ch {
+				for _, q := range batch {
+					if _, err := c.resolveOn(s, q); err != nil {
+						if firstErr.Load() == nil {
+							e := err
+							firstErr.CompareAndSwap(nil, &e)
+						}
+						// Keep consuming so the router never blocks; later
+						// queries on this server still resolve (matching
+						// sequential behaviour, where the caller decides
+						// whether to continue after an error).
+					}
+				}
+			}
+		}(s, ch)
+	}
+
+	// Router: runs in the caller goroutine. pickServer is only safe
+	// single-threaded (round-robin cursor), which the single router
+	// guarantees.
+	pending := make([][]Query, n)
+	route := func(q Query) {
+		i := c.pickServer(q.ClientID)
+		pending[i] = append(pending[i], q)
+		if len(pending[i]) >= streamBatchSize {
+			chans[i] <- pending[i]
+			pending[i] = make([]Query, 0, streamBatchSize)
+		}
+	}
+	feed(route)
+	for i, batch := range pending {
+		if len(batch) > 0 {
+			chans[i] <- batch
+		}
+		close(chans[i])
+	}
+	wg.Wait()
+
+	if so.bufferedTaps {
+		c.drainBuffers()
+	}
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}
+
+// drainBuffers replays buffered observations into the taps from the calling
+// goroutine: servers in index order, each server's observations in the
+// order its worker produced them.
+func (c *Cluster) drainBuffers() {
+	for _, s := range c.servers {
+		for _, b := range s.obBuf {
+			if b.side == sideBelow {
+				if c.below != nil {
+					c.below.Observe(b.ob)
+				}
+			} else if c.above != nil {
+				c.above.Observe(b.ob)
+			}
+		}
+		s.obBuf = nil
+		s.buffered = false
+	}
+}
+
+// SortObservations orders observations by time, then client, then qname —
+// a stable canonical order for comparing tap output across runs whose
+// interleaving differs.
+func SortObservations(obs []Observation) {
+	sort.SliceStable(obs, func(i, j int) bool {
+		a, b := obs[i], obs[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.ClientID != b.ClientID {
+			return a.ClientID < b.ClientID
+		}
+		return a.QName < b.QName
+	})
+}

@@ -12,12 +12,18 @@
 // Both taps see the answer section of each response, one observation per
 // resource record, exactly like the fpDNS collection described in
 // Section III-A.
+//
+// All per-query state — caches, counters, upstream message IDs, scratch wire
+// buffers — is sharded per server, so the cluster can run one worker
+// goroutine per server (see ResolveStream) without any locking on the hot
+// path. Resolve itself is single-threaded: one caller at a time, as before.
 package resolver
 
 import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"dnsnoise/internal/authority"
@@ -34,6 +40,10 @@ var (
 
 // maxChainDepth bounds CNAME chain following.
 const maxChainDepth = 8
+
+// defaultNegTTL is the RFC 2308 fallback negative-caching TTL used when the
+// authority's NXDOMAIN response carries no SOA to derive one from.
+const defaultNegTTL = 300
 
 // Query is one client resolution request. Category carries the workload's
 // ground-truth label; it is used only for cache-pressure accounting and is
@@ -75,7 +85,10 @@ func MultiTap(taps ...Tap) Tap {
 	})
 }
 
-// Tap consumes observations from one side of the cluster.
+// Tap consumes observations from one side of the cluster. Taps installed on
+// a cluster driven through ResolveStream or ResolveBatch are invoked
+// concurrently from the per-server workers and must be safe for concurrent
+// use, unless WithBufferedTaps defers delivery to a single drain pass.
 type Tap interface {
 	Observe(ob Observation)
 }
@@ -106,7 +119,8 @@ const (
 	AffinityRoundRobin
 )
 
-// Stats aggregates cluster-wide counters.
+// Stats aggregates cluster-wide counters. Each server accumulates its own
+// shard; Stats() merges the shards on read.
 type Stats struct {
 	Queries        uint64
 	CacheHits      uint64
@@ -124,10 +138,32 @@ type Stats struct {
 	MissesByCategory  [2]uint64
 }
 
+// add folds o into st.
+func (st *Stats) add(o *Stats) {
+	st.Queries += o.Queries
+	st.CacheHits += o.CacheHits
+	st.CacheMisses += o.CacheMisses
+	st.UpstreamRTs += o.UpstreamRTs
+	st.NXDomains += o.NXDomains
+	st.NegCacheHits += o.NegCacheHits
+	st.Validations += o.Validations
+	st.ValidationErrs += o.ValidationErrs
+	st.WireBytesUp += o.WireBytesUp
+	st.UpstreamErrors += o.UpstreamErrors
+	st.ServFails += o.ServFails
+	for i := range st.QueriesByCategory {
+		st.QueriesByCategory[i] += o.QueriesByCategory[i]
+		st.MissesByCategory[i] += o.MissesByCategory[i]
+	}
+}
+
 // Upstream is the authoritative side the cluster recurses to: anything
 // that answers a wire-format DNS query with a wire-format response. The
 // in-process authority.Server satisfies it directly; udptransport.Client
-// satisfies it over a real UDP socket.
+// satisfies it over a real UDP socket. Implementations must not retain the
+// query slice after returning (the cluster reuses wire buffers), and must be
+// safe for concurrent calls when the cluster is driven through
+// ResolveStream/ResolveBatch.
 type Upstream interface {
 	HandleWire(query []byte) ([]byte, error)
 }
@@ -139,14 +175,37 @@ type Cluster struct {
 	opts     options
 	below    Tap
 	above    Tap
-	stats    Stats
 	rrIndex  uint64 // round-robin cursor
 	keys     map[string]ed25519.PublicKey
+	keysMu   sync.Mutex // guards keys; held across the DNSKEY fetch so each zone key is fetched once
 }
 
+// server is one RDNS server: its caches plus every piece of mutable
+// per-query state, so a dedicated worker goroutine can drive it without
+// synchronizing with its siblings.
 type server struct {
+	idx      int
 	cache    *cache.LRU
 	negCache *cache.LRU
+	stats    Stats
+	msgID    uint16 // upstream message-ID counter, independent of any stat
+	queryBuf []byte // reusable wire buffer for upstream queries
+
+	// Parallel-mode tap buffering (see WithBufferedTaps).
+	buffered bool
+	obBuf    []bufferedOb
+}
+
+type obSide uint8
+
+const (
+	sideBelow obSide = iota
+	sideAbove
+)
+
+type bufferedOb struct {
+	side obSide
+	ob   Observation
 }
 
 type options struct {
@@ -271,6 +330,7 @@ func NewCluster(upstream Upstream, opts ...Option) (*Cluster, error) {
 	}
 	for i := 0; i < o.numServers; i++ {
 		c.servers = append(c.servers, &server{
+			idx:      i,
 			cache:    cache.NewLRU(o.cacheSize),
 			negCache: cache.NewLRU(o.cacheSize / 4),
 		})
@@ -279,13 +339,29 @@ func NewCluster(upstream Upstream, opts ...Option) (*Cluster, error) {
 }
 
 // SetTaps installs the below/above observation taps; either may be nil.
+// Must not be called while a ResolveStream/ResolveBatch run is in flight.
 func (c *Cluster) SetTaps(below, above Tap) {
 	c.below = below
 	c.above = above
 }
 
-// Stats returns a copy of cluster counters.
-func (c *Cluster) Stats() Stats { return c.stats }
+// Stats returns the cluster counters, merged across the per-server shards.
+func (c *Cluster) Stats() Stats {
+	var out Stats
+	for _, s := range c.servers {
+		out.add(&s.stats)
+	}
+	return out
+}
+
+// PerServerStats returns each server's own counter shard, indexed by server.
+func (c *Cluster) PerServerStats() []Stats {
+	out := make([]Stats, len(c.servers))
+	for i, s := range c.servers {
+		out[i] = s.stats
+	}
+	return out
+}
 
 // NumServers returns the number of servers in the cluster.
 func (c *Cluster) NumServers() int { return len(c.servers) }
@@ -305,89 +381,128 @@ type cacheValue struct {
 	answers []dnsmsg.RR
 }
 
-// Resolve processes one client query through the cluster.
+// cacheKey builds the per-server cache key for (name, qtype) without going
+// through Type.String concatenation chains: the common types resolve to a
+// constant "|<TYPE>" suffix, leaving a single string concatenation per key.
+func cacheKey(name string, t dnsmsg.Type) string {
+	return name + typeKeySuffix(t)
+}
+
+func typeKeySuffix(t dnsmsg.Type) string {
+	switch t {
+	case dnsmsg.TypeA:
+		return "|A"
+	case dnsmsg.TypeAAAA:
+		return "|AAAA"
+	case dnsmsg.TypeCNAME:
+		return "|CNAME"
+	case dnsmsg.TypeNS:
+		return "|NS"
+	case dnsmsg.TypeSOA:
+		return "|SOA"
+	case dnsmsg.TypeTXT:
+		return "|TXT"
+	case dnsmsg.TypeDNSKEY:
+		return "|DNSKEY"
+	case dnsmsg.TypeRRSIG:
+		return "|RRSIG"
+	default:
+		return "|" + t.String()
+	}
+}
+
+// Resolve processes one client query through the cluster. It is not safe
+// for concurrent use; parallel callers should use ResolveStream or
+// ResolveBatch, which fan the load out across per-server workers.
 func (c *Cluster) Resolve(q Query) (Response, error) {
-	c.stats.Queries++
-	c.stats.QueriesByCategory[q.Category]++
+	return c.resolveOn(c.servers[c.pickServer(q.ClientID)], q)
+}
+
+// resolveOn processes one query on server s. In parallel mode every server
+// is driven by its own worker, so everything touched here — caches,
+// counters, wire buffers — must live on s or be concurrent-safe.
+func (c *Cluster) resolveOn(s *server, q Query) (Response, error) {
+	s.stats.Queries++
+	s.stats.QueriesByCategory[q.Category]++
 	q.Name = dnsname.Normalize(q.Name)
-	srv := c.pickServer(q.ClientID)
-	s := c.servers[srv]
-	key := q.Name + "|" + q.Type.String()
+	key := cacheKey(q.Name, q.Type)
 
 	// Positive cache.
 	if v, ok := s.cache.Get(key, q.Time); ok {
 		cv := v.(cacheValue)
-		c.stats.CacheHits++
-		c.emitBelow(q, srv, cv.answers, dnsmsg.RCodeNoError)
+		s.stats.CacheHits++
+		c.emitBelow(s, q, cv.answers, dnsmsg.RCodeNoError)
 		return Response{RCode: dnsmsg.RCodeNoError, Answers: cv.answers, FromCache: true}, nil
 	}
 	// Negative cache.
 	if c.opts.negCache {
 		if _, ok := s.negCache.Get(key, q.Time); ok {
-			c.stats.NegCacheHits++
-			c.stats.NXDomains++
-			c.emitBelow(q, srv, nil, dnsmsg.RCodeNXDomain)
+			s.stats.NegCacheHits++
+			s.stats.NXDomains++
+			c.emitBelow(s, q, nil, dnsmsg.RCodeNXDomain)
 			return Response{RCode: dnsmsg.RCodeNXDomain, FromCache: true}, nil
 		}
 	}
-	c.stats.CacheMisses++
-	c.stats.MissesByCategory[q.Category]++
+	s.stats.CacheMisses++
+	s.stats.MissesByCategory[q.Category]++
 
-	answers, rcode, err := c.recurse(q, srv, s)
+	answers, rcode, negTTL, err := c.recurse(q, s)
 	if errors.Is(err, errUpstreamUnavailable) {
 		// The authority could not be reached after retries: degrade to
 		// SERVFAIL, as a production resolver would, rather than failing
 		// the simulation.
-		c.stats.ServFails++
-		c.emitBelow(q, srv, nil, dnsmsg.RCodeServFail)
+		s.stats.ServFails++
+		c.emitBelow(s, q, nil, dnsmsg.RCodeServFail)
 		return Response{RCode: dnsmsg.RCodeServFail}, nil
 	}
 	if err != nil {
 		return Response{}, err
 	}
 	if rcode == dnsmsg.RCodeNXDomain {
-		c.stats.NXDomains++
+		s.stats.NXDomains++
 		if c.opts.negCache {
-			s.negCache.Put(key, struct{}{}, c.clampTTL(300), q.Category, q.Time)
+			s.negCache.Put(key, struct{}{}, c.clampTTL(negTTL), q.Category, q.Time)
 		}
-		c.emitBelow(q, srv, nil, dnsmsg.RCodeNXDomain)
+		c.emitBelow(s, q, nil, dnsmsg.RCodeNXDomain)
 		return Response{RCode: rcode}, nil
 	}
-	c.emitBelow(q, srv, answers, rcode)
+	c.emitBelow(s, q, answers, rcode)
 	return Response{RCode: rcode, Answers: answers}, nil
 }
 
 // recurse performs the iterative resolution against the upstream authority,
-// following CNAME chains and caching every RRset it learns.
-func (c *Cluster) recurse(q Query, srv int, s *server) ([]dnsmsg.RR, dnsmsg.RCode, error) {
+// following CNAME chains and caching every RRset it learns. For negative
+// outcomes it also reports the RFC 2308 negative-caching TTL derived from
+// the authority's SOA.
+func (c *Cluster) recurse(q Query, s *server) ([]dnsmsg.RR, dnsmsg.RCode, uint32, error) {
 	var chain []dnsmsg.RR
 	name := q.Name
 	for depth := 0; ; depth++ {
 		if depth >= maxChainDepth {
-			return nil, 0, fmt.Errorf("%w: %q", ErrChainLoop, q.Name)
+			return nil, 0, 0, fmt.Errorf("%w: %q", ErrChainLoop, q.Name)
 		}
-		resp, err := c.exchange(name, q.Type)
+		resp, err := c.exchange(s, name, q.Type)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
-		c.emitAbove(q, srv, resp)
+		c.emitAbove(s, q, resp)
 		if resp.Header.RCode != dnsmsg.RCodeNoError {
 			if len(chain) > 0 {
 				// A broken chain still returns the prefix gathered so far,
 				// mirroring common resolver behaviour; the final rcode wins.
-				return chain, resp.Header.RCode, nil
+				return chain, resp.Header.RCode, negativeTTL(resp), nil
 			}
-			return nil, resp.Header.RCode, nil
+			return nil, resp.Header.RCode, negativeTTL(resp), nil
 		}
 		answers, rrsig := splitRRSIG(resp.Answers)
 		if c.opts.validate && rrsig != nil {
-			c.validate(q, srv, rrsig, answers)
+			c.validate(s, q, rrsig, answers)
 		}
 		if len(answers) == 0 {
-			return chain, dnsmsg.RCodeNoError, nil // NODATA
+			return chain, dnsmsg.RCodeNoError, 0, nil // NODATA
 		}
 		// Cache this hop's RRset under the name queried at this hop.
-		c.cachePut(s, name+"|"+q.Type.String(), name, cacheValue{answers: answers},
+		c.cachePut(s, cacheKey(name, q.Type), name, cacheValue{answers: answers},
 			c.clampTTL(answers[0].TTL), q)
 		chain = append(chain, answers...)
 		last := answers[len(answers)-1]
@@ -400,11 +515,61 @@ func (c *Cluster) recurse(q Query, srv int, s *server) ([]dnsmsg.RR, dnsmsg.RCod
 			// with the full chain so a later hit replays the complete
 			// answer section. The chain lives only as long as its
 			// shortest-lived link.
-			c.cachePut(s, q.Name+"|"+q.Type.String(), q.Name, cacheValue{answers: chain},
+			c.cachePut(s, cacheKey(q.Name, q.Type), q.Name, cacheValue{answers: chain},
 				c.clampTTL(minChainTTL(chain)), q)
 		}
-		return chain, dnsmsg.RCodeNoError, nil
+		return chain, dnsmsg.RCodeNoError, 0, nil
 	}
+}
+
+// negativeTTL derives the RFC 2308 negative-caching TTL from a negative
+// response: the minimum of the authority-section SOA's own TTL and its
+// MINIMUM field. Responses carrying no SOA fall back to defaultNegTTL.
+func negativeTTL(resp *dnsmsg.Message) uint32 {
+	for _, rr := range resp.Authority {
+		if rr.Type != dnsmsg.TypeSOA {
+			continue
+		}
+		minimum, ok := soaMinimum(rr.RData)
+		if !ok {
+			break
+		}
+		if rr.TTL < minimum {
+			return rr.TTL
+		}
+		return minimum
+	}
+	return defaultNegTTL
+}
+
+// soaMinimum parses the MINIMUM (7th) field of SOA presentation rdata
+// "mname rname serial refresh retry expire minimum".
+func soaMinimum(rdata string) (uint32, bool) {
+	field := 0
+	start := 0
+	for i := 0; i <= len(rdata); i++ {
+		if i < len(rdata) && rdata[i] != ' ' {
+			continue
+		}
+		if i > start {
+			field++
+			if field == 7 {
+				var v uint64
+				for _, ch := range []byte(rdata[start:i]) {
+					if ch < '0' || ch > '9' {
+						return 0, false
+					}
+					v = v*10 + uint64(ch-'0')
+					if v > 0xFFFFFFFF {
+						return 0, false
+					}
+				}
+				return uint32(v), true
+			}
+		}
+		start = i + 1
+	}
+	return 0, false
 }
 
 // cachePut stores a positive entry, demoting deprioritized names to the
@@ -431,23 +596,27 @@ func minChainTTL(chain []dnsmsg.RR) uint32 {
 var errUpstreamUnavailable = errors.New("resolver: upstream unavailable")
 
 // exchange performs one wire-level round trip with the authority, retrying
-// transport failures per WithUpstreamRetries.
-func (c *Cluster) exchange(name string, qtype dnsmsg.Type) (*dnsmsg.Message, error) {
+// transport failures per WithUpstreamRetries. The message ID comes from the
+// server's own counter (wrapping uint16), decoupled from any statistic, and
+// the query is encoded into the server's reusable wire buffer.
+func (c *Cluster) exchange(s *server, name string, qtype dnsmsg.Type) (*dnsmsg.Message, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.retries; attempt++ {
-		c.stats.UpstreamRTs++
-		query := dnsmsg.NewQuery(uint16(c.stats.UpstreamRTs), name, qtype)
-		wire, err := query.Encode()
+		s.stats.UpstreamRTs++
+		s.msgID++
+		query := dnsmsg.NewQuery(s.msgID, name, qtype)
+		wire, err := query.AppendEncode(s.queryBuf[:0])
 		if err != nil {
 			return nil, fmt.Errorf("encode upstream query: %w", err)
 		}
-		c.stats.WireBytesUp += uint64(len(wire))
+		s.queryBuf = wire
+		s.stats.WireBytesUp += uint64(len(wire))
 		respWire, err := c.upstream.HandleWire(wire)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		c.stats.WireBytesUp += uint64(len(respWire))
+		s.stats.WireBytesUp += uint64(len(respWire))
 		resp, err := dnsmsg.Decode(respWire)
 		if err != nil {
 			lastErr = err
@@ -455,24 +624,28 @@ func (c *Cluster) exchange(name string, qtype dnsmsg.Type) (*dnsmsg.Message, err
 		}
 		return resp, nil
 	}
-	c.stats.UpstreamErrors++
+	s.stats.UpstreamErrors++
 	return nil, fmt.Errorf("%w: %v", errUpstreamUnavailable, lastErr)
 }
 
 // validate verifies the RRSIG over answers, fetching (and caching in the
-// key map) the zone DNSKEY over the wire on first use.
-func (c *Cluster) validate(q Query, srv int, rrsig *dnsmsg.RR, answers []dnsmsg.RR) {
+// cluster-wide key map) the zone DNSKEY over the wire on first use. The key
+// map mutex is held across the fetch so concurrent workers fetch each zone
+// key exactly once, like the sequential path.
+func (c *Cluster) validate(s *server, q Query, rrsig *dnsmsg.RR, answers []dnsmsg.RR) {
 	zone := signerZone(rrsig.RData)
+	c.keysMu.Lock()
 	pub, ok := c.keys[zone]
 	if !ok {
 		// The DNSKEY fetch is a genuine upstream round trip; the key is
 		// parsed from the response like a real validating resolver.
-		resp, err := c.exchange(zone, dnsmsg.TypeDNSKEY)
+		resp, err := c.exchange(s, zone, dnsmsg.TypeDNSKEY)
 		if err != nil || resp.Header.RCode != dnsmsg.RCodeNoError {
-			c.stats.ValidationErrs++
+			c.keysMu.Unlock()
+			s.stats.ValidationErrs++
 			return
 		}
-		c.emitAbove(q, srv, resp)
+		c.emitAbove(s, q, resp)
 		var dnskey *dnsmsg.RR
 		for i := range resp.Answers {
 			if resp.Answers[i].Type == dnsmsg.TypeDNSKEY {
@@ -481,19 +654,22 @@ func (c *Cluster) validate(q Query, srv int, rrsig *dnsmsg.RR, answers []dnsmsg.
 			}
 		}
 		if dnskey == nil {
-			c.stats.ValidationErrs++
+			c.keysMu.Unlock()
+			s.stats.ValidationErrs++
 			return
 		}
 		pub, err = authority.PublicKeyFromDNSKEY(*dnskey)
 		if err != nil {
-			c.stats.ValidationErrs++
+			c.keysMu.Unlock()
+			s.stats.ValidationErrs++
 			return
 		}
 		c.keys[zone] = pub
 	}
-	c.stats.Validations++
+	c.keysMu.Unlock()
+	s.stats.Validations++
 	if err := authority.Verify(pub, *rrsig, answers); err != nil {
-		c.stats.ValidationErrs++
+		s.stats.ValidationErrs++
 	}
 }
 
@@ -555,23 +731,37 @@ func (c *Cluster) pickServer(clientID uint32) int {
 	return int((h >> 32) % n)
 }
 
-func (c *Cluster) emitBelow(q Query, srv int, answers []dnsmsg.RR, rcode dnsmsg.RCode) {
+// observe delivers one observation: straight to the tap in direct mode, or
+// into the server's replay buffer when the run is in buffered-taps mode.
+func (c *Cluster) observe(s *server, side obSide, ob Observation) {
+	if s.buffered {
+		s.obBuf = append(s.obBuf, bufferedOb{side: side, ob: ob})
+		return
+	}
+	if side == sideBelow {
+		c.below.Observe(ob)
+	} else {
+		c.above.Observe(ob)
+	}
+}
+
+func (c *Cluster) emitBelow(s *server, q Query, answers []dnsmsg.RR, rcode dnsmsg.RCode) {
 	if c.below == nil {
 		return
 	}
 	if len(answers) == 0 {
-		c.below.Observe(Observation{Time: q.Time, ClientID: q.ClientID, Server: srv, QName: q.Name, RCode: rcode, Category: q.Category})
+		c.observe(s, sideBelow, Observation{Time: q.Time, ClientID: q.ClientID, Server: s.idx, QName: q.Name, RCode: rcode, Category: q.Category})
 		return
 	}
 	for _, rr := range answers {
 		if rr.Type == dnsmsg.TypeRRSIG {
 			continue
 		}
-		c.below.Observe(Observation{Time: q.Time, ClientID: q.ClientID, Server: srv, QName: q.Name, RR: rr, RCode: rcode, Category: q.Category})
+		c.observe(s, sideBelow, Observation{Time: q.Time, ClientID: q.ClientID, Server: s.idx, QName: q.Name, RR: rr, RCode: rcode, Category: q.Category})
 	}
 }
 
-func (c *Cluster) emitAbove(q Query, srv int, resp *dnsmsg.Message) {
+func (c *Cluster) emitAbove(s *server, q Query, resp *dnsmsg.Message) {
 	if c.above == nil {
 		return
 	}
@@ -580,13 +770,13 @@ func (c *Cluster) emitAbove(q Query, srv int, resp *dnsmsg.Message) {
 		qname = resp.Questions[0].Name
 	}
 	if resp.Header.RCode != dnsmsg.RCodeNoError || len(resp.Answers) == 0 {
-		c.above.Observe(Observation{Time: q.Time, ClientID: q.ClientID, Server: srv, QName: qname, RCode: resp.Header.RCode, Category: q.Category})
+		c.observe(s, sideAbove, Observation{Time: q.Time, ClientID: q.ClientID, Server: s.idx, QName: qname, RCode: resp.Header.RCode, Category: q.Category})
 		return
 	}
 	for _, rr := range resp.Answers {
 		if rr.Type == dnsmsg.TypeRRSIG {
 			continue
 		}
-		c.above.Observe(Observation{Time: q.Time, ClientID: q.ClientID, Server: srv, QName: qname, RR: rr, RCode: resp.Header.RCode, Category: q.Category})
+		c.observe(s, sideAbove, Observation{Time: q.Time, ClientID: q.ClientID, Server: s.idx, QName: qname, RR: rr, RCode: resp.Header.RCode, Category: q.Category})
 	}
 }

@@ -185,40 +185,84 @@ func diurnalIntensity(h int) float64 {
 	return v
 }
 
-// zonePicker samples zones proportionally to their weights using the alias
-// structure of a cumulative table (binary search per draw).
+// zonePicker samples zones proportionally to their weights with a Vose
+// alias table: O(n) setup, O(1) per draw, one uniform variate per draw.
+// This path runs once per generated query, so constant-time sampling
+// matters at production volumes.
 type zonePicker struct {
 	zones []*ZoneSpec
-	cum   []float64
-	total float64
+	prob  []float64 // acceptance probability of each column
+	alias []int     // fallback zone index of each column
 }
 
 func newZonePicker(zones []*ZoneSpec) *zonePicker {
-	p := &zonePicker{zones: zones, cum: make([]float64, len(zones))}
+	n := len(zones)
+	p := &zonePicker{zones: zones, prob: make([]float64, n), alias: make([]int, n)}
+	if n == 0 {
+		return p
+	}
+	var total float64
+	for _, z := range zones {
+		total += pickerWeight(z)
+	}
+	// Scale each weight so the average column holds exactly 1: columns
+	// below 1 are "small" and get topped up by an overfull "large" column,
+	// which records itself as the alias.
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
 	for i, z := range zones {
-		w := z.Weight
-		if w <= 0 {
-			w = 1e-6
+		scaled[i] = pickerWeight(z) * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
 		}
-		p.total += w
-		p.cum[i] = p.total
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		p.prob[s] = scaled[s]
+		p.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers are exactly 1 up to float error; they never alias.
+	for _, i := range large {
+		p.prob[i] = 1
+		p.alias[i] = i
+	}
+	for _, i := range small {
+		p.prob[i] = 1
+		p.alias[i] = i
 	}
 	return p
 }
 
+func pickerWeight(z *ZoneSpec) float64 {
+	if z.Weight <= 0 {
+		return 1e-6
+	}
+	return z.Weight
+}
+
+// pick draws one zone. A single uniform variate supplies both the column
+// index (integer part) and the accept/alias coin (fractional part).
 func (p *zonePicker) pick(rng *rand.Rand) *ZoneSpec {
 	if len(p.zones) == 0 {
 		return nil
 	}
-	x := rng.Float64() * p.total
-	lo, hi := 0, len(p.cum)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if p.cum[mid] < x {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	u := rng.Float64() * float64(len(p.zones))
+	i := int(u)
+	if i >= len(p.zones) { // guard the u == n edge of Float64's half-open range
+		i = len(p.zones) - 1
 	}
-	return p.zones[lo]
+	if u-float64(i) < p.prob[i] {
+		return p.zones[i]
+	}
+	return p.zones[p.alias[i]]
 }

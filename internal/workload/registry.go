@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 
 	"dnsnoise/internal/authority"
 	"dnsnoise/internal/dnsmsg"
@@ -101,8 +102,8 @@ type ZoneSpec struct {
 
 	recent     []string // ring of recently minted disposable names
 	recentI    int
-	synthN     uint64  // counter for varying rdata
-	baseWeight float64 // weight before any profile boost
+	synthN     atomic.Uint64 // counter for varying rdata; atomic because the authority answers from concurrent resolver workers
+	baseWeight float64       // weight before any profile boost
 }
 
 // Disposable reports the ground-truth label of the zone.
@@ -544,10 +545,10 @@ func makeSynth(spec *ZoneSpec) authority.SynthFunc {
 			n := 2 + int(h%3)
 			rrs := make([]dnsmsg.RR, 0, n)
 			for i := 0; i < n; i++ {
-				spec.synthN++
-				rdata := fmt.Sprintf("127.0.%d.%d", (spec.synthN>>8)%256, spec.synthN%256)
+				sn := spec.synthN.Add(1)
+				rdata := fmt.Sprintf("127.0.%d.%d", (sn>>8)%256, sn%256)
 				if qtype == dnsmsg.TypeAAAA {
-					rdata = fmt.Sprintf("100:0:0:0:0:0:%x:%x", (spec.synthN>>8)%65536, spec.synthN%65536)
+					rdata = fmt.Sprintf("100:0:0:0:0:0:%x:%x", (sn>>8)%65536, sn%65536)
 				}
 				rrs = append(rrs, dnsmsg.RR{
 					Name: name, Type: qtype, Class: dnsmsg.ClassIN,
