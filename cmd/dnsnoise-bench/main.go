@@ -1,7 +1,8 @@
 // Command dnsnoise-bench measures resolver cluster throughput — the same
 // query stream resolved sequentially and through the per-server worker
-// goroutines — and writes the results to a JSON file so successive commits
-// have a comparable perf trajectory.
+// goroutines — plus the ingest sources' event throughput (live generation
+// versus trace replay, plain and gzip), and writes the results to a JSON
+// file so successive commits have a comparable perf trajectory.
 //
 // Usage:
 //
@@ -13,14 +14,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
 	"dnsnoise/internal/authority"
 	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/ingest"
 	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/traceio"
+	"dnsnoise/internal/workload"
 )
 
 // benchResult is one benchmark's record in the output file.
@@ -108,6 +114,100 @@ func toResult(name string, r testing.BenchmarkResult) benchResult {
 	}
 }
 
+// benchGen builds the workload generator used by the source benchmarks,
+// at the test scale (small registry, one-day streams in the millions of
+// events per second range).
+func benchGen() *workload.Generator {
+	reg := workload.NewRegistry(workload.RegistryConfig{
+		Seed: 1, NonDisposableZones: 300, DisposableZones: 80, HostsPerZoneMax: 48,
+	})
+	return workload.NewGenerator(reg, workload.GeneratorConfig{
+		Seed: 3, Clients: 500, BaseEventsPerDay: 60_000,
+	})
+}
+
+// drainSource pulls up to max events from src, starting the count at got.
+// It returns the updated count and whether the source hit EOF.
+func drainSource(b *testing.B, src ingest.QuerySource, got, max int) (int, bool) {
+	for got < max {
+		_, err := src.Next()
+		if err == ingest.ErrPause {
+			continue
+		}
+		if err == io.EOF {
+			return got, true
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		got++
+	}
+	return got, false
+}
+
+// benchSources measures ingest-source event throughput: live generation
+// (the workload model drawing queries) versus trace replay (JSONL decode,
+// plain and gzip). One op is one event, so queries_per_sec is the events/s
+// ceiling each source puts on the day pipeline.
+func benchSources() ([]benchResult, error) {
+	dir, err := os.MkdirTemp("", "dnsnoise-bench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	// Serialize one generated day to both trace encodings.
+	paths := []string{filepath.Join(dir, "day.jsonl"), filepath.Join(dir, "day.jsonl.gz")}
+	for _, path := range paths {
+		w, done, err := traceio.CreatePath(path)
+		if err != nil {
+			return nil, err
+		}
+		gen := benchGen()
+		p := workload.DecemberProfile(time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC))
+		if _, err := ingest.Pump(ingest.NewGeneratorSource(gen, p), w); err != nil {
+			done()
+			return nil, err
+		}
+		if err := done(); err != nil {
+			return nil, err
+		}
+	}
+
+	genRes := testing.Benchmark(func(b *testing.B) {
+		gen := benchGen()
+		base := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+		day := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for got := 0; got < b.N; {
+			src := ingest.NewGeneratorSource(gen, workload.DecemberProfile(base.AddDate(0, 0, day)))
+			day++
+			got, _ = drainSource(b, src, got, b.N)
+		}
+	})
+	results := []benchResult{toResult("BenchmarkGeneratorSource", genRes)}
+	for i, name := range []string{"BenchmarkTraceSourceReplay", "BenchmarkTraceSourceReplayGzip"} {
+		path := paths[i]
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for got := 0; got < b.N; {
+				src := ingest.NewTraceSource(path)
+				var eof bool
+				got, eof = drainSource(b, src, got, b.N)
+				if err := src.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if eof && got == 0 {
+					b.Fatal("empty bench trace")
+				}
+			}
+		})
+		results = append(results, toResult(name, res))
+	}
+	return results, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("dnsnoise-bench", flag.ContinueOnError)
 	var (
@@ -159,6 +259,11 @@ func run(args []string) error {
 		}
 	})
 
+	extra, err := benchSources()
+	if err != nil {
+		return fmt.Errorf("source benchmarks: %w", err)
+	}
+
 	rep := report{
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -170,6 +275,7 @@ func run(args []string) error {
 		Queries:    *queries,
 		Sequential: toResult("BenchmarkClusterSequential", seq),
 		Parallel:   toResult("BenchmarkClusterParallel", par),
+		Extra:      extra,
 	}
 	if rep.Parallel.NsPerOp > 0 {
 		rep.Speedup = rep.Sequential.NsPerOp / rep.Parallel.NsPerOp
@@ -193,6 +299,9 @@ func run(args []string) error {
 	fmt.Printf("sequential: %8.1f ns/op (%.0f queries/s)\n", rep.Sequential.NsPerOp, rep.Sequential.QueriesPerSec)
 	fmt.Printf("parallel:   %8.1f ns/op (%.0f queries/s)\n", rep.Parallel.NsPerOp, rep.Parallel.QueriesPerSec)
 	fmt.Printf("speedup:    %.2fx on %d CPUs (%d servers)\n", rep.Speedup, rep.NumCPU, rep.Servers)
+	for _, r := range rep.Extra {
+		fmt.Printf("%-32s %8.1f ns/op (%.0f events/s)\n", r.Name+":", r.NsPerOp, r.QueriesPerSec)
+	}
 	fmt.Printf("wrote %s\n", *out)
 	return nil
 }

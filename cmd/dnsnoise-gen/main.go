@@ -6,6 +6,10 @@
 // trace (dnsnoise-mine -trace) must use the same seed and sizing flags so
 // the authoritative side can answer the generated names.
 //
+// The pipeline is an ingest source→sink pump: the generator source feeds
+// the trace writer directly, with no resolver in between. An -out name
+// ending in ".gz" writes a gzip-compressed trace.
+//
 // Usage:
 //
 //	dnsnoise-gen -out trace.jsonl -profile december -days 1 -events 100000
@@ -15,9 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
-	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/ingest"
 	"dnsnoise/internal/traceio"
 	"dnsnoise/internal/workload"
 )
@@ -32,7 +35,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dnsnoise-gen", flag.ContinueOnError)
 	var (
-		out      = fs.String("out", "trace.jsonl", "output trace file ('-' for stdout)")
+		out      = fs.String("out", "trace.jsonl", "output trace file ('-' for stdout; '.gz' suffix compresses)")
 		seed     = fs.Int64("seed", 1, "namespace and traffic seed")
 		profile  = fs.String("profile", "december", "calibration profile: february, december, or dates (the six paper dates)")
 		days     = fs.Int("days", 1, "number of consecutive days (ignored for -profile dates)")
@@ -58,62 +61,22 @@ func run(args []string) error {
 		BaseEventsPerDay: *events,
 	})
 
-	profiles, err := selectProfiles(*profile, *days)
+	profiles, err := workload.SelectProfiles(*profile, *days)
 	if err != nil {
 		return err
 	}
 
-	var w *traceio.Writer
-	if *out == "-" {
-		w = traceio.NewWriter(os.Stdout)
-	} else {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = traceio.NewWriter(f)
+	w, done, err := traceio.CreatePath(*out)
+	if err != nil {
+		return err
 	}
-
+	// One pump per profile so the per-day progress line lands between days.
 	for _, p := range profiles {
-		var writeErr error
-		gen.GenerateDay(p, func(q resolver.Query) bool {
-			if err := w.Write(traceio.FromQuery(q)); err != nil {
-				writeErr = err
-				return false
-			}
-			return true
-		})
-		if writeErr != nil {
-			return writeErr
+		if _, err := ingest.Pump(ingest.NewGeneratorSource(gen, p), w); err != nil {
+			done()
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "generated %s (%d events total)\n", p.Label, w.Count())
 	}
-	return w.Flush()
-}
-
-func selectProfiles(name string, days int) ([]workload.Profile, error) {
-	if days < 1 {
-		days = 1
-	}
-	base := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
-	switch name {
-	case "february":
-		base = time.Date(2011, 2, 1, 0, 0, 0, 0, time.UTC)
-		out := make([]workload.Profile, 0, days)
-		for d := 0; d < days; d++ {
-			out = append(out, workload.FebruaryProfile(base.AddDate(0, 0, d)))
-		}
-		return out, nil
-	case "december":
-		out := make([]workload.Profile, 0, days)
-		for d := 0; d < days; d++ {
-			out = append(out, workload.DecemberProfile(base.AddDate(0, 0, d)))
-		}
-		return out, nil
-	case "dates":
-		return workload.PaperDates(), nil
-	default:
-		return nil, fmt.Errorf("unknown profile %q (february, december, dates)", name)
-	}
+	return done()
 }

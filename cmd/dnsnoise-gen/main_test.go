@@ -1,10 +1,14 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dnsnoise/internal/traceio"
+	"dnsnoise/internal/workload"
 )
 
 func TestRunGeneratesTrace(t *testing.T) {
@@ -57,12 +61,51 @@ func TestRunRejectsUnknownProfile(t *testing.T) {
 }
 
 func TestSelectProfilesDayFloor(t *testing.T) {
-	ps, err := selectProfiles("december", 0)
+	ps, err := workload.SelectProfiles("december", 0)
 	if err != nil || len(ps) != 1 {
 		t.Errorf("days floor: %v %d", err, len(ps))
 	}
-	ps, err = selectProfiles("dates", 1)
+	ps, err = workload.SelectProfiles("dates", 1)
 	if err != nil || len(ps) != 6 {
 		t.Errorf("dates: %v %d, want 6", err, len(ps))
+	}
+}
+
+// TestRunGzipOut checks that a .gz out path produces a compressed trace
+// that round-trips through the sniffing reader.
+func TestRunGzipOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.jsonl.gz")
+	err := run([]string{
+		"-out", out, "-events", "200",
+		"-zones", "20", "-disposable-zones", "10", "-hosts-per-zone", "8",
+		"-clients", "10",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("output is not gzip (head % x)", data[:2])
+	}
+	r, done, err := traceio.OpenPath(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer done()
+	n := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("gzip trace decoded to zero events")
 	}
 }

@@ -1,16 +1,22 @@
-// Command dnsnoise-mine runs the disposable zone miner over a query trace.
-// It replays the trace through the simulated recursive DNS cluster (to
-// recreate the above/below observation streams the miner consumes), trains
-// the classifier on the trace's ground-truth labels, executes Algorithm 1,
-// and prints the ranked disposable zones with accuracy against ground truth.
+// Command dnsnoise-mine runs the disposable zone miner over a query
+// stream. The stream either replays a recorded trace (-trace, possibly
+// several files and gzip-compressed) or is generated live in-process
+// (-live) — both paths drive the same ingest pipeline through the
+// simulated recursive DNS cluster, so mining a trace of a generation run
+// prints byte-identical results to mining the live run itself. It trains
+// the classifier on the namespace's ground-truth labels, executes
+// Algorithm 1, and prints the ranked disposable zones with accuracy
+// against ground truth.
 //
-// The -seed and sizing flags must match the dnsnoise-gen invocation that
-// produced the trace, so the rebuilt authoritative namespace can answer the
-// trace's names.
+// The -seed, sizing, -profile, -events, and -clients flags must match the
+// dnsnoise-gen invocation that produced the trace, so the rebuilt
+// authoritative namespace evolves through the same per-day states while
+// answering the trace's names.
 //
 // Usage:
 //
 //	dnsnoise-mine -trace trace.jsonl -theta 0.9 -top 25
+//	dnsnoise-mine -live -days 2 -theta 0.9
 package main
 
 import (
@@ -22,8 +28,8 @@ import (
 
 	"dnsnoise/internal/chrstat"
 	"dnsnoise/internal/core"
+	"dnsnoise/internal/ingest"
 	"dnsnoise/internal/resolver"
-	"dnsnoise/internal/traceio"
 	"dnsnoise/internal/workload"
 )
 
@@ -60,7 +66,12 @@ func truthMatcher(labels map[string]bool) func(string) bool {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("dnsnoise-mine", flag.ContinueOnError)
 	var (
-		tracePath = fs.String("trace", "", "input trace (JSONL from dnsnoise-gen; '-' for stdin)")
+		tracePath = fs.String("trace", "", "input trace(s), comma-separated (JSONL from dnsnoise-gen, gzip sniffed; '-' for stdin)")
+		live      = fs.Bool("live", false, "generate the query stream in-process instead of replaying a trace")
+		profileNm = fs.String("profile", "december", "calibration profile: february, december, or dates (must match the generator)")
+		days      = fs.Int("days", 1, "days to generate with -live (ignored for -profile dates)")
+		events    = fs.Int("events", 200_000, "base events per day (must match the generator)")
+		clients   = fs.Int("clients", 5000, "client population (must match the generator)")
 		seed      = fs.Int64("seed", 1, "namespace seed (must match the generator)")
 		ndZones   = fs.Int("zones", 900, "non-disposable zone count (must match)")
 		dispZn    = fs.Int("disposable-zones", 398, "disposable zone count (must match)")
@@ -69,25 +80,16 @@ func run(args []string, stdout io.Writer) error {
 		cacheSz   = fs.Int("cache", 1<<16, "per-server cache entries")
 		theta     = fs.Float64("theta", 0.9, "classification threshold")
 		top       = fs.Int("top", 25, "findings to print")
-		parallel  = fs.Bool("parallel", false, "replay through per-server resolver workers (one goroutine per simulated server)")
+		parallel  = fs.Bool("parallel", false, "resolve through per-server resolver workers (one goroutine per simulated server)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *tracePath == "" {
-		return fmt.Errorf("missing -trace (generate one with dnsnoise-gen)")
+	if *tracePath == "" && !*live {
+		return fmt.Errorf("missing -trace (generate one with dnsnoise-gen, or pass -live to generate in-process)")
 	}
-
-	var in io.Reader
-	if *tracePath == "-" {
-		in = os.Stdin
-	} else {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
+	if *tracePath != "" && *live {
+		return fmt.Errorf("-trace and -live are mutually exclusive")
 	}
 
 	reg := workload.NewRegistry(workload.RegistryConfig{
@@ -105,73 +107,60 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	reader := traceio.NewReader(in)
-	var collector *chrstat.Collector
-	var events int
-	if *parallel {
-		// Per-server worker replay: the trace is decoded here and routed to
-		// one goroutine per simulated server; CHR accounting lands in
-		// per-server shards merged afterwards. Per-server cache behaviour
-		// is identical to the sequential path (hash affinity fixes each
-		// client's server, and per-server order is preserved).
-		sharded := chrstat.NewShardedCollector(cluster.NumServers())
-		cluster.SetTaps(sharded.BelowTap(), sharded.AboveTap())
-		queries := make(chan resolver.Query, 1024)
-		var readErr error
-		go func() {
-			defer close(queries)
-			for {
-				ev, err := reader.Next()
-				if err == io.EOF {
-					return
-				}
-				if err != nil {
-					readErr = err
-					return
-				}
-				q, err := ev.ToQuery()
-				if err != nil {
-					readErr = err
-					return
-				}
-				queries <- q
-				events++
-			}
-		}()
-		if err := cluster.ResolveStream(queries); err != nil {
-			return fmt.Errorf("replay: %w", err)
+	// The generator mirrors dnsnoise-gen's seeding (-seed + 2). Live mode
+	// draws the stream from it; trace mode burns the same draws through
+	// the ReplayProfiles day hook so the registry walks the recording's
+	// per-day TTL states.
+	gen := workload.NewGenerator(reg, workload.GeneratorConfig{
+		Seed:             *seed + 2,
+		Clients:          *clients,
+		BaseEventsPerDay: *events,
+	})
+
+	var (
+		src  ingest.QuerySource
+		opts []ingest.Option
+	)
+	if *live {
+		profiles, err := workload.SelectProfiles(*profileNm, *days)
+		if err != nil {
+			return err
 		}
-		if readErr != nil {
-			return readErr
-		}
-		collector = sharded.Merge()
+		src = ingest.NewGeneratorSource(gen, profiles...)
 	} else {
-		collector = chrstat.NewCollector()
-		cluster.SetTaps(collector.BelowTap(), collector.AboveTap())
-		for {
-			ev, err := reader.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return err
-			}
-			q, err := ev.ToQuery()
-			if err != nil {
-				return err
-			}
-			if _, err := cluster.Resolve(q); err != nil {
-				return fmt.Errorf("replay event %d: %w", events, err)
-			}
-			events++
+		profileFor, err := workload.ProfileResolver(*profileNm)
+		if err != nil {
+			return err
 		}
+		src = ingest.NewTraceSource(strings.Split(*tracePath, ",")...)
+		opts = append(opts, ingest.OnDayStart(ingest.ReplayProfiles(gen, profileFor)))
 	}
-	if events == 0 {
+	defer src.Close()
+
+	var (
+		collector *chrstat.Collector
+		total     int
+	)
+	opts = append(opts,
+		ingest.WithSingleWindow(),
+		ingest.OnWindow(func(w ingest.Window) error {
+			collector = w.Collector
+			total = w.Queries
+			return nil
+		}),
+	)
+	if *parallel {
+		opts = append(opts, ingest.WithParallel())
+	}
+	if err := ingest.NewRunner(cluster, opts...).Run(src); err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	if total == 0 {
 		return fmt.Errorf("trace is empty")
 	}
 	st := cluster.Stats()
 	fmt.Fprintf(stdout, "replayed %d events: %d cache hits (%.1f%%), %d upstream round trips, %d NXDOMAIN\n",
-		events, st.CacheHits, 100*float64(st.CacheHits)/float64(st.Queries), st.UpstreamRTs, st.NXDomains)
+		total, st.CacheHits, 100*float64(st.CacheHits)/float64(st.Queries), st.UpstreamRTs, st.NXDomains)
 
 	byName := collector.ByName()
 	labels := reg.GroundTruth()

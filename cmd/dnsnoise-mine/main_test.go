@@ -6,46 +6,56 @@ import (
 	"strings"
 	"testing"
 
-	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/ingest"
 	"dnsnoise/internal/traceio"
 	"dnsnoise/internal/workload"
 )
 
-// writeTestTrace generates a small trace matching the registry flags used
-// by the tests.
-func writeTestTrace(t *testing.T) string {
+// testGen builds a generator whose seeding mirrors the CLI's (-seed 1 →
+// generator seed 3) at the small scale the tests replay.
+func testGen(t *testing.T) *workload.Generator {
 	t.Helper()
 	reg := workload.NewRegistry(workload.RegistryConfig{
 		Seed: 1, NonDisposableZones: 60, DisposableZones: 30, HostsPerZoneMax: 16,
 	})
-	gen := workload.NewGenerator(reg, workload.GeneratorConfig{
+	return workload.NewGenerator(reg, workload.GeneratorConfig{
 		Seed: 3, Clients: 100, BaseEventsPerDay: 8000,
 	})
+}
+
+// writeTestTrace generates a small one-day trace matching the registry
+// flags used by the tests.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
 	path := filepath.Join(t.TempDir(), "trace.jsonl")
-	f, err := os.Create(path)
+	w, done, err := traceio.CreatePath(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	w := traceio.NewWriter(f)
-	gen.GenerateDay(workload.DecemberProfile(workload.PaperDates()[5].Date), func(q resolver.Query) bool {
-		if err := w.Write(traceio.FromQuery(q)); err != nil {
-			t.Fatal(err)
-		}
-		return true
-	})
-	if err := w.Flush(); err != nil {
+	p := workload.DecemberProfile(workload.PaperDates()[5].Date)
+	if _, err := ingest.Pump(ingest.NewGeneratorSource(testGen(t), p), w); err != nil {
+		t.Fatal(err)
+	}
+	if err := done(); err != nil {
 		t.Fatal(err)
 	}
 	return path
 }
 
-func mineFlags(trace string) []string {
+// sizeFlags must match writeTestTrace / testGen so the replaying side
+// rebuilds the recording's namespace and generator.
+func sizeFlags() []string {
 	return []string{
-		"-trace", trace,
 		"-zones", "60", "-disposable-zones", "30", "-hosts-per-zone", "16",
-		"-servers", "2", "-cache", "8192", "-theta", "0.5", "-top", "50",
+		"-clients", "100", "-events", "8000",
+		"-servers", "2", "-cache", "8192",
 	}
+}
+
+func mineFlags(trace string) []string {
+	return append([]string{
+		"-trace", trace, "-theta", "0.5", "-top", "50",
+	}, sizeFlags()...)
 }
 
 func TestRunMinesTrace(t *testing.T) {
@@ -66,10 +76,66 @@ func TestRunMinesTrace(t *testing.T) {
 	}
 }
 
-func TestRunRequiresTrace(t *testing.T) {
+// TestLiveMatchesTraceReplay is the CLI-level source-equivalence check:
+// mining a recorded trace (split across a plain file and a gzip file)
+// prints byte-identical stdout to mining the same days generated live,
+// in both sequential and parallel resolution modes.
+func TestLiveMatchesTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	profiles, err := workload.SelectProfiles("december", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := testGen(t)
+	paths := []string{
+		filepath.Join(dir, "day1.jsonl"),
+		filepath.Join(dir, "day2.jsonl.gz"),
+	}
+	for i, p := range profiles {
+		w, done, err := traceio.CreatePath(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ingest.Pump(ingest.NewGeneratorSource(gen, p), w); err != nil {
+			t.Fatal(err)
+		}
+		if err := done(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	common := append([]string{"-theta", "0.5", "-top", "50", "-days", "2"}, sizeFlags()...)
+	for _, mode := range []struct {
+		name  string
+		extra []string
+	}{
+		{name: "sequential"},
+		{name: "parallel", extra: []string{"-parallel"}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			var liveOut, traceOut strings.Builder
+			liveArgs := append(append([]string{"-live"}, common...), mode.extra...)
+			if err := run(liveArgs, &liveOut); err != nil {
+				t.Fatalf("live run: %v", err)
+			}
+			traceArgs := append(append([]string{"-trace", strings.Join(paths, ",")}, common...), mode.extra...)
+			if err := run(traceArgs, &traceOut); err != nil {
+				t.Fatalf("trace run: %v", err)
+			}
+			if liveOut.String() != traceOut.String() {
+				t.Errorf("live and trace-replay outputs differ:\n--- live ---\n%s\n--- trace ---\n%s",
+					liveOut.String(), traceOut.String())
+			}
+		})
+	}
+}
+
+func TestRunRequiresTraceOrLive(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, &out); err == nil {
-		t.Error("missing -trace should fail")
+		t.Error("missing -trace/-live should fail")
+	}
+	if err := run([]string{"-trace", "x", "-live"}, &out); err == nil {
+		t.Error("-trace with -live should fail")
 	}
 }
 

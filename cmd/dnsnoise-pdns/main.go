@@ -1,12 +1,15 @@
 // Command dnsnoise-pdns builds a passive DNS (rpDNS) database from a query
-// trace, reports its growth and composition, and — optionally — mines the
-// trace and applies the Section VI-C wildcard-collapse mitigation to show
-// the storage reduction.
+// stream, reports its growth and composition, and — optionally — mines the
+// stream and applies the Section VI-C wildcard-collapse mitigation to show
+// the storage reduction. The stream either replays recorded traces
+// (-trace, comma-separated, gzip sniffed) or is generated live in-process
+// (-live), through the same ingest pipeline dnsnoise-mine uses.
 //
 // Usage:
 //
 //	dnsnoise-gen -out trace.jsonl -days 5
 //	dnsnoise-pdns -trace trace.jsonl -collapse
+//	dnsnoise-pdns -live -days 5 -collapse
 package main
 
 import (
@@ -14,12 +17,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"dnsnoise/internal/chrstat"
 	"dnsnoise/internal/core"
+	"dnsnoise/internal/ingest"
 	"dnsnoise/internal/pdns"
 	"dnsnoise/internal/resolver"
-	"dnsnoise/internal/traceio"
 	"dnsnoise/internal/workload"
 )
 
@@ -33,33 +37,30 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("dnsnoise-pdns", flag.ContinueOnError)
 	var (
-		tracePath = fs.String("trace", "", "input trace (JSONL from dnsnoise-gen; '-' for stdin)")
+		tracePath = fs.String("trace", "", "input trace(s), comma-separated (JSONL from dnsnoise-gen, gzip sniffed; '-' for stdin)")
+		live      = fs.Bool("live", false, "generate the query stream in-process instead of replaying a trace")
+		profileNm = fs.String("profile", "december", "calibration profile: february, december, or dates (must match the generator)")
+		days      = fs.Int("days", 1, "days to generate with -live (ignored for -profile dates)")
+		events    = fs.Int("events", 200_000, "base events per day (must match the generator)")
+		clients   = fs.Int("clients", 5000, "client population (must match the generator)")
 		seed      = fs.Int64("seed", 1, "namespace seed (must match the generator)")
 		ndZones   = fs.Int("zones", 900, "non-disposable zone count (must match)")
 		dispZn    = fs.Int("disposable-zones", 398, "disposable zone count (must match)")
 		maxHosts  = fs.Int("hosts-per-zone", 128, "host pool cap (must match)")
 		servers   = fs.Int("servers", 4, "RDNS servers in the cluster")
 		cacheSz   = fs.Int("cache", 1<<16, "per-server cache entries")
-		collapse  = fs.Bool("collapse", false, "mine the trace and apply the wildcard-collapse mitigation")
+		collapse  = fs.Bool("collapse", false, "mine the stream and apply the wildcard-collapse mitigation")
 		theta     = fs.Float64("theta", 0.9, "mining threshold for -collapse")
 		fpOut     = fs.String("fpdns", "", "also dump the full fpDNS tuple stream (JSONL) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *tracePath == "" {
-		return fmt.Errorf("missing -trace (generate one with dnsnoise-gen)")
+	if *tracePath == "" && !*live {
+		return fmt.Errorf("missing -trace (generate one with dnsnoise-gen, or pass -live to generate in-process)")
 	}
-	var in io.Reader
-	if *tracePath == "-" {
-		in = os.Stdin
-	} else {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
+	if *tracePath != "" && *live {
+		return fmt.Errorf("-trace and -live are mutually exclusive")
 	}
 
 	reg := workload.NewRegistry(workload.RegistryConfig{
@@ -77,10 +78,35 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	gen := workload.NewGenerator(reg, workload.GeneratorConfig{
+		Seed:             *seed + 2,
+		Clients:          *clients,
+		BaseEventsPerDay: *events,
+	})
+
+	var (
+		src  ingest.QuerySource
+		opts []ingest.Option
+	)
+	if *live {
+		profiles, err := workload.SelectProfiles(*profileNm, *days)
+		if err != nil {
+			return err
+		}
+		src = ingest.NewGeneratorSource(gen, profiles...)
+	} else {
+		profileFor, err := workload.ProfileResolver(*profileNm)
+		if err != nil {
+			return err
+		}
+		src = ingest.NewTraceSource(strings.Split(*tracePath, ",")...)
+		opts = append(opts, ingest.OnDayStart(ingest.ReplayProfiles(gen, profileFor)))
+	}
+	defer src.Close()
+
 	store := pdns.NewStore()
-	collector := chrstat.NewCollector()
 	var fpWriter *pdns.FpWriter
-	belowTaps := []resolver.Tap{store.Tap(), collector.BelowTap()}
+	sinks := []ingest.ObservationSink{ingest.TapSink(store.Tap(), nil)}
 	if *fpOut != "" {
 		f, err := os.Create(*fpOut)
 		if err != nil {
@@ -88,30 +114,26 @@ func run(args []string, stdout io.Writer) error {
 		}
 		defer f.Close()
 		fpWriter = pdns.NewFpWriter(f)
-		belowTaps = append(belowTaps, fpWriter.Tap())
+		sinks = append(sinks, ingest.TapSink(fpWriter.Tap(), nil))
 	}
-	cluster.SetTaps(resolver.MultiTap(belowTaps...), collector.AboveTap())
 
-	reader := traceio.NewReader(in)
-	events := 0
-	for {
-		ev, err := reader.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		q, err := ev.ToQuery()
-		if err != nil {
-			return err
-		}
-		if _, err := cluster.Resolve(q); err != nil {
-			return fmt.Errorf("replay event %d: %w", events, err)
-		}
-		events++
+	var (
+		collector *chrstat.Collector
+		total     int
+	)
+	opts = append(opts,
+		ingest.WithSingleWindow(),
+		ingest.WithSinks(sinks...),
+		ingest.OnWindow(func(w ingest.Window) error {
+			collector = w.Collector
+			total = w.Queries
+			return nil
+		}),
+	)
+	if err := ingest.NewRunner(cluster, opts...).Run(src); err != nil {
+		return fmt.Errorf("replay: %w", err)
 	}
-	if events == 0 {
+	if total == 0 {
 		return fmt.Errorf("trace is empty")
 	}
 
@@ -121,7 +143,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "fpDNS stream: %d tuples written to %s\n", fpWriter.Count(), *fpOut)
 	}
-	fmt.Fprintf(stdout, "pDNS database from %d events:\n", events)
+	fmt.Fprintf(stdout, "pDNS database from %d events:\n", total)
 	fmt.Fprintf(stdout, "  distinct resource records: %d (%.1f MB)\n",
 		store.Len(), float64(store.StorageBytes())/1e6)
 	disp := store.DisposableCount()

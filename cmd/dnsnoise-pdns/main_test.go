@@ -6,7 +6,7 @@ import (
 	"strings"
 	"testing"
 
-	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/ingest"
 	"dnsnoise/internal/traceio"
 	"dnsnoise/internal/workload"
 )
@@ -20,32 +20,34 @@ func writeTestTrace(t *testing.T) string {
 		Seed: 3, Clients: 100, BaseEventsPerDay: 8000,
 	})
 	path := filepath.Join(t.TempDir(), "trace.jsonl")
-	f, err := os.Create(path)
+	w, done, err := traceio.CreatePath(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	w := traceio.NewWriter(f)
-	gen.GenerateDay(workload.DecemberProfile(workload.PaperDates()[5].Date), func(q resolver.Query) bool {
-		if err := w.Write(traceio.FromQuery(q)); err != nil {
-			t.Fatal(err)
-		}
-		return true
-	})
-	if err := w.Flush(); err != nil {
+	p := workload.DecemberProfile(workload.PaperDates()[5].Date)
+	if _, err := ingest.Pump(ingest.NewGeneratorSource(gen, p), w); err != nil {
+		t.Fatal(err)
+	}
+	if err := done(); err != nil {
 		t.Fatal(err)
 	}
 	return path
 }
 
+// sizeFlags matches writeTestTrace's registry and generator sizing.
+func sizeFlags() []string {
+	return []string{
+		"-zones", "60", "-disposable-zones", "30", "-hosts-per-zone", "16",
+		"-clients", "100", "-events", "8000",
+	}
+}
+
 func TestRunBuildsDatabase(t *testing.T) {
 	trace := writeTestTrace(t)
 	var out strings.Builder
-	err := run([]string{
-		"-trace", trace,
-		"-zones", "60", "-disposable-zones", "30", "-hosts-per-zone", "16",
-		"-servers", "2", "-cache", "8192",
-	}, &out)
+	err := run(append([]string{
+		"-trace", trace, "-servers", "2", "-cache", "8192",
+	}, sizeFlags()...), &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -63,10 +65,9 @@ func TestRunBuildsDatabase(t *testing.T) {
 func TestRunCollapse(t *testing.T) {
 	trace := writeTestTrace(t)
 	var out strings.Builder
-	err := run([]string{
+	err := run(append([]string{
 		"-trace", trace, "-collapse", "-theta", "0.5",
-		"-zones", "60", "-disposable-zones", "30", "-hosts-per-zone", "16",
-	}, &out)
+	}, sizeFlags()...), &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -76,10 +77,28 @@ func TestRunCollapse(t *testing.T) {
 	}
 }
 
-func TestRunRequiresTrace(t *testing.T) {
+// TestRunLive builds the database from a live in-process stream instead
+// of a trace file.
+func TestRunLive(t *testing.T) {
+	var out strings.Builder
+	err := run(append([]string{
+		"-live", "-servers", "2", "-cache", "8192",
+	}, sizeFlags()...), &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "distinct resource records") {
+		t.Errorf("live run missing database summary:\n%s", out.String())
+	}
+}
+
+func TestRunRequiresTraceOrLive(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, &out); err == nil {
-		t.Error("missing -trace should fail")
+		t.Error("missing -trace/-live should fail")
+	}
+	if err := run([]string{"-trace", "x", "-live"}, &out); err == nil {
+		t.Error("-trace with -live should fail")
 	}
 }
 
@@ -87,10 +106,9 @@ func TestRunFpDNSDump(t *testing.T) {
 	trace := writeTestTrace(t)
 	fpPath := filepath.Join(t.TempDir(), "fpdns.jsonl")
 	var out strings.Builder
-	err := run([]string{
+	err := run(append([]string{
 		"-trace", trace, "-fpdns", fpPath,
-		"-zones", "60", "-disposable-zones", "30", "-hosts-per-zone", "16",
-	}, &out)
+	}, sizeFlags()...), &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

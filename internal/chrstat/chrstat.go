@@ -103,15 +103,18 @@ func NewCollector() *Collector {
 
 // BelowTap returns the tap to install below the resolvers.
 func (c *Collector) BelowTap() resolver.Tap {
-	return resolver.TapFunc(c.observeBelow)
+	return resolver.TapFunc(c.ObserveBelow)
 }
 
 // AboveTap returns the tap to install above the resolvers.
 func (c *Collector) AboveTap() resolver.Tap {
-	return resolver.TapFunc(c.observeAbove)
+	return resolver.TapFunc(c.ObserveAbove)
 }
 
-func (c *Collector) observeBelow(ob resolver.Observation) {
+// ObserveBelow accumulates one below-side observation. Exported so the
+// collector satisfies the ingest pipeline's observation-sink contract; the
+// taps above are thin wrappers.
+func (c *Collector) ObserveBelow(ob resolver.Observation) {
 	c.belowTotal++
 	if ob.QName != "" {
 		c.queriedNames[ob.QName] = struct{}{}
@@ -129,7 +132,8 @@ func (c *Collector) observeBelow(ob resolver.Observation) {
 	st.trackClient(ob.ClientID)
 }
 
-func (c *Collector) observeAbove(ob resolver.Observation) {
+// ObserveAbove accumulates one above-side observation.
+func (c *Collector) ObserveAbove(ob resolver.Observation) {
 	c.aboveTotal++
 	if ob.RCode != dnsmsg.RCodeNoError {
 		c.aboveNX++

@@ -2,6 +2,7 @@ package chrstat
 
 import (
 	"fmt"
+	"sort"
 
 	"dnsnoise/internal/resolver"
 )
@@ -37,16 +38,24 @@ func NewShardedCollector(numServers int) *ShardedCollector {
 // observations with the same Server index arrive from one goroutine, which
 // is exactly the contract ResolveStream provides.
 func (s *ShardedCollector) BelowTap() resolver.Tap {
-	return resolver.TapFunc(func(ob resolver.Observation) {
-		s.shard(ob.Server).observeBelow(ob)
-	})
+	return resolver.TapFunc(s.ObserveBelow)
 }
 
 // AboveTap returns the above-side tap, with the same contract as BelowTap.
 func (s *ShardedCollector) AboveTap() resolver.Tap {
-	return resolver.TapFunc(func(ob resolver.Observation) {
-		s.shard(ob.Server).observeAbove(ob)
-	})
+	return resolver.TapFunc(s.ObserveAbove)
+}
+
+// ObserveBelow routes one below-side observation to its server's shard.
+// Exported so the sharded collector satisfies the ingest pipeline's
+// observation-sink contract.
+func (s *ShardedCollector) ObserveBelow(ob resolver.Observation) {
+	s.shard(ob.Server).ObserveBelow(ob)
+}
+
+// ObserveAbove routes one above-side observation to its server's shard.
+func (s *ShardedCollector) ObserveAbove(ob resolver.Observation) {
+	s.shard(ob.Server).ObserveAbove(ob)
 }
 
 func (s *ShardedCollector) shard(i int) *Collector {
@@ -101,15 +110,25 @@ func (c *Collector) absorb(src *Collector) {
 // the tracking cap: the count saturates at maxTrackedClients exactly when a
 // sequential observer of the combined stream would saturate, because either
 // some shard already overflowed (>=65 distinct clients on one stream) or
-// the disjoint shard sets union past the cap during insertion.
+// the disjoint shard sets union past the cap during insertion. IDs are
+// inserted in sorted order so that when the union saturates mid-shard, the
+// retained set — and hence the whole merged collector — is a deterministic
+// function of the shard contents, not of map iteration order.
 func (dst *RRStat) absorb(src *RRStat) {
 	dst.Below += src.Below
 	dst.Above += src.Above
-	for id := range src.clients {
-		if dst.clientsOverflow {
-			break
+	if len(src.clients) > 0 && !dst.clientsOverflow {
+		ids := make([]uint32, 0, len(src.clients))
+		for id := range src.clients {
+			ids = append(ids, id)
 		}
-		dst.trackClient(id)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if dst.clientsOverflow {
+				break
+			}
+			dst.trackClient(id)
+		}
 	}
 	if src.clientsOverflow {
 		dst.clientsOverflow = true

@@ -18,6 +18,7 @@ import (
 	"dnsnoise/internal/authority"
 	"dnsnoise/internal/chrstat"
 	"dnsnoise/internal/dnsname"
+	"dnsnoise/internal/ingest"
 	"dnsnoise/internal/resolver"
 	"dnsnoise/internal/workload"
 )
@@ -136,50 +137,41 @@ func NewEnv(scale Scale, opts ...EnvOption) (*Env, error) {
 
 // RunDay simulates one profile-calibrated day, returning a fresh per-day
 // collector. Extra taps observe alongside it (below side first, above side
-// second); pass nil for none.
+// second); pass nil for none. The day is driven through the ingest runner
+// (generator source, single window), which preserves the pre-ingest
+// semantics exactly: the window collector observes before the extra taps,
+// and resolution stops at the first error.
 func (e *Env) RunDay(p workload.Profile, extraBelow, extraAbove resolver.Tap) (*chrstat.Collector, error) {
-	collector := chrstat.NewCollector()
-	below := resolver.MultiTap(collector.BelowTap(), extraBelow)
-	above := resolver.MultiTap(collector.AboveTap(), extraAbove)
-	e.Cluster.SetTaps(below, above)
-	var resolveErr error
-	e.Generator.GenerateDay(p, func(q resolver.Query) bool {
-		if _, err := e.Cluster.Resolve(q); err != nil {
-			resolveErr = err
-			return false
-		}
-		return true
-	})
-	if resolveErr != nil {
-		return nil, fmt.Errorf("day %s: %w", p.Label, resolveErr)
-	}
-	return collector, nil
+	return e.runDay(p, extraBelow, extraAbove)
 }
 
 // RunDayParallel is RunDay driven through the cluster's per-server worker
-// goroutines: the generator feeds a query channel from this goroutine while
-// one worker per simulated server resolves its shard of the stream. The
-// per-day CHR accounting lands in a sharded collector merged after the run,
-// so the returned Collector matches a sequential RunDay of the same seeded
-// day (see resolver.ResolveStream for the ordering argument). Extra taps
-// observe from concurrent workers and must be safe for concurrent use.
+// goroutines: the runner pulls the generator's stream on this goroutine —
+// there is no producer goroutine to leak — while one worker per simulated
+// server resolves its shard. The per-day CHR accounting lands in a sharded
+// collector merged after the run, so the returned Collector matches a
+// sequential RunDay of the same seeded day (see resolver.Stream for the
+// ordering argument). Extra taps observe from concurrent workers and must
+// be safe for concurrent use.
 func (e *Env) RunDayParallel(p workload.Profile, extraBelow, extraAbove resolver.Tap) (*chrstat.Collector, error) {
-	sharded := chrstat.NewShardedCollector(e.Cluster.NumServers())
-	below := resolver.MultiTap(sharded.BelowTap(), extraBelow)
-	above := resolver.MultiTap(sharded.AboveTap(), extraAbove)
-	e.Cluster.SetTaps(below, above)
-	queries := make(chan resolver.Query, 1024)
-	go func() {
-		defer close(queries)
-		e.Generator.GenerateDay(p, func(q resolver.Query) bool {
-			queries <- q
-			return true
-		})
-	}()
-	if err := e.Cluster.ResolveStream(queries); err != nil {
+	return e.runDay(p, extraBelow, extraAbove, ingest.WithParallel())
+}
+
+func (e *Env) runDay(p workload.Profile, extraBelow, extraAbove resolver.Tap, opts ...ingest.Option) (*chrstat.Collector, error) {
+	var out *chrstat.Collector
+	opts = append(opts,
+		ingest.WithSingleWindow(),
+		ingest.WithSinks(ingest.TapSink(extraBelow, extraAbove)),
+		ingest.OnWindow(func(w ingest.Window) error {
+			out = w.Collector
+			return nil
+		}),
+	)
+	runner := ingest.NewRunner(e.Cluster, opts...)
+	if err := runner.Run(ingest.NewGeneratorSource(e.Generator, p)); err != nil {
 		return nil, fmt.Errorf("day %s: %w", p.Label, err)
 	}
-	return sharded.Merge(), nil
+	return out, nil
 }
 
 // GoogleNames matches names under google.com.

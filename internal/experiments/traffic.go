@@ -6,6 +6,7 @@ import (
 
 	"dnsnoise/internal/chrstat"
 	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/ingest"
 	"dnsnoise/internal/pdns"
 	"dnsnoise/internal/resolver"
 	"dnsnoise/internal/stats"
@@ -43,18 +44,27 @@ func Fig2TrafficProfile(scale Scale, days int) (*Fig2Result, error) {
 	}
 	below, above := mkCounter(), mkCounter()
 
+	profiles := make([]workload.Profile, days)
+	for d := range profiles {
+		profiles[d] = workload.DecemberProfile(dateAt(3 + d))
+	}
 	res := &Fig2Result{Days: days}
-	for d := 0; d < days; d++ {
-		p := workload.DecemberProfile(dateAt(3 + d))
-		collector, err := env.RunDay(p, below.Tap(), above.Tap())
-		if err != nil {
-			return nil, err
-		}
-		b, a, bnx, anx := collector.Totals()
-		res.BelowTotal += b
-		res.AboveTotal += a
-		res.BelowNXShare += float64(bnx)
-		res.AboveNXShare += float64(anx)
+	// One rotating stream over the whole window: the runner swaps in a
+	// fresh per-day collector at each UTC day boundary while the hourly
+	// counters persist across windows as WithSinks sinks.
+	runner := ingest.NewRunner(env.Cluster,
+		ingest.WithSinks(ingest.TapSink(below.Tap(), above.Tap())),
+		ingest.OnWindow(func(w ingest.Window) error {
+			b, a, bnx, anx := w.Collector.Totals()
+			res.BelowTotal += b
+			res.AboveTotal += a
+			res.BelowNXShare += float64(bnx)
+			res.AboveNXShare += float64(anx)
+			return nil
+		}),
+	)
+	if err := runner.Run(ingest.NewGeneratorSource(env.Generator, profiles...)); err != nil {
+		return nil, err
 	}
 	if res.BelowTotal > 0 {
 		res.BelowNXShare /= float64(res.BelowTotal)
@@ -256,14 +266,21 @@ func Fig5NewRRs(scale Scale, days int) (*Fig5Result, error) {
 	store.AddSeries("akamai", func(rec *pdns.Record) bool { return AkamaiNames(rec.Name) })
 	store.AddSeries("google", func(rec *pdns.Record) bool { return GoogleNames(rec.Name) })
 
-	for d := 0; d < days; d++ {
+	profiles := make([]workload.Profile, days)
+	for d := range profiles {
 		p := workload.DecemberProfile(dateAt(d))
 		// Google's ipv6 experiment grew ~25% across the window (Figure 5);
 		// ramp the measurement boost linearly.
 		p.MeasurementBoost *= 1 + 0.35*float64(d)/float64(maxInt(days-1, 1))
-		if _, err := env.RunDay(p, store.Tap(), nil); err != nil {
-			return nil, err
-		}
+		profiles[d] = p
+	}
+	// The store does its own day bucketing from observation timestamps, so
+	// it rides the whole rotating stream as a persistent sink.
+	runner := ingest.NewRunner(env.Cluster,
+		ingest.WithSinks(ingest.TapSink(store.Tap(), nil)),
+	)
+	if err := runner.Run(ingest.NewGeneratorSource(env.Generator, profiles...)); err != nil {
+		return nil, err
 	}
 	res := &Fig5Result{
 		Days:        store.Days(),

@@ -1,0 +1,594 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/cache"
+	"dnsnoise/internal/chrstat"
+	"dnsnoise/internal/core"
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/traceio"
+	"dnsnoise/internal/workload"
+)
+
+// Compile-time checks that the pipeline's real producers and consumers
+// satisfy the seam interfaces.
+var (
+	_ QuerySource     = (*GeneratorSource)(nil)
+	_ QuerySource     = (*TraceSource)(nil)
+	_ QuerySink       = (*traceio.Writer)(nil)
+	_ ObservationSink = (*chrstat.Collector)(nil)
+	_ ObservationSink = (*chrstat.ShardedCollector)(nil)
+	_ ObservationSink = (*CountSink)(nil)
+)
+
+// testScale mirrors the experiments package's small scale, shrunk further
+// so multi-run equivalence tests stay fast.
+type testEnv struct {
+	reg *workload.Registry
+	gen *workload.Generator
+}
+
+func newTestEnv(t testing.TB) *testEnv {
+	t.Helper()
+	reg := workload.NewRegistry(workload.RegistryConfig{
+		Seed:               1,
+		NonDisposableZones: 60,
+		DisposableZones:    20,
+		HostsPerZoneMax:    16,
+	})
+	gen := workload.NewGenerator(reg, workload.GeneratorConfig{
+		Seed:             3,
+		Clients:          200,
+		BaseEventsPerDay: 6000,
+	})
+	return &testEnv{reg: reg, gen: gen}
+}
+
+func (e *testEnv) cluster(t testing.TB) *resolver.Cluster {
+	t.Helper()
+	auth, err := e.reg.BuildAuthority(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := resolver.NewCluster(auth,
+		resolver.WithServers(3), resolver.WithCacheSize(1<<12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testProfiles(days int) []workload.Profile {
+	base := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]workload.Profile, 0, days)
+	for d := 0; d < days; d++ {
+		out = append(out, workload.DecemberProfile(base.AddDate(0, 0, d)))
+	}
+	return out
+}
+
+// drain pulls a source dry.
+func drain(t *testing.T, src QuerySource) []resolver.Query {
+	t.Helper()
+	var out []resolver.Query
+	for {
+		q, err := src.Next()
+		if err == ErrPause {
+			continue
+		}
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, q)
+	}
+}
+
+// TestGeneratorSourceMatchesGenerateDay pins the pull-style source to the
+// push-style generator: same seeds, same profiles, identical query
+// sequence.
+func TestGeneratorSourceMatchesGenerateDay(t *testing.T) {
+	profiles := testProfiles(2)
+
+	var pushed []resolver.Query
+	push := newTestEnv(t)
+	for _, p := range profiles {
+		push.gen.GenerateDay(p, func(q resolver.Query) bool {
+			pushed = append(pushed, q)
+			return true
+		})
+	}
+
+	pull := newTestEnv(t)
+	pulled := drain(t, NewGeneratorSource(pull.gen, profiles...))
+
+	if len(pushed) != len(pulled) {
+		t.Fatalf("pulled %d queries, pushed %d", len(pulled), len(pushed))
+	}
+	if !reflect.DeepEqual(pushed, pulled) {
+		t.Error("pull-style stream diverges from GenerateDay")
+	}
+}
+
+// sliceSource yields a fixed query slice; for merge and error-path tests.
+type sliceSource struct {
+	qs []resolver.Query
+	i  int
+}
+
+func (s *sliceSource) Next() (resolver.Query, error) {
+	if s.i >= len(s.qs) {
+		return resolver.Query{}, io.EOF
+	}
+	q := s.qs[s.i]
+	s.i++
+	return q, nil
+}
+
+func (s *sliceSource) Close() error { return nil }
+
+func TestMergeOrdersByTimestamp(t *testing.T) {
+	t0 := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+	at := func(sec int, name string) resolver.Query {
+		return resolver.Query{Time: t0.Add(time.Duration(sec) * time.Second), Name: name}
+	}
+	a := &sliceSource{qs: []resolver.Query{at(0, "a0"), at(2, "a2"), at(5, "tie-a")}}
+	b := &sliceSource{qs: []resolver.Query{at(1, "b1"), at(5, "tie-b"), at(9, "b9")}}
+	got := drain(t, Merge(a, b))
+	want := []string{"a0", "b1", "a2", "tie-a", "tie-b", "b9"}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d queries, want %d", len(got), len(want))
+	}
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Errorf("merged[%d] = %q, want %q (ties must favor the earlier source)", i, got[i].Name, name)
+		}
+	}
+}
+
+// runWindows drives src through a runner and returns the emitted windows.
+func runWindows(t *testing.T, c *resolver.Cluster, src QuerySource, opts ...Option) []Window {
+	t.Helper()
+	var windows []Window
+	opts = append(opts, OnWindow(func(w Window) error {
+		windows = append(windows, w)
+		return nil
+	}))
+	if err := NewRunner(c, opts...).Run(src); err != nil {
+		t.Fatal(err)
+	}
+	return windows
+}
+
+// TestRunnerRotationMatchesManualDays compares the rotating runner against
+// the pre-ingest idiom — one collector per day, taps reinstalled between
+// days, caches persisting — and requires deep equality per window.
+func TestRunnerRotationMatchesManualDays(t *testing.T) {
+	profiles := testProfiles(3)
+
+	manual := newTestEnv(t)
+	mc := manual.cluster(t)
+	var want []*chrstat.Collector
+	for _, p := range profiles {
+		col := chrstat.NewCollector()
+		mc.SetTaps(col.BelowTap(), col.AboveTap())
+		var resolveErr error
+		manual.gen.GenerateDay(p, func(q resolver.Query) bool {
+			_, resolveErr = mc.Resolve(q)
+			return resolveErr == nil
+		})
+		if resolveErr != nil {
+			t.Fatal(resolveErr)
+		}
+		want = append(want, col)
+	}
+
+	env := newTestEnv(t)
+	windows := runWindows(t, env.cluster(t), NewGeneratorSource(env.gen, profiles...))
+
+	if len(windows) != len(profiles) {
+		t.Fatalf("got %d windows, want %d", len(windows), len(profiles))
+	}
+	for i, w := range windows {
+		if !w.Date.Equal(profiles[i].Date) {
+			t.Errorf("window %d date = %s, want %s", i, w.Date, profiles[i].Date)
+		}
+		if w.Queries == 0 {
+			t.Errorf("window %d resolved no queries", i)
+		}
+		if !reflect.DeepEqual(w.Collector, want[i]) {
+			t.Errorf("window %d collector diverges from the manual per-day run", i)
+		}
+	}
+}
+
+// writeTrace runs a generated stream through a trace-writer query sink
+// (and a live cluster) and returns the live windows plus the trace path.
+func writeTrace(t *testing.T, name string, parallel bool) (live []Window, path string) {
+	t.Helper()
+	path = filepath.Join(t.TempDir(), name)
+	w, done, err := traceio.CreatePath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newTestEnv(t)
+	opts := []Option{WithQuerySinks(w)}
+	if parallel {
+		opts = append(opts, WithParallel())
+	}
+	live = runWindows(t, env.cluster(t), NewGeneratorSource(env.gen, testProfiles(2)...), opts...)
+	if err := done(); err != nil {
+		t.Fatal(err)
+	}
+	return live, path
+}
+
+// replayWindows replays a trace with the recording's world rebuilt from
+// its seeds: the same registry, and a day-start hook walking it through
+// the same per-day profile states the live generator produced.
+func replayWindows(t *testing.T, path string, parallel bool) []Window {
+	t.Helper()
+	env := newTestEnv(t)
+	opts := []Option{OnDayStart(ReplayProfiles(env.gen, workload.DecemberProfile))}
+	if parallel {
+		opts = append(opts, WithParallel())
+	}
+	src := NewTraceSource(path)
+	windows := runWindows(t, env.cluster(t), src, opts...)
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return windows
+}
+
+// recordProjection reduces a collector's per-record state to everything
+// except the RData portion of the record key, sorted canonically. The
+// varying-RData disposable zones mint their answer strings from a shared
+// fetch counter, so cross-server fetch interleaving relabels records in
+// parallel runs; every other per-record quantity is deterministic.
+type recordRow struct {
+	Name     string
+	Type     dnsmsg.Type
+	TTL      uint32
+	Below    uint64
+	Above    uint64
+	Category cache.Category
+	Clients  int
+	Sat      bool
+}
+
+func recordProjection(c *chrstat.Collector) []recordRow {
+	recs := c.Records()
+	rows := make([]recordRow, 0, len(recs))
+	for _, st := range recs {
+		n, sat := st.Clients()
+		rows = append(rows, recordRow{
+			Name: st.Name, Type: st.Type, TTL: st.TTL,
+			Below: st.Below, Above: st.Above,
+			Category: st.Category, Clients: n, Sat: sat,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		if a.TTL != b.TTL {
+			return a.TTL < b.TTL
+		}
+		if a.Below != b.Below {
+			return a.Below < b.Below
+		}
+		return a.Above < b.Above
+	})
+	return rows
+}
+
+// TestTraceReplayEquivalence is the ingest layer's core guarantee: a
+// seeded day sequence recorded to a trace (gzip included) and replayed
+// through a TraceSource reproduces the live generator run — bitwise on
+// the sequential path; on the parallel path, identical in every
+// measurement and per-record statistic (record identities for
+// varying-RData zones are labeled in cross-server fetch-arrival order,
+// which is scheduling-dependent, so bitwise state equality is only
+// defined sequentially).
+func TestTraceReplayEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		traceName string
+		parallel  bool
+	}{
+		{"sequential-gzip", "trace.jsonl.gz", false},
+		{"parallel", "trace.jsonl", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			live, path := writeTrace(t, tc.traceName, tc.parallel)
+			replayed := replayWindows(t, path, tc.parallel)
+
+			if len(replayed) != len(live) {
+				t.Fatalf("replay emitted %d windows, live %d", len(replayed), len(live))
+			}
+			for i := range live {
+				if !live[i].Date.Equal(replayed[i].Date) || live[i].Queries != replayed[i].Queries {
+					t.Errorf("window %d shape: live (%s, %d) vs replay (%s, %d)",
+						i, live[i].Date, live[i].Queries, replayed[i].Date, replayed[i].Queries)
+				}
+				if tc.parallel {
+					if !reflect.DeepEqual(recordProjection(live[i].Collector), recordProjection(replayed[i].Collector)) {
+						t.Errorf("window %d per-record statistics diverge between live and replay", i)
+					}
+					if !reflect.DeepEqual(measurements(live[i].Collector), measurements(replayed[i].Collector)) {
+						t.Errorf("window %d measurements diverge between live and replay", i)
+					}
+				} else if !reflect.DeepEqual(live[i].Collector, replayed[i].Collector) {
+					t.Errorf("window %d collector state diverges between live and replay", i)
+				}
+			}
+		})
+	}
+}
+
+// measurements reduces a collector to the derived quantities the paper's
+// experiments consume. RRStat.TTL is deliberately excluded: it records the
+// TTL of the first observation per record, and a record straddling a TTL
+// era change is first seen in global order sequentially but in per-shard
+// order in parallel, so the field is only bitwise-stable within one mode.
+func measurements(c *chrstat.Collector) map[string]any {
+	below, above, belowNX, aboveNX := c.Totals()
+	chr := c.CHRSample(nil, 0)
+	sort.Float64s(chr)
+	vols := c.LookupVolumes(nil)
+	sort.Float64s(vols)
+	clients := c.ClientCounts(nil)
+	sort.Float64s(clients)
+	return map[string]any{
+		"totals":  []uint64{below, above, belowNX, aboveNX},
+		"records": c.NumRecords(),
+		"chr":     chr,
+		"volumes": vols,
+		"clients": clients,
+	}
+}
+
+// TestCrossModeReplayEquivalence replays a sequential recording through
+// the parallel path: every derived measurement must match.
+func TestCrossModeReplayEquivalence(t *testing.T) {
+	live, path := writeTrace(t, "trace.jsonl", false)
+	replayed := replayWindows(t, path, true)
+	if len(replayed) != len(live) {
+		t.Fatalf("replay emitted %d windows, live %d", len(replayed), len(live))
+	}
+	for i := range live {
+		if !reflect.DeepEqual(measurements(live[i].Collector), measurements(replayed[i].Collector)) {
+			t.Errorf("window %d measurements diverge between sequential live and parallel replay", i)
+		}
+	}
+}
+
+// mineFindings runs the mining pipeline on a collector the way the mine
+// CLI does: train on the registry's labels, then execute Algorithm 1.
+// trainMiner trains the classifier on one collector's statistics and
+// wraps it into a miner, mirroring the CLI pipeline.
+func trainMiner(t *testing.T, reg *workload.Registry, col *chrstat.Collector) *core.Miner {
+	t.Helper()
+	byName := col.ByName()
+	tree := core.BuildTree(byName, nil)
+	examples := core.BuildTrainingSet(tree, byName, reg.TrainingLabels(401), core.TrainingConfig{})
+	clf, err := core.TrainClassifier(examples, core.TrainingConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner, err := core.NewMiner(clf, core.MinerConfig{Theta: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return miner
+}
+
+func mineFindings(t *testing.T, reg *workload.Registry, col *chrstat.Collector) []core.Finding {
+	t.Helper()
+	byName := col.ByName()
+	miner := trainMiner(t, reg, col)
+	findings, err := miner.Mine(core.BuildTree(byName, nil), byName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// TestPipelineHookMatchesManualProcessDay checks that a rotating runner
+// feeding core.Pipeline through PipelineHook produces the same cumulative
+// ranking as the hand-written glue: one RunDay-style loop calling
+// ProcessDay per day with the same trained miner.
+func TestPipelineHookMatchesManualProcessDay(t *testing.T) {
+	profiles := testProfiles(2)
+
+	// Train one miner on a fresh day-1 run, shared by both pipelines.
+	trainEnv := newTestEnv(t)
+	tw := runWindows(t, trainEnv.cluster(t), NewGeneratorSource(trainEnv.gen, profiles[0]))
+	miner := trainMiner(t, trainEnv.reg, tw[0].Collector)
+
+	manual := newTestEnv(t)
+	mc := manual.cluster(t)
+	wantPipe, err := core.NewPipeline(miner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		col := chrstat.NewCollector()
+		mc.SetTaps(col.BelowTap(), col.AboveTap())
+		var resolveErr error
+		manual.gen.GenerateDay(p, func(q resolver.Query) bool {
+			_, resolveErr = mc.Resolve(q)
+			return resolveErr == nil
+		})
+		if resolveErr != nil {
+			t.Fatal(resolveErr)
+		}
+		if _, err := wantPipe.ProcessDay(p.Date, col.ByName()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	env := newTestEnv(t)
+	gotPipe, err := core.NewPipeline(miner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewRunner(env.cluster(t), OnWindow(PipelineHook(gotPipe)))
+	if err := runner.Run(NewGeneratorSource(env.gen, profiles...)); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := gotPipe.Days(), wantPipe.Days(); got != want {
+		t.Fatalf("pipeline processed %d days, want %d", got, want)
+	}
+	if !reflect.DeepEqual(gotPipe.Ranking(), wantPipe.Ranking()) {
+		t.Errorf("hook-fed ranking diverges from manual ProcessDay loop:\ngot  %+v\nwant %+v",
+			gotPipe.Ranking(), wantPipe.Ranking())
+	}
+}
+
+// TestReplayFindingsMatchLive closes the loop at the miner: the zones
+// mined from a replayed trace must be identical to those mined live.
+func TestReplayFindingsMatchLive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl.gz")
+	w, done, err := traceio.CreatePath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveEnv := newTestEnv(t)
+	live := runWindows(t, liveEnv.cluster(t),
+		NewGeneratorSource(liveEnv.gen, testProfiles(2)...),
+		WithQuerySinks(w), WithSingleWindow())
+	if err := done(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayEnv := newTestEnv(t)
+	src := NewTraceSource(path)
+	replayed := runWindows(t, replayEnv.cluster(t), src,
+		OnDayStart(ReplayProfiles(replayEnv.gen, workload.DecemberProfile)),
+		WithSingleWindow())
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(live) != 1 || len(replayed) != 1 {
+		t.Fatalf("windows: live %d, replay %d, want 1 each", len(live), len(replayed))
+	}
+	a := mineFindings(t, liveEnv.reg, live[0].Collector)
+	b := mineFindings(t, replayEnv.reg, replayed[0].Collector)
+	if len(a) == 0 {
+		t.Fatal("live run mined no findings; scale too small to compare")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("findings diverge: live mined %d zones, replay %d", len(a), len(b))
+	}
+}
+
+// TestTraceSourceSpansFiles verifies a multi-file day sequence replays as
+// one stream, mixing plain and gzip members.
+func TestTraceSourceSpansFiles(t *testing.T) {
+	dir := t.TempDir()
+	profiles := testProfiles(2)
+	env := newTestEnv(t)
+	var paths []string
+	var want []resolver.Query
+	for i, p := range profiles {
+		path := filepath.Join(dir, fmt.Sprintf("day%d.jsonl", i))
+		if i%2 == 1 {
+			path += ".gz"
+		}
+		w, done, err := traceio.CreatePath(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		day := NewGeneratorSource(env.gen, p)
+		qs := drain(t, day)
+		for _, q := range qs {
+			if err := w.Consume(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := done(); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, qs...)
+		paths = append(paths, path)
+	}
+	src := NewTraceSource(paths...)
+	got := drain(t, src)
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("multi-file replay yields %d queries, want %d identical to the recorded stream", len(got), len(want))
+	}
+}
+
+func TestSingleWindowModes(t *testing.T) {
+	env := newTestEnv(t)
+	windows := runWindows(t, env.cluster(t),
+		NewGeneratorSource(env.gen, testProfiles(2)...), WithSingleWindow())
+	if len(windows) != 1 {
+		t.Fatalf("single-window run emitted %d windows, want 1", len(windows))
+	}
+	if windows[0].Queries == 0 {
+		t.Error("single window resolved no queries")
+	}
+
+	// Empty stream: single-window mode still emits its one (empty) window;
+	// rotating mode emits none.
+	c := newTestEnv(t).cluster(t)
+	empty := runWindows(t, c, &sliceSource{}, WithSingleWindow())
+	if len(empty) != 1 || empty[0].Queries != 0 {
+		t.Errorf("empty single-window run = %+v, want one empty window", empty)
+	}
+	if got := runWindows(t, c, &sliceSource{}); len(got) != 0 {
+		t.Errorf("empty rotating run emitted %d windows, want 0", len(got))
+	}
+}
+
+// TestRunnerSinksObserveAllWindows checks that persistent sinks keep
+// observing across rotations and that the query tee sees every query.
+func TestRunnerSinksObserveAllWindows(t *testing.T) {
+	env := newTestEnv(t)
+	var counts CountSink
+	var teed int
+	tee := querySinkFunc(func(resolver.Query) error { teed++; return nil })
+	windows := runWindows(t, env.cluster(t),
+		NewGeneratorSource(env.gen, testProfiles(2)...),
+		WithSinks(&counts), WithQuerySinks(tee))
+
+	var below uint64
+	total := 0
+	for _, w := range windows {
+		b, _, _, _ := w.Collector.Totals()
+		below += b
+		total += w.Queries
+	}
+	if counts.Below() != below {
+		t.Errorf("persistent sink saw %d below observations, collectors saw %d", counts.Below(), below)
+	}
+	if teed != total {
+		t.Errorf("query tee saw %d queries, windows resolved %d", teed, total)
+	}
+}
+
+type querySinkFunc func(resolver.Query) error
+
+func (f querySinkFunc) Consume(q resolver.Query) error { return f(q) }

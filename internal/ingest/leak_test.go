@@ -1,0 +1,70 @@
+package ingest
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/authority"
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/resolver"
+)
+
+// TestParallelRunnerNoLeakOnResolveError drives the parallel runner into
+// a mid-stream resolution failure (a CNAME loop, the one error upstream
+// transport degradation cannot mask) and checks that the run aborts with
+// the error and leaves no worker goroutine behind. This is the regression
+// guard for the pre-ingest bug where a producer goroutine could block
+// forever feeding a stream that had already returned.
+func TestParallelRunnerNoLeakOnResolveError(t *testing.T) {
+	up := authority.NewServer()
+	z, err := authority.NewZone("loop.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range []dnsmsg.RR{
+		{Name: "a.loop.test", Type: dnsmsg.TypeCNAME, Class: dnsmsg.ClassIN, TTL: 60, RData: "b.loop.test"},
+		{Name: "b.loop.test", Type: dnsmsg.TypeCNAME, Class: dnsmsg.ClassIN, TTL: 60, RData: "a.loop.test"},
+	} {
+		if err := z.Add(rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := up.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	c, err := resolver.NewCluster(up, resolver.WithServers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Enough queries past the first failure to force the early-exit path
+	// (the runner checks the stream's error once per errCheckInterval).
+	t0 := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+	qs := make([]resolver.Query, 4*errCheckInterval)
+	for i := range qs {
+		qs[i] = resolver.Query{
+			Time:     t0.Add(time.Duration(i) * time.Second),
+			ClientID: uint32(i),
+			Name:     "a.loop.test",
+			Type:     dnsmsg.TypeA,
+		}
+	}
+
+	before := runtime.NumGoroutine()
+	r := NewRunner(c, WithParallel(), WithSingleWindow())
+	if err := r.Run(&sliceSource{qs: qs}); !errors.Is(err, resolver.ErrChainLoop) {
+		t.Fatalf("Run = %v, want ErrChainLoop", err)
+	}
+
+	// The workers must have been joined by the time Run returns; allow the
+	// runtime a moment to retire exited goroutines before judging.
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before run, %d after — worker leak", before, runtime.NumGoroutine())
+}

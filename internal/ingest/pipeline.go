@@ -1,0 +1,24 @@
+package ingest
+
+import (
+	"dnsnoise/internal/core"
+)
+
+// PipelineHook adapts the Figure 10 daily ranking pipeline to the
+// runner's per-window callback: each completed UTC day becomes one
+// ProcessDay call, folding that day's mined zones into the cumulative
+// cross-day ranking. It subsumes the glue ProcessDay callers previously
+// hand-wrote — run a day, pull ByName() out of its collector, mine — so a
+// rotating runner with this hook is the daily pipeline:
+//
+//	runner := NewRunner(cluster, OnWindow(PipelineHook(pipe)))
+//	err := runner.Run(src)
+//
+// The hook runs on the caller's goroutine with the stream quiesced, like
+// every window callback.
+func PipelineHook(p *core.Pipeline) func(Window) error {
+	return func(w Window) error {
+		_, err := p.ProcessDay(w.Date, w.Collector.ByName())
+		return err
+	}
+}

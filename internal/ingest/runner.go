@@ -1,0 +1,312 @@
+package ingest
+
+import (
+	"io"
+	"time"
+
+	"dnsnoise/internal/chrstat"
+	"dnsnoise/internal/resolver"
+)
+
+// Window is one completed measurement window: a UTC day of the query
+// stream (or the whole stream in single-window mode) with its own CHR
+// collector.
+type Window struct {
+	// Date is UTC midnight of the window's day — in single-window mode,
+	// of the first query's day (zero when the stream was empty).
+	Date time.Time
+	// Collector holds the window's black-box cache measurements. In
+	// parallel mode this is the deterministic merge of the per-server
+	// shards, equal to what a sequential run would collect.
+	Collector *chrstat.Collector
+	// Queries is the number of queries the window resolved.
+	Queries int
+}
+
+// Runner drives a query source through a resolver cluster, rotating
+// measurement windows on UTC day boundaries without tearing the stream
+// down: in parallel mode the rotation is a Stream.Barrier, so the
+// per-server workers survive across days exactly as a production cluster
+// would, while each day still gets a fresh collector.
+//
+// Observation order matches the pre-ingest wiring: the window collector
+// observes first, then the extra sinks in registration order.
+type Runner struct {
+	cluster    *resolver.Cluster
+	parallel   bool
+	single     bool
+	sinks      []ObservationSink
+	qsinks     []QuerySink
+	onWindow   func(Window) error
+	onDayStart func(time.Time) error
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithParallel resolves through the cluster's per-server worker
+// goroutines (one Stream for the whole run). Extra sinks must be safe for
+// concurrent use.
+func WithParallel() Option {
+	return func(r *Runner) { r.parallel = true }
+}
+
+// WithSingleWindow disables day rotation: the whole stream accumulates
+// into one window, emitted at the end even when the stream is empty. This
+// is the mining CLIs' mode — they treat a trace as one dataset.
+func WithSingleWindow() Option {
+	return func(r *Runner) { r.single = true }
+}
+
+// WithSinks registers extra observation sinks that persist across
+// windows (hourly counters, passive-DNS stores, fingerprint writers).
+// They observe after the window collector; nils are dropped.
+func WithSinks(sinks ...ObservationSink) Option {
+	return func(r *Runner) {
+		for _, s := range sinks {
+			if s != nil {
+				r.sinks = append(r.sinks, s)
+			}
+		}
+	}
+}
+
+// WithQuerySinks tees every query into the given sinks before it is
+// resolved — e.g. a trace writer recording the stream being measured.
+func WithQuerySinks(sinks ...QuerySink) Option {
+	return func(r *Runner) {
+		for _, s := range sinks {
+			if s != nil {
+				r.qsinks = append(r.qsinks, s)
+			}
+		}
+	}
+}
+
+// OnWindow registers the per-window callback. A non-nil error aborts the
+// run. The callback runs on the caller's goroutine with the stream
+// quiesced, so it may inspect any state the run touches.
+func OnWindow(fn func(Window) error) Option {
+	return func(r *Runner) { r.onWindow = fn }
+}
+
+// OnDayStart registers a hook fired when the stream enters a new UTC day
+// (including the first), before that day's first query is resolved — and,
+// unlike window rotation, it fires even in single-window mode. In
+// parallel mode the stream is quiesced first, so the hook may safely
+// mutate state the resolution path reads; this is how trace replays walk
+// the registry through the recording's per-day profile states (see
+// ReplayProfiles).
+func OnDayStart(fn func(time.Time) error) Option {
+	return func(r *Runner) { r.onDayStart = fn }
+}
+
+// NewRunner builds a runner over cluster.
+func NewRunner(cluster *resolver.Cluster, opts ...Option) *Runner {
+	r := &Runner{cluster: cluster}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// errCheckInterval is how many parallel submissions pass between checks
+// of the stream's error state: frequent enough to stop promptly, rare
+// enough to stay off the hot path.
+const errCheckInterval = 1024
+
+// Run pulls the source dry, resolving every query and emitting one
+// Window per UTC day (or one total, in single-window mode). Queries are
+// pulled on the calling goroutine — there is no producer goroutine to
+// leak — and in parallel mode the worker stream is closed on every exit
+// path. The source is left for the caller to close.
+func (r *Runner) Run(src QuerySource) error {
+	if r.parallel {
+		return r.runParallel(src)
+	}
+	return r.runSequential(src)
+}
+
+// installTaps points the cluster's below/above taps at the window
+// collector followed by the persistent sinks.
+func (r *Runner) installTaps(col ObservationSink) {
+	below := func(ob resolver.Observation) {
+		col.ObserveBelow(ob)
+		for _, s := range r.sinks {
+			s.ObserveBelow(ob)
+		}
+	}
+	above := func(ob resolver.Observation) {
+		col.ObserveAbove(ob)
+		for _, s := range r.sinks {
+			s.ObserveAbove(ob)
+		}
+	}
+	r.cluster.SetTaps(resolver.TapFunc(below), resolver.TapFunc(above))
+}
+
+// emit delivers a completed window to the callback.
+func (r *Runner) emit(w Window) error {
+	if r.onWindow == nil {
+		return nil
+	}
+	return r.onWindow(w)
+}
+
+// tee feeds one query to the query sinks.
+func (r *Runner) tee(q resolver.Query) error {
+	for _, s := range r.qsinks {
+		if err := s.Consume(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dayOf returns UTC midnight of the query's day.
+func dayOf(t time.Time) time.Time {
+	u := t.UTC()
+	return time.Date(u.Year(), u.Month(), u.Day(), 0, 0, 0, 0, time.UTC)
+}
+
+func (r *Runner) runSequential(src QuerySource) error {
+	var (
+		col     *chrstat.Collector
+		winDate time.Time
+		curDay  time.Time
+		started bool
+		count   int
+	)
+	open := func(day time.Time) {
+		col = chrstat.NewCollector()
+		winDate = day
+		count = 0
+		r.installTaps(col)
+	}
+	for {
+		q, err := src.Next()
+		if err == ErrPause {
+			continue // nothing is ever in flight sequentially
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if day := dayOf(q.Time); !started || !day.Equal(curDay) {
+			if started && !r.single {
+				if err := r.emit(Window{Date: winDate, Collector: col, Queries: count}); err != nil {
+					return err
+				}
+			}
+			if r.onDayStart != nil {
+				if err := r.onDayStart(day); err != nil {
+					return err
+				}
+			}
+			if !started || !r.single {
+				open(day)
+			}
+			curDay, started = day, true
+		}
+		if err := r.tee(q); err != nil {
+			return err
+		}
+		if _, err := r.cluster.Resolve(q); err != nil {
+			return err
+		}
+		count++
+	}
+	if !started {
+		if !r.single {
+			return nil // empty stream, nothing to emit
+		}
+		col = chrstat.NewCollector()
+	}
+	return r.emit(Window{Date: winDate, Collector: col, Queries: count})
+}
+
+func (r *Runner) runParallel(src QuerySource) error {
+	var (
+		sh      *chrstat.ShardedCollector
+		winDate time.Time
+		curDay  time.Time
+		started bool
+		count   int
+	)
+	st := r.cluster.StartStream()
+	// Close on every exit path: Submit never blocks forever (workers keep
+	// draining after errors) and Close joins the workers, so no goroutine
+	// outlives the run regardless of how it ends. Close is idempotent, so
+	// the clean path below may close again to harvest the error.
+	defer st.Close()
+	open := func(day time.Time) {
+		sh = chrstat.NewShardedCollector(r.cluster.NumServers())
+		winDate = day
+		count = 0
+		r.installTaps(sh)
+	}
+	for i := 0; ; i++ {
+		q, err := src.Next()
+		if err == ErrPause {
+			// The source is about to mutate shared state; drain all
+			// in-flight resolutions first.
+			if err := st.Barrier(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if day := dayOf(q.Time); !started || !day.Equal(curDay) {
+			// Quiesce the stream: after Barrier returns every worker is
+			// idle, so merging shards, running the day hook, and swapping
+			// taps are all safe without tearing the workers down.
+			if started {
+				if err := st.Barrier(); err != nil {
+					return err
+				}
+				if !r.single {
+					if err := r.emit(Window{Date: winDate, Collector: sh.Merge(), Queries: count}); err != nil {
+						return err
+					}
+				}
+			}
+			if r.onDayStart != nil {
+				if err := r.onDayStart(day); err != nil {
+					return err
+				}
+			}
+			if !started || !r.single {
+				open(day)
+			}
+			curDay, started = day, true
+		}
+		if err := r.tee(q); err != nil {
+			return err
+		}
+		st.Submit(q)
+		count++
+		if i%errCheckInterval == errCheckInterval-1 {
+			if err := st.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	// Drain fully before the final merge so the last window is complete.
+	if err := st.Close(); err != nil {
+		return err
+	}
+	if !started {
+		if !r.single {
+			return nil
+		}
+		return r.emit(Window{Collector: chrstat.NewCollector(), Queries: 0})
+	}
+	return r.emit(Window{Date: winDate, Collector: sh.Merge(), Queries: count})
+}

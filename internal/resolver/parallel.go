@@ -59,92 +59,156 @@ func WithBufferedTaps() StreamOption {
 // Round-robin affinity is routed by the single router goroutine, so its
 // query interleaving is exactly the arrival order, as in sequential mode.
 func (c *Cluster) ResolveStream(queries <-chan Query, opts ...StreamOption) error {
-	return c.runParallel(func(route func(Query)) {
-		for q := range queries {
-			route(q)
-		}
-	}, opts...)
+	st := c.StartStream(opts...)
+	for q := range queries {
+		st.Submit(q)
+	}
+	return st.Close()
 }
 
 // ResolveBatch resolves a slice of queries through the per-server workers
 // and blocks until all complete, returning the first error encountered.
 func (c *Cluster) ResolveBatch(queries []Query, opts ...StreamOption) error {
-	return c.runParallel(func(route func(Query)) {
-		for _, q := range queries {
-			route(q)
-		}
-	}, opts...)
+	st := c.StartStream(opts...)
+	for _, q := range queries {
+		st.Submit(q)
+	}
+	return st.Close()
 }
 
-// runParallel spins up one worker per server, invokes feed with a routing
-// function on the caller goroutine, then flushes, joins, and (in buffered
-// mode) drains observation buffers deterministically.
-func (c *Cluster) runParallel(feed func(route func(Query)), opts ...StreamOption) error {
-	var so streamOptions
+// streamMsg is one unit of work handed to a per-server worker: a batch of
+// queries, or — when barrier is non-nil — a synchronization point the worker
+// acknowledges and then keeps running.
+type streamMsg struct {
+	batch   []Query
+	barrier *sync.WaitGroup
+}
+
+// Stream is a long-lived parallel resolution session: one worker goroutine
+// per server, fed by the caller through Submit. Unlike ResolveStream, a
+// Stream survives across logical windows (days) of the query sequence —
+// Barrier drains every in-flight query without tearing the workers down, so
+// the caller can rotate taps or accumulators at window boundaries and keep
+// submitting. All methods must be called from a single goroutine.
+type Stream struct {
+	c        *Cluster
+	so       streamOptions
+	chans    []chan streamMsg
+	pending  [][]Query
+	wg       sync.WaitGroup // worker lifetimes
+	firstErr atomic.Pointer[error]
+	closed   bool
+}
+
+// StartStream spins up one worker per server and returns the session. The
+// caller must Close it, even on error paths, or the workers leak.
+func (c *Cluster) StartStream(opts ...StreamOption) *Stream {
+	st := &Stream{c: c}
 	for _, opt := range opts {
-		opt.applyStream(&so)
+		opt.applyStream(&st.so)
 	}
-
 	n := len(c.servers)
-	chans := make([]chan []Query, n)
-	var wg sync.WaitGroup
-	var firstErr atomic.Pointer[error]
-
+	st.chans = make([]chan streamMsg, n)
+	st.pending = make([][]Query, n)
 	for i, s := range c.servers {
-		s.buffered = so.bufferedTaps
-		if so.bufferedTaps {
+		s.buffered = st.so.bufferedTaps
+		if st.so.bufferedTaps {
 			s.obBuf = s.obBuf[:0]
 		}
-		ch := make(chan []Query, shardChanCap)
-		chans[i] = ch
-		wg.Add(1)
-		go func(s *server, ch <-chan []Query) {
-			defer wg.Done()
-			for batch := range ch {
-				for _, q := range batch {
-					if _, err := c.resolveOn(s, q); err != nil {
-						if firstErr.Load() == nil {
-							e := err
-							firstErr.CompareAndSwap(nil, &e)
-						}
-						// Keep consuming so the router never blocks; later
-						// queries on this server still resolve (matching
-						// sequential behaviour, where the caller decides
-						// whether to continue after an error).
-					}
-				}
-			}
-		}(s, ch)
+		ch := make(chan streamMsg, shardChanCap)
+		st.chans[i] = ch
+		st.wg.Add(1)
+		go st.worker(s, ch)
 	}
+	return st
+}
 
-	// Router: runs in the caller goroutine. pickServer is only safe
-	// single-threaded (round-robin cursor), which the single router
-	// guarantees.
-	pending := make([][]Query, n)
-	route := func(q Query) {
-		i := c.pickServer(q.ClientID)
-		pending[i] = append(pending[i], q)
-		if len(pending[i]) >= streamBatchSize {
-			chans[i] <- pending[i]
-			pending[i] = make([]Query, 0, streamBatchSize)
+func (st *Stream) worker(s *server, ch <-chan streamMsg) {
+	defer st.wg.Done()
+	for msg := range ch {
+		if msg.barrier != nil {
+			msg.barrier.Done()
+			continue
+		}
+		for _, q := range msg.batch {
+			if _, err := st.c.resolveOn(s, q); err != nil {
+				if st.firstErr.Load() == nil {
+					e := err
+					st.firstErr.CompareAndSwap(nil, &e)
+				}
+				// Keep consuming so the router never blocks; later
+				// queries on this server still resolve (matching
+				// sequential behaviour, where the caller decides
+				// whether to continue after an error).
+			}
 		}
 	}
-	feed(route)
-	for i, batch := range pending {
+}
+
+// Submit routes one query to its server's worker. It acts as the single
+// router goroutine: pickServer's round-robin cursor is only safe
+// single-threaded, which the one-caller contract guarantees.
+func (st *Stream) Submit(q Query) {
+	i := st.c.pickServer(q.ClientID)
+	st.pending[i] = append(st.pending[i], q)
+	if len(st.pending[i]) >= streamBatchSize {
+		st.chans[i] <- streamMsg{batch: st.pending[i]}
+		st.pending[i] = make([]Query, 0, streamBatchSize)
+	}
+}
+
+// flush hands every partially-filled batch to its worker.
+func (st *Stream) flush() {
+	for i, batch := range st.pending {
 		if len(batch) > 0 {
-			chans[i] <- batch
+			st.chans[i] <- streamMsg{batch: batch}
+			st.pending[i] = make([]Query, 0, streamBatchSize)
 		}
-		close(chans[i])
+	}
+}
+
+// Barrier blocks until every query submitted so far has finished resolving,
+// leaving the workers alive and ready for more. While the barrier holds
+// (i.e. after it returns and before the next Submit), every worker is idle,
+// so the caller may safely swap cluster taps — this is the hook window
+// rotation builds on. Returns the first resolution error observed so far;
+// the stream remains usable either way. Not supported together with
+// WithBufferedTaps (buffers drain only at Close).
+func (st *Stream) Barrier() error {
+	st.flush()
+	var wg sync.WaitGroup
+	wg.Add(len(st.chans))
+	for _, ch := range st.chans {
+		ch <- streamMsg{barrier: &wg}
 	}
 	wg.Wait()
+	return st.Err()
+}
 
-	if so.bufferedTaps {
-		c.drainBuffers()
-	}
-	if ep := firstErr.Load(); ep != nil {
+// Err returns the first resolution error observed so far, without blocking.
+func (st *Stream) Err() error {
+	if ep := st.firstErr.Load(); ep != nil {
 		return *ep
 	}
 	return nil
+}
+
+// Close flushes remaining batches, joins the workers, drains buffered-tap
+// observations deterministically, and returns the first resolution error.
+// Close is idempotent.
+func (st *Stream) Close() error {
+	if !st.closed {
+		st.closed = true
+		st.flush()
+		for _, ch := range st.chans {
+			close(ch)
+		}
+		st.wg.Wait()
+		if st.so.bufferedTaps {
+			st.c.drainBuffers()
+		}
+	}
+	return st.Err()
 }
 
 // drainBuffers replays buffered observations into the taps from the calling

@@ -1,0 +1,112 @@
+package resolver
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/dnsmsg"
+)
+
+// TestStreamBarrierRotatesTaps drives two windows of queries through one
+// Stream, swapping the below tap at the Barrier between them. Every
+// observation of window 1 must land in the first tap and every observation
+// of window 2 in the second: the barrier guarantees no in-flight stragglers
+// cross the rotation point, without tearing down the workers.
+func TestStreamBarrierRotatesTaps(t *testing.T) {
+	c, err := NewCluster(synthUpstream(t), WithServers(3), WithCacheSize(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var win1, win2 atomic.Uint64
+	c.SetTaps(TapFunc(func(Observation) { win1.Add(1) }), nil)
+
+	st := c.StartStream()
+	const perWindow = 500
+	mk := func(i int) Query {
+		return Query{
+			Time:     t0.Add(time.Duration(i) * time.Second),
+			ClientID: uint32(i % 57),
+			Name:     "h.synth.test",
+			Type:     dnsmsg.TypeA,
+		}
+	}
+	for i := 0; i < perWindow; i++ {
+		st.Submit(mk(i))
+	}
+	if err := st.Barrier(); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+	got1 := win1.Load()
+	if got1 != perWindow {
+		t.Errorf("window 1 tap saw %d observations, want %d", got1, perWindow)
+	}
+	// All workers are idle: rotating taps is safe mid-stream.
+	c.SetTaps(TapFunc(func(Observation) { win2.Add(1) }), nil)
+	for i := 0; i < perWindow; i++ {
+		st.Submit(mk(perWindow + i))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if win1.Load() != perWindow {
+		t.Errorf("window 1 tap grew after rotation: %d", win1.Load())
+	}
+	if win2.Load() != perWindow {
+		t.Errorf("window 2 tap saw %d observations, want %d", win2.Load(), perWindow)
+	}
+	if st.Close() != nil { // idempotent
+		t.Error("second Close should return nil on a clean stream")
+	}
+}
+
+// TestStreamMatchesSequential verifies that a Stream with interleaved
+// barriers leaves the cluster in the same state as sequential Resolve calls
+// over the same query sequence.
+func TestStreamMatchesSequential(t *testing.T) {
+	queries := make([]Query, 0, 900)
+	for i := 0; i < 900; i++ {
+		name := "h.synth.test"
+		if i%3 == 0 {
+			name = "cold.synth.test"
+		}
+		queries = append(queries, Query{
+			Time:     t0.Add(time.Duration(i) * time.Second),
+			ClientID: uint32(i % 101),
+			Name:     name,
+			Type:     dnsmsg.TypeA,
+		})
+	}
+
+	seq, err := NewCluster(synthUpstream(t), WithServers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if _, err := seq.Resolve(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	par, err := NewCluster(synthUpstream(t), WithServers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := par.StartStream()
+	for i, q := range queries {
+		st.Submit(q)
+		if i%250 == 249 {
+			if err := st.Barrier(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := seq.Stats(), par.Stats()
+	if a != b {
+		t.Errorf("cluster stats differ:\nseq: %+v\npar: %+v", a, b)
+	}
+}

@@ -1,13 +1,19 @@
 // Package traceio serializes query traces as JSON Lines, so generated
 // workloads can be stored, inspected, and replayed by the CLI tools.
+// Traces may be gzip-compressed: readers sniff the gzip magic bytes
+// regardless of file name, and the path helpers compress anything whose
+// name ends in ".gz".
 package traceio
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"strings"
 	"time"
 
 	"dnsnoise/internal/cache"
@@ -17,6 +23,13 @@ import (
 
 // ErrBadEvent reports a malformed trace line.
 var ErrBadEvent = errors.New("traceio: malformed event")
+
+// ErrLineTooLong reports a trace line exceeding maxLineBytes.
+var ErrLineTooLong = errors.New("traceio: line exceeds 1 MB cap")
+
+// maxLineBytes caps a single trace line; a well-formed event is a few
+// hundred bytes, so anything past this is a corrupt or hostile input.
+const maxLineBytes = 1 << 20
 
 // Event is one serialized query.
 type Event struct {
@@ -62,10 +75,11 @@ func (e Event) ToQuery() (resolver.Query, error) {
 	}, nil
 }
 
-// Writer emits events as JSON lines.
+// Writer emits events as JSON lines, optionally through a gzip layer.
 type Writer struct {
 	bw  *bufio.Writer
 	enc *json.Encoder
+	gz  *gzip.Writer
 	n   int
 }
 
@@ -73,6 +87,15 @@ type Writer struct {
 func NewWriter(w io.Writer) *Writer {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// NewGzipWriter wraps w in a gzip-compressing trace writer. Close (or
+// Flush) must be called to terminate the gzip stream.
+func NewGzipWriter(w io.Writer) *Writer {
+	gz := gzip.NewWriter(w)
+	tw := NewWriter(gz)
+	tw.gz = gz
+	return tw
 }
 
 // Write appends one event.
@@ -84,32 +107,71 @@ func (w *Writer) Write(e Event) error {
 	return nil
 }
 
+// Consume appends one query, satisfying the ingest pipeline's query-sink
+// contract: a trace writer is an output module for the raw query stream.
+func (w *Writer) Consume(q resolver.Query) error {
+	return w.Write(FromQuery(q))
+}
+
 // Count returns the number of events written.
 func (w *Writer) Count() int { return w.n }
 
-// Flush drains the buffer; call before closing the underlying writer.
+// Flush drains the buffer (and terminates the gzip stream, when present);
+// call before closing the underlying writer.
 func (w *Writer) Flush() error {
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("traceio: flush: %w", err)
 	}
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil {
+			return fmt.Errorf("traceio: close gzip: %w", err)
+		}
+		w.gz = nil
+	}
 	return nil
 }
 
-// Reader parses JSON-line events.
+// Reader parses JSON-line events. The input is sniffed for the gzip magic
+// bytes on the first read and decompressed transparently.
 type Reader struct {
-	sc   *bufio.Scanner
-	line int
+	raw     io.Reader
+	sc      *bufio.Scanner
+	line    int
+	initErr error
 }
 
-// NewReader wraps r.
+// NewReader wraps r. Compression is detected lazily on the first Next call.
 func NewReader(r io.Reader) *Reader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	return &Reader{sc: sc}
+	return &Reader{raw: r}
+}
+
+// init sniffs the stream head for the gzip magic and builds the line
+// scanner over the (possibly decompressed) byte stream.
+func (r *Reader) init() error {
+	if r.sc != nil || r.initErr != nil {
+		return r.initErr
+	}
+	br := bufio.NewReaderSize(r.raw, 1<<16)
+	var src io.Reader = br
+	if head, err := br.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			r.initErr = fmt.Errorf("traceio: open gzip stream: %w", err)
+			return r.initErr
+		}
+		src = gz
+	}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 1<<16), maxLineBytes)
+	r.sc = sc
+	return nil
 }
 
 // Next returns the next event, or io.EOF when the trace is exhausted.
 func (r *Reader) Next() (Event, error) {
+	if err := r.init(); err != nil {
+		return Event{}, err
+	}
 	for r.sc.Scan() {
 		r.line++
 		raw := r.sc.Bytes()
@@ -126,7 +188,56 @@ func (r *Reader) Next() (Event, error) {
 		return e, nil
 	}
 	if err := r.sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return Event{}, fmt.Errorf("%w (after line %d)", ErrLineTooLong, r.line)
+		}
 		return Event{}, fmt.Errorf("traceio: scan: %w", err)
 	}
 	return Event{}, io.EOF
+}
+
+// OpenPath opens a trace file for reading — "-" means stdin — sniffing
+// gzip transparently. The returned close function releases the file handle.
+func OpenPath(path string) (*Reader, func() error, error) {
+	if path == "-" {
+		return NewReader(os.Stdin), func() error { return nil }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewReader(f), f.Close, nil
+}
+
+// CreatePath creates a trace file for writing — "-" means stdout — gzip
+// compressing when the name ends in ".gz". The returned close function
+// flushes the writer (terminating any gzip stream) and closes the file.
+func CreatePath(path string) (*Writer, func() error, error) {
+	var (
+		f     *os.File
+		toEnd func() error
+	)
+	if path == "-" {
+		f, toEnd = os.Stdout, func() error { return nil }
+	} else {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		toEnd = f.Close
+	}
+	var w *Writer
+	if strings.HasSuffix(path, ".gz") {
+		w = NewGzipWriter(f)
+	} else {
+		w = NewWriter(f)
+	}
+	return w, func() error {
+		if err := w.Flush(); err != nil {
+			toEnd()
+			return err
+		}
+		return toEnd()
+	}, nil
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -102,6 +104,103 @@ func TestReaderRejectsMalformed(t *testing.T) {
 				t.Errorf("Next = %v, want ErrBadEvent", err)
 			}
 		})
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewGzipWriter(&buf)
+	want := Event{
+		Time:   time.Date(2011, 12, 1, 0, 0, 0, 123456789, time.UTC),
+		Client: 9, Name: "tok.avqs.mcafee.com", Type: "A", Disposable: true,
+	}
+	if err := w.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if head := buf.Bytes()[:2]; head[0] != 0x1f || head[1] != 0x8b {
+		t.Fatalf("output does not start with gzip magic: %x", head)
+	}
+	// The reader detects compression by sniffing, not by being told.
+	r := NewReader(&buf)
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.Equal(want.Time) || got.Name != want.Name || !got.Disposable {
+		t.Errorf("event = %+v, want %+v", got, want)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after trace end: %v, want io.EOF", err)
+	}
+}
+
+func TestCreateOpenPathGzipByExtension(t *testing.T) {
+	for _, name := range []string{"trace.jsonl", "trace.jsonl.gz"} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), name)
+			w, closeW, err := CreatePath(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := resolver.Query{
+				Time:     time.Date(2011, 12, 1, 8, 0, 0, 0, time.UTC),
+				ClientID: 3, Name: "www.example.com", Type: dnsmsg.TypeA,
+			}
+			if err := w.Consume(q); err != nil {
+				t.Fatal(err)
+			}
+			if err := closeW(); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gzipped := len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b
+			if wantGz := strings.HasSuffix(name, ".gz"); gzipped != wantGz {
+				t.Errorf("gzipped = %v, want %v", gzipped, wantGz)
+			}
+			r, closeR, err := OpenPath(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeR()
+			ev, err := r.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Name != q.Name {
+				t.Errorf("name = %q, want %q", ev.Name, q.Name)
+			}
+		})
+	}
+}
+
+func TestReaderLineTooLong(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(`{"ts":"2011-12-01T00:00:00Z","client":1,"name":"a.test","type":"A"}` + "\n")
+	buf.WriteString(`{"name":"` + strings.Repeat("x", maxLineBytes+16) + "\n")
+	r := NewReader(&buf)
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first line: %v", err)
+	}
+	_, err := r.Next()
+	if !errors.Is(err, ErrLineTooLong) {
+		t.Errorf("oversized line: %v, want ErrLineTooLong", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "after line 1") {
+		t.Errorf("error lacks line context: %v", err)
+	}
+}
+
+func TestReaderCorruptGzip(t *testing.T) {
+	// Valid magic, truncated stream: init must fail with a useful error.
+	r := NewReader(bytes.NewReader([]byte{0x1f, 0x8b}))
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("corrupt gzip head: %v, want error", err)
 	}
 }
 

@@ -66,6 +66,35 @@ func (g *Generator) EventsFor(p Profile) int {
 // applied to the registry first (TTL mixture, measurement boost). The emit
 // callback receives each query; returning false stops generation early.
 func (g *Generator) GenerateDay(p Profile, emit func(resolver.Query) bool) {
+	day := g.StartDay(p)
+	for {
+		q, ok := day.Next()
+		if !ok {
+			return
+		}
+		if !emit(q) {
+			return
+		}
+	}
+}
+
+// DayStream is the pull-style counterpart of GenerateDay: one day's query
+// stream drawn on demand. A stream consumes its generator's rng, so at most
+// one DayStream per generator may be active at a time, and interleaving
+// Next calls with GenerateDay produces a different (still valid) day.
+type DayStream struct {
+	g       *Generator
+	p       Profile
+	times   []time.Time
+	disp    *zonePicker
+	nonDisp *zonePicker
+	i       int
+}
+
+// StartDay applies the profile to the registry and prepares the day's
+// stream. The queries drawn from the returned stream are identical, in
+// order, to what GenerateDay would emit for the same generator state.
+func (g *Generator) StartDay(p Profile) *DayStream {
 	p.ApplyToRegistry(g.registry, g.rng)
 	n := g.EventsFor(p)
 	times := diurnalTimes(g.rng, p.Date, n)
@@ -76,15 +105,31 @@ func (g *Generator) GenerateDay(p Profile, emit func(resolver.Query) bool) {
 	ordinary := make([]*ZoneSpec, 0, len(g.registry.NonDisposable)+len(g.registry.CDN))
 	ordinary = append(ordinary, g.registry.NonDisposable...)
 	ordinary = append(ordinary, g.registry.CDN...)
-	nonDispPicker := newZonePicker(ordinary)
-
-	for i := 0; i < n; i++ {
-		q := g.nextQuery(p, times[i], dispPicker, nonDispPicker)
-		if !emit(q) {
-			return
-		}
+	return &DayStream{
+		g:       g,
+		p:       p,
+		times:   times,
+		disp:    dispPicker,
+		nonDisp: newZonePicker(ordinary),
 	}
 }
+
+// Next draws the day's next query in timestamp order; ok is false once the
+// day is exhausted.
+func (s *DayStream) Next() (q resolver.Query, ok bool) {
+	if s.i >= len(s.times) {
+		return resolver.Query{}, false
+	}
+	q = s.g.nextQuery(s.p, s.times[s.i], s.disp, s.nonDisp)
+	s.i++
+	return q, true
+}
+
+// Remaining reports how many queries the stream has left.
+func (s *DayStream) Remaining() int { return len(s.times) - s.i }
+
+// Profile returns the profile the stream was started with.
+func (s *DayStream) Profile() Profile { return s.p }
 
 // nextQuery draws a single query according to the profile mix.
 func (g *Generator) nextQuery(p Profile, at time.Time, disp, nonDisp *zonePicker) resolver.Query {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 )
@@ -189,5 +190,67 @@ func FebruaryProfile(date time.Time) Profile {
 		Label: date.Format("01/02/2006"), Date: date,
 		DisposableFrac: 0.018, NXFrac: 0.07,
 		TTLDist: ttlDistEarly2011, MeasurementBoost: 1.0, VolumeScale: 1.0,
+	}
+}
+
+// SelectProfiles returns the day schedule for a named calibration, shared
+// by the trace-producing and trace-consuming CLIs: "february" and
+// "december" yield `days` consecutive profiles anchored at 2011-02-01 and
+// 2011-12-01 respectively, and "dates" yields the paper's six dated
+// profiles (days is ignored). days is floored at one.
+func SelectProfiles(name string, days int) ([]Profile, error) {
+	if days < 1 {
+		days = 1
+	}
+	switch name {
+	case "february":
+		base := time.Date(2011, 2, 1, 0, 0, 0, 0, time.UTC)
+		out := make([]Profile, 0, days)
+		for d := 0; d < days; d++ {
+			out = append(out, FebruaryProfile(base.AddDate(0, 0, d)))
+		}
+		return out, nil
+	case "december":
+		base := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+		out := make([]Profile, 0, days)
+		for d := 0; d < days; d++ {
+			out = append(out, DecemberProfile(base.AddDate(0, 0, d)))
+		}
+		return out, nil
+	case "dates":
+		return PaperDates(), nil
+	default:
+		return nil, fmt.Errorf("unknown profile %q (february, december, dates)", name)
+	}
+}
+
+// ProfileResolver returns the date→profile function underlying
+// SelectProfiles: given any UTC day, it yields the profile that
+// SelectProfiles would schedule for that day under the named calibration.
+// Trace replays use it to rebuild each recorded day's profile from query
+// timestamps alone, so the replaying side can walk a fresh registry
+// through the recording's per-day states.
+func ProfileResolver(name string) (func(time.Time) Profile, error) {
+	switch name {
+	case "february":
+		return FebruaryProfile, nil
+	case "december":
+		return DecemberProfile, nil
+	case "dates":
+		byDate := make(map[time.Time]Profile)
+		for _, p := range PaperDates() {
+			byDate[p.Date] = p
+		}
+		return func(date time.Time) Profile {
+			if p, ok := byDate[date.UTC().Truncate(24*time.Hour)]; ok {
+				return p
+			}
+			// A date outside the paper's six is not part of any "dates"
+			// recording; fall back to the late-2011 calibration rather
+			// than failing mid-stream.
+			return DecemberProfile(date)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown profile %q (february, december, dates)", name)
 	}
 }
