@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet lint bench clean
 
-all: build test vet
+all: build test vet lint
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,10 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
 
 # Micro-benchmarks for the resolver hot path, then the cluster throughput
 # harness, which records sequential-vs-parallel numbers (plus host CPU count)

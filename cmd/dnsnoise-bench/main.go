@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"dnsnoise/internal/dnsmsg"
 	"dnsnoise/internal/ingest"
 	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/telemetry"
 	"dnsnoise/internal/traceio"
 	"dnsnoise/internal/workload"
 )
@@ -39,20 +41,35 @@ type benchResult struct {
 	N             int     `json:"iterations"`
 }
 
+// overheadResult is the telemetry-overhead scenario: the same sequential
+// resolver day with a nil registry versus a live one, compared pairwise
+// (see benchOverhead). NoisePct is the run's own measurement-noise
+// estimate — the larger of the plain-vs-plain control pair's deviation
+// and the instrumented pairs' half-spread; an overhead reading is only
+// meaningful down to that precision.
+type overheadResult struct {
+	PlainNsPerOp        float64 `json:"plain_ns_per_op"`
+	InstrumentedNsPerOp float64 `json:"instrumented_ns_per_op"`
+	OverheadPct         float64 `json:"overhead_pct"`
+	NoisePct            float64 `json:"noise_pct"`
+	Pairs               int     `json:"pairs"`
+	RoundsPerPair       int     `json:"rounds_per_pair"`
+	QueriesPerPass      int     `json:"queries_per_pass"`
+}
+
+// report embeds telemetry.RunReport, so BENCH_resolver.json carries the
+// same schema as the CLIs' -report output (command, timing, runtime,
+// metrics snapshot, span tree) plus the benchmark numbers.
 type report struct {
-	Date       string        `json:"date"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	NumCPU     int           `json:"num_cpu"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Servers    int           `json:"servers"`
-	Queries    int           `json:"workload_queries"`
-	Sequential benchResult   `json:"sequential"`
-	Parallel   benchResult   `json:"parallel"`
-	Speedup    float64       `json:"speedup"`
-	Note       string        `json:"note,omitempty"`
-	Extra      []benchResult `json:"extra,omitempty"`
+	telemetry.RunReport
+	Servers    int             `json:"servers"`
+	Queries    int             `json:"workload_queries"`
+	Sequential benchResult     `json:"sequential"`
+	Parallel   benchResult     `json:"parallel"`
+	Speedup    float64         `json:"speedup"`
+	Overhead   *overheadResult `json:"telemetry_overhead,omitempty"`
+	Note       string          `json:"note,omitempty"`
+	Extra      []benchResult   `json:"extra,omitempty"`
 }
 
 func main() {
@@ -62,7 +79,7 @@ func main() {
 	}
 }
 
-func newCluster(servers int) (*resolver.Cluster, error) {
+func newCluster(servers int, extra ...resolver.Option) (*resolver.Cluster, error) {
 	up := authority.NewServer()
 	z, err := authority.NewZone("bench.test", authority.WithSynth(
 		func(name string, qtype dnsmsg.Type) ([]dnsmsg.RR, bool) {
@@ -74,8 +91,9 @@ func newCluster(servers int) (*resolver.Cluster, error) {
 	if err := up.AddZone(z); err != nil {
 		return nil, err
 	}
-	return resolver.NewCluster(up,
-		resolver.WithServers(servers), resolver.WithCacheSize(1<<14))
+	opts := append([]resolver.Option{
+		resolver.WithServers(servers), resolver.WithCacheSize(1 << 14)}, extra...)
+	return resolver.NewCluster(up, opts...)
 }
 
 // benchQueries mirrors the resolver package's benchmark mix: ≈80% repeats
@@ -208,12 +226,198 @@ func benchSources() ([]benchResult, error) {
 	return results, nil
 }
 
+// benchResolverDay runs the sequential resolve loop under the testing
+// harness against a fresh cluster built with extra options.
+func benchResolverDay(servers int, qs []resolver.Query, extra ...resolver.Option) (testing.BenchmarkResult, error) {
+	var clusterErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		c, err := newCluster(servers, extra...)
+		if err != nil {
+			clusterErr = err
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Resolve(qs[i%len(qs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return res, clusterErr
+}
+
+// Overhead-scenario shape: enough pairs for a median that survives one
+// unlucky cluster instance, enough rounds for the min to find a quiet
+// window, and segments long enough that a GC cycle does not dominate.
+const (
+	ovPairs     = 3
+	ovRounds    = 6
+	ovSegPasses = 3
+)
+
+// ovPairRatio builds one (plain, other) cluster pair — allocated and
+// warmed adjacently, order flipped by the caller, so the two sides see
+// near-identical heap layout and machine state — then alternates timed
+// segments between them for ovRounds and returns each side's minimum
+// ns/op and their ratio. The minimum is the noise-robust estimator:
+// contention and GC only ever add time.
+func ovPairRatio(servers int, qs []resolver.Query, flip bool, reg *telemetry.Registry) (plainNs, otherNs float64, err error) {
+	build := func(first bool) (*resolver.Cluster, error) {
+		if first != flip { // plain side
+			return newCluster(servers)
+		}
+		if reg != nil {
+			return newCluster(servers, resolver.WithTelemetry(reg))
+		}
+		return newCluster(servers) // control pair: both plain
+	}
+	a, err := build(true)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := build(false)
+	if err != nil {
+		return 0, 0, err
+	}
+	// timePass runs one full pass over the day. After the warmup pass
+	// the caches hold every name and the workload's timestamps never
+	// advance past the TTLs, so passes stay all-hits — the fast path
+	// the zero-cost contract is about.
+	timePass := func(c *resolver.Cluster) (float64, error) {
+		start := time.Now()
+		for _, q := range qs {
+			if _, err := c.Resolve(q); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(len(qs)), nil
+	}
+	seg := func(c *resolver.Cluster) (float64, error) {
+		total := 0.0
+		for p := 0; p < ovSegPasses; p++ {
+			ns, err := timePass(c)
+			if err != nil {
+				return 0, err
+			}
+			total += ns
+		}
+		return total / ovSegPasses, nil
+	}
+	for _, c := range []*resolver.Cluster{a, b} {
+		if _, err := timePass(c); err != nil {
+			return 0, 0, err
+		}
+	}
+	minA, minB := 0.0, 0.0
+	for round := 0; round < ovRounds; round++ {
+		order := []*resolver.Cluster{a, b}
+		if round%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		for _, c := range order {
+			ns, err := seg(c)
+			if err != nil {
+				return 0, 0, err
+			}
+			switch {
+			case c == a && (minA == 0 || ns < minA):
+				minA = ns
+			case c == b && (minB == 0 || ns < minB):
+				minB = ns
+			}
+		}
+	}
+	if flip {
+		return minB, minA, nil
+	}
+	return minA, minB, nil
+}
+
+// benchOverhead measures what the telemetry instrumentation costs on the
+// resolver fast path: the same sequential day resolved with a nil
+// registry versus a live one. It compares pair-locally (ovPairRatio) and
+// takes the median ratio over ovPairs instrumented pairs, alongside a
+// plain-vs-plain control pair whose deviation from 1.0 — together with
+// the instrumented ratios' half-spread — bounds what this run can
+// actually resolve (NoisePct). The last pair's registry is returned for
+// the report's metrics snapshot.
+func benchOverhead(servers int, qs []resolver.Query) (overheadResult, *telemetry.Registry, error) {
+	var (
+		ratios       []float64
+		plainMin     float64
+		instrMin     float64
+		reg          *telemetry.Registry
+		controlRatio float64
+	)
+	for pair := 0; pair <= ovPairs; pair++ {
+		control := pair == ovPairs
+		var pairReg *telemetry.Registry
+		if !control {
+			pairReg = telemetry.NewRegistry()
+		}
+		plainNs, otherNs, err := ovPairRatio(servers, qs, pair%2 == 1, pairReg)
+		if err != nil {
+			return overheadResult{}, nil, err
+		}
+		if control {
+			controlRatio = otherNs / plainNs
+			continue
+		}
+		ratios = append(ratios, otherNs/plainNs)
+		if plainMin == 0 || plainNs < plainMin {
+			plainMin = plainNs
+		}
+		if instrMin == 0 || otherNs < instrMin {
+			instrMin = otherNs
+		}
+		reg = pairReg
+	}
+	sort.Float64s(ratios)
+	spread := 100 * (ratios[len(ratios)-1] - ratios[0]) / 2
+	noise := 100 * absFloat(controlRatio-1)
+	if spread > noise {
+		noise = spread
+	}
+	return overheadResult{
+		PlainNsPerOp:        plainMin,
+		InstrumentedNsPerOp: instrMin,
+		OverheadPct:         100 * (median(ratios) - 1),
+		NoisePct:            noise,
+		Pairs:               ovPairs,
+		RoundsPerPair:       ovRounds,
+		QueriesPerPass:      len(qs),
+	}, reg, nil
+}
+
+func absFloat(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// median returns the middle value of xs (mean of the middle pair when
+// even); xs is sorted in place.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	if n := len(xs); n%2 == 1 {
+		return xs[n/2]
+	} else {
+		return (xs[n/2-1] + xs[n/2]) / 2
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("dnsnoise-bench", flag.ContinueOnError)
 	var (
 		out     = fs.String("out", "BENCH_resolver.json", "output JSON path ('-' for stdout)")
 		servers = fs.Int("servers", 4, "RDNS servers in the cluster")
 		queries = fs.Int("queries", 100_000, "pre-generated workload size")
+		maxOv   = fs.Float64("max-overhead", 2.0, "fail when telemetry overhead exceeds this percent (0 disables the gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -225,21 +429,17 @@ func run(args []string) error {
 		return fmt.Errorf("-queries must be >= 1 (got %d)", *queries)
 	}
 	qs := benchQueries(*queries)
+	tracer := telemetry.NewTracer()
 
-	seq := testing.Benchmark(func(b *testing.B) {
-		c, err := newCluster(*servers)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := c.Resolve(qs[i%len(qs)]); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+	seqSpan := tracer.Start("sequential")
+	seq, err := benchResolverDay(*servers, qs)
+	if err != nil {
+		return err
+	}
+	seqSpan.AddItems(int64(seq.N))
+	seqSpan.End()
 
+	parSpan := tracer.Start("parallel")
 	par := testing.Benchmark(func(b *testing.B) {
 		c, err := newCluster(*servers)
 		if err != nil {
@@ -258,29 +458,40 @@ func run(args []string) error {
 			done += n
 		}
 	})
+	parSpan.AddItems(int64(par.N))
+	parSpan.End()
 
+	ovSpan := tracer.Start("telemetry-overhead")
+	overhead, ovReg, err := benchOverhead(*servers, qs)
+	if err != nil {
+		return fmt.Errorf("overhead benchmark: %w", err)
+	}
+	ovSpan.End()
+
+	srcSpan := tracer.Start("sources")
 	extra, err := benchSources()
 	if err != nil {
 		return fmt.Errorf("source benchmarks: %w", err)
 	}
+	srcSpan.End()
 
 	rep := report{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		RunReport:  *telemetry.NewRunReport("dnsnoise-bench", args),
 		Servers:    *servers,
 		Queries:    *queries,
 		Sequential: toResult("BenchmarkClusterSequential", seq),
 		Parallel:   toResult("BenchmarkClusterParallel", par),
+		Overhead:   &overhead,
 		Extra:      extra,
 	}
+	// NewRunReport ran after the benchmarks, so backdate Start to the
+	// first span for an honest wall-clock duration.
+	rep.Start = tracer.Roots()[0].Start
+	rep.Finish(ovReg, tracer)
 	if rep.Parallel.NsPerOp > 0 {
 		rep.Speedup = rep.Sequential.NsPerOp / rep.Parallel.NsPerOp
 	}
-	if rep.NumCPU == 1 {
+	if runtime.NumCPU() == 1 {
 		rep.Note = "single-CPU host: per-server workers cannot run concurrently, so speedup ~1x measures scheduling overhead only; expect near-linear scaling up to the server count on multi-core hosts"
 	}
 
@@ -290,18 +501,38 @@ func run(args []string) error {
 	}
 	data = append(data, '\n')
 	if *out == "-" {
-		_, err = os.Stdout.Write(data)
-		return err
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("sequential: %8.1f ns/op (%.0f queries/s)\n", rep.Sequential.NsPerOp, rep.Sequential.QueriesPerSec)
+		fmt.Printf("parallel:   %8.1f ns/op (%.0f queries/s)\n", rep.Parallel.NsPerOp, rep.Parallel.QueriesPerSec)
+		fmt.Printf("speedup:    %.2fx on %d CPUs (%d servers)\n", rep.Speedup, runtime.NumCPU(), rep.Servers)
+		fmt.Printf("telemetry:  %+.2f%% overhead, ±%.2f%% noise (%.1f -> %.1f ns/op, %d pairs)\n",
+			overhead.OverheadPct, overhead.NoisePct,
+			overhead.PlainNsPerOp, overhead.InstrumentedNsPerOp, overhead.Pairs)
+		for _, r := range rep.Extra {
+			fmt.Printf("%-32s %8.1f ns/op (%.0f events/s)\n", r.Name+":", r.NsPerOp, r.QueriesPerSec)
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		return err
+	if *maxOv > 0 && overhead.OverheadPct > *maxOv {
+		// Only fail when this run could actually resolve the gate: on a
+		// loaded shared host the reading is dominated by scheduling and
+		// allocator luck, and failing on noise teaches people to delete
+		// the gate. The noise estimate is recorded in the report either
+		// way.
+		if overhead.NoisePct > *maxOv {
+			fmt.Fprintf(os.Stderr,
+				"telemetry overhead gate inconclusive: measured %+.2f%% but this run's noise floor is ±%.2f%% (gate %.2f%%)\n",
+				overhead.OverheadPct, overhead.NoisePct, *maxOv)
+		} else {
+			return fmt.Errorf("telemetry overhead %.2f%% exceeds -max-overhead %.2f%% (noise ±%.2f%%)",
+				overhead.OverheadPct, *maxOv, overhead.NoisePct)
+		}
 	}
-	fmt.Printf("sequential: %8.1f ns/op (%.0f queries/s)\n", rep.Sequential.NsPerOp, rep.Sequential.QueriesPerSec)
-	fmt.Printf("parallel:   %8.1f ns/op (%.0f queries/s)\n", rep.Parallel.NsPerOp, rep.Parallel.QueriesPerSec)
-	fmt.Printf("speedup:    %.2fx on %d CPUs (%d servers)\n", rep.Speedup, rep.NumCPU, rep.Servers)
-	for _, r := range rep.Extra {
-		fmt.Printf("%-32s %8.1f ns/op (%.0f events/s)\n", r.Name+":", r.NsPerOp, r.QueriesPerSec)
-	}
-	fmt.Printf("wrote %s\n", *out)
 	return nil
 }

@@ -14,12 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"dnsnoise/internal/experiments"
+	"dnsnoise/internal/telemetry"
 )
 
 // experiment binds an id to its runner.
@@ -174,6 +176,8 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Int64("seed", 0, "override the scale's seed (0 keeps the default)")
 		parallel = fs.Int("parallel", 1, "run up to N experiments concurrently (each builds its own environment)")
 	)
+	var tcfg telemetry.CLIConfig
+	tcfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -211,17 +215,37 @@ func run(args []string, stdout io.Writer) error {
 	if *parallel < 1 {
 		*parallel = 1
 	}
+
+	sess, err := tcfg.Start("dnsnoise-exp", args)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	// Experiments run concurrently under -parallel, so each owns a root
+	// span; the completion counter feeds the periodic progress line.
+	completed := sess.Registry.Counter("exp_completed_total",
+		"Experiments finished so far.")
+	sess.StartProgress(func(time.Duration) []slog.Attr {
+		return []slog.Attr{
+			slog.Uint64("completed", completed.Value()),
+			slog.Int("selected", len(selected)),
+		}
+	})
+
 	if *parallel == 1 {
 		// Sequential runs stream output as each experiment completes.
 		for _, e := range selected {
 			start := time.Now()
+			sp := sess.Tracer.StartRoot(e.id)
 			fmt.Fprintf(stdout, "=== %s — %s ===\n", e.id, e.about)
 			if err := e.run(sc, stdout); err != nil {
 				return fmt.Errorf("experiment %s: %w", e.id, err)
 			}
+			sp.End()
+			completed.Inc()
 			fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
 		}
-		return nil
+		return sess.Close()
 	}
 
 	// Experiments are independent (each builds its own registry, authority,
@@ -242,11 +266,14 @@ func run(args []string, stdout io.Writer) error {
 			defer wg.Done()
 			defer func() { <-sem }()
 			start := time.Now()
+			sp := sess.Tracer.StartRoot(e.id)
 			fmt.Fprintf(&reports[i].buf, "=== %s — %s ===\n", e.id, e.about)
 			if err := e.run(sc, &reports[i].buf); err != nil {
 				reports[i].err = fmt.Errorf("experiment %s: %w", e.id, err)
 				return
 			}
+			sp.End()
+			completed.Inc()
 			fmt.Fprintf(&reports[i].buf, "(%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
 		}(i, e)
 	}
@@ -259,5 +286,5 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return sess.Close()
 }

@@ -23,13 +23,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
+	"time"
 
 	"dnsnoise/internal/chrstat"
 	"dnsnoise/internal/core"
 	"dnsnoise/internal/ingest"
 	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/telemetry"
 	"dnsnoise/internal/workload"
 )
 
@@ -82,6 +85,8 @@ func run(args []string, stdout io.Writer) error {
 		top       = fs.Int("top", 25, "findings to print")
 		parallel  = fs.Bool("parallel", false, "resolve through per-server resolver workers (one goroutine per simulated server)")
 	)
+	var tcfg telemetry.CLIConfig
+	tcfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +96,12 @@ func run(args []string, stdout io.Writer) error {
 	if *tracePath != "" && *live {
 		return fmt.Errorf("-trace and -live are mutually exclusive")
 	}
+
+	sess, err := tcfg.Start("dnsnoise-mine", args)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 
 	reg := workload.NewRegistry(workload.RegistryConfig{
 		Seed:               *seed,
@@ -103,10 +114,12 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("build authority: %w", err)
 	}
 	cluster, err := resolver.NewCluster(auth,
-		resolver.WithServers(*servers), resolver.WithCacheSize(*cacheSz))
+		resolver.WithServers(*servers), resolver.WithCacheSize(*cacheSz),
+		resolver.WithTelemetry(sess.Registry))
 	if err != nil {
 		return err
 	}
+	sess.StartProgress(clusterProgress(cluster))
 	// The generator mirrors dnsnoise-gen's seeding (-seed + 2). Live mode
 	// draws the stream from it; trace mode burns the same draws through
 	// the ReplayProfiles day hook so the registry walks the recording's
@@ -143,6 +156,9 @@ func run(args []string, stdout io.Writer) error {
 	)
 	opts = append(opts,
 		ingest.WithSingleWindow(),
+		ingest.WithMetrics(sess.Registry),
+		ingest.WithTracer(sess.Tracer),
+		ingest.WithProgress(sess.Logger),
 		ingest.OnWindow(func(w ingest.Window) error {
 			collector = w.Collector
 			total = w.Queries
@@ -164,21 +180,28 @@ func run(args []string, stdout io.Writer) error {
 
 	byName := collector.ByName()
 	labels := reg.GroundTruth()
+	trainSpan := sess.Tracer.Start("train")
 	tree := core.BuildTree(byName, nil)
 	examples := core.BuildTrainingSet(tree, byName, reg.TrainingLabels(401), core.TrainingConfig{})
 	clf, err := core.TrainClassifier(examples, core.TrainingConfig{})
 	if err != nil {
 		return fmt.Errorf("train: %w", err)
 	}
+	trainSpan.AddItems(int64(len(examples)))
+	trainSpan.End()
 	miner, err := core.NewMiner(clf, core.MinerConfig{Theta: *theta})
 	if err != nil {
 		return err
 	}
+	miner.SetMetrics(sess.Registry)
+	mineSpan := sess.Tracer.Start("mine")
 	tree = core.BuildTree(byName, nil)
 	findings, err := miner.Mine(tree, byName)
 	if err != nil {
 		return fmt.Errorf("mine: %w", err)
 	}
+	mineSpan.AddItems(int64(len(findings)))
+	mineSpan.End()
 
 	rep := core.Summarize(findings, nil)
 	fmt.Fprintf(stdout, "mined %d disposable zones under %d 2LDs covering %d names (%.1f periods/name)\n",
@@ -212,5 +235,30 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "%-44s %5d %10.3f %7d\n", f.Zone, f.Depth, f.Confidence, len(f.Names))
 	}
-	return nil
+	return sess.Close()
+}
+
+// clusterProgress returns the per-tick attributes for the -progress
+// line: cumulative queries, qps since the last tick, and the cache hit
+// ratio so far. It runs on the progress goroutine only, so the
+// last-tick state needs no locking.
+func clusterProgress(cluster *resolver.Cluster) telemetry.ProgressFunc {
+	var (
+		lastQueries uint64
+		lastElapsed time.Duration
+	)
+	return func(elapsed time.Duration) []slog.Attr {
+		st := cluster.Stats()
+		dq := st.Queries - lastQueries
+		dt := (elapsed - lastElapsed).Seconds()
+		lastQueries, lastElapsed = st.Queries, elapsed
+		attrs := []slog.Attr{slog.Uint64("queries", st.Queries)}
+		if dt > 0 {
+			attrs = append(attrs, slog.Float64("qps", float64(dq)/dt))
+		}
+		if st.Queries > 0 {
+			attrs = append(attrs, slog.Float64("chr", float64(st.CacheHits)/float64(st.Queries)))
+		}
+		return attrs
+	}
 }

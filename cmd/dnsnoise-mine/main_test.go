@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"dnsnoise/internal/ingest"
+	"dnsnoise/internal/telemetry"
 	"dnsnoise/internal/traceio"
 	"dnsnoise/internal/workload"
 )
@@ -126,6 +128,82 @@ func TestLiveMatchesTraceReplay(t *testing.T) {
 					liveOut.String(), traceOut.String())
 			}
 		})
+	}
+}
+
+// TestTelemetryDoesNotPerturbOutput checks the zero-perturbation
+// contract: enabling every telemetry surface (-metrics-addr, -progress,
+// -report) leaves stdout byte-identical to a plain run, and the report
+// file carries the day span tree plus resolver metrics.
+func TestTelemetryDoesNotPerturbOutput(t *testing.T) {
+	trace := writeTestTrace(t)
+	var plain strings.Builder
+	if err := run(mineFlags(trace), &plain); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	var instrumented strings.Builder
+	args := append(mineFlags(trace),
+		"-metrics-addr", "127.0.0.1:0",
+		"-progress", "1h",
+		"-report", reportPath,
+	)
+	if err := run(args, &instrumented); err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	if plain.String() != instrumented.String() {
+		t.Errorf("telemetry perturbed stdout:\n--- plain ---\n%s\n--- instrumented ---\n%s",
+			plain.String(), instrumented.String())
+	}
+
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var rep telemetry.RunReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("parse report: %v", err)
+	}
+	if rep.Command != "dnsnoise-mine" {
+		t.Errorf("report command = %q, want dnsnoise-mine", rep.Command)
+	}
+	if rep.DurationSeconds <= 0 {
+		t.Errorf("report duration = %v, want > 0", rep.DurationSeconds)
+	}
+	// The trace holds one december day; its span must appear with the
+	// resolve stage nested under it, plus the mine-side stages.
+	names := map[string]bool{}
+	var walk func(ns []*telemetry.SpanNode)
+	walk = func(ns []*telemetry.SpanNode) {
+		for _, n := range ns {
+			names[n.Name] = true
+			if n.Running {
+				t.Errorf("span %q still running in final report", n.Name)
+			}
+			walk(n.Children)
+		}
+	}
+	walk(rep.Spans)
+	for _, want := range []string{"2011-12-30", "resolve", "train", "mine"} {
+		if !names[want] {
+			t.Errorf("report spans missing %q (have %v)", want, names)
+		}
+	}
+	if rep.Metrics == nil {
+		t.Fatal("report has no metrics snapshot")
+	}
+	var queries uint64
+	for name, v := range rep.Metrics.Counters {
+		if strings.HasPrefix(name, "resolver_queries_total") {
+			queries += v
+		}
+	}
+	if queries == 0 {
+		t.Error("report metrics missing resolver_queries_total counters")
+	}
+	if _, ok := rep.Metrics.Histograms["resolver_latency_ns"]; !ok {
+		t.Error("report metrics missing resolver_latency_ns histogram")
 	}
 }
 

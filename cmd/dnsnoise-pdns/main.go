@@ -16,14 +16,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
+	"time"
 
 	"dnsnoise/internal/chrstat"
 	"dnsnoise/internal/core"
 	"dnsnoise/internal/ingest"
 	"dnsnoise/internal/pdns"
 	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/telemetry"
 	"dnsnoise/internal/workload"
 )
 
@@ -53,6 +56,8 @@ func run(args []string, stdout io.Writer) error {
 		theta     = fs.Float64("theta", 0.9, "mining threshold for -collapse")
 		fpOut     = fs.String("fpdns", "", "also dump the full fpDNS tuple stream (JSONL) to this file")
 	)
+	var tcfg telemetry.CLIConfig
+	tcfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +67,12 @@ func run(args []string, stdout io.Writer) error {
 	if *tracePath != "" && *live {
 		return fmt.Errorf("-trace and -live are mutually exclusive")
 	}
+
+	sess, err := tcfg.Start("dnsnoise-pdns", args)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 
 	reg := workload.NewRegistry(workload.RegistryConfig{
 		Seed:               *seed,
@@ -74,10 +85,12 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("build authority: %w", err)
 	}
 	cluster, err := resolver.NewCluster(auth,
-		resolver.WithServers(*servers), resolver.WithCacheSize(*cacheSz))
+		resolver.WithServers(*servers), resolver.WithCacheSize(*cacheSz),
+		resolver.WithTelemetry(sess.Registry))
 	if err != nil {
 		return err
 	}
+	sess.StartProgress(clusterProgress(cluster))
 	gen := workload.NewGenerator(reg, workload.GeneratorConfig{
 		Seed:             *seed + 2,
 		Clients:          *clients,
@@ -105,6 +118,7 @@ func run(args []string, stdout io.Writer) error {
 	defer src.Close()
 
 	store := pdns.NewStore()
+	store.SetMetrics(sess.Registry)
 	var fpWriter *pdns.FpWriter
 	sinks := []ingest.ObservationSink{ingest.TapSink(store.Tap(), nil)}
 	if *fpOut != "" {
@@ -123,6 +137,9 @@ func run(args []string, stdout io.Writer) error {
 	)
 	opts = append(opts,
 		ingest.WithSingleWindow(),
+		ingest.WithMetrics(sess.Registry),
+		ingest.WithTracer(sess.Tracer),
+		ingest.WithProgress(sess.Logger),
 		ingest.WithSinks(sinks...),
 		ingest.OnWindow(func(w ingest.Window) error {
 			collector = w.Collector
@@ -157,33 +174,68 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if !*collapse {
-		return nil
+		return sess.Close()
 	}
 	byName := collector.ByName()
+	trainSpan := sess.Tracer.Start("train")
 	tree := core.BuildTree(byName, nil)
 	examples := core.BuildTrainingSet(tree, byName, reg.TrainingLabels(401), core.TrainingConfig{})
 	clf, err := core.TrainClassifier(examples, core.TrainingConfig{})
 	if err != nil {
 		return fmt.Errorf("train: %w", err)
 	}
+	trainSpan.AddItems(int64(len(examples)))
+	trainSpan.End()
 	miner, err := core.NewMiner(clf, core.MinerConfig{Theta: *theta})
 	if err != nil {
 		return err
 	}
+	miner.SetMetrics(sess.Registry)
+	mineSpan := sess.Tracer.Start("mine")
 	tree = core.BuildTree(byName, nil)
 	findings, err := miner.Mine(tree, byName)
 	if err != nil {
 		return fmt.Errorf("mine: %w", err)
 	}
+	mineSpan.AddItems(int64(len(findings)))
+	mineSpan.End()
+	collapseSpan := sess.Tracer.Start("collapse")
 	matcher := core.NewMatcher(findings)
 	res := store.CollapseWildcards(matcher.Match)
+	collapseSpan.AddItems(int64(res.Collapsed))
+	collapseSpan.End()
 	fmt.Fprintf(stdout, "\nwildcard collapse with %d mined zones:\n", len(matcher.Zones()))
 	fmt.Fprintf(stdout, "  %d -> %d records; disposable population shrinks to %.2f%% (paper: 0.7%%)\n",
 		res.Before, res.After, res.DisposableRatio()*100)
 	fmt.Fprintf(stdout, "  %d records folded into %d wildcards; storage %.1f MB -> %.1f MB\n",
 		res.Collapsed, res.Wildcards,
 		float64(store.StorageBytes())/1e6, float64(res.BytesAfter)/1e6)
-	return nil
+	return sess.Close()
+}
+
+// clusterProgress returns the per-tick attributes for the -progress
+// line: cumulative queries, qps since the last tick, and the cache hit
+// ratio so far. It runs on the progress goroutine only, so the
+// last-tick state needs no locking.
+func clusterProgress(cluster *resolver.Cluster) telemetry.ProgressFunc {
+	var (
+		lastQueries uint64
+		lastElapsed time.Duration
+	)
+	return func(elapsed time.Duration) []slog.Attr {
+		st := cluster.Stats()
+		dq := st.Queries - lastQueries
+		dt := (elapsed - lastElapsed).Seconds()
+		lastQueries, lastElapsed = st.Queries, elapsed
+		attrs := []slog.Attr{slog.Uint64("queries", st.Queries)}
+		if dt > 0 {
+			attrs = append(attrs, slog.Float64("qps", float64(dq)/dt))
+		}
+		if st.Queries > 0 {
+			attrs = append(attrs, slog.Float64("chr", float64(st.CacheHits)/float64(st.Queries)))
+		}
+		return attrs
+	}
 }
 
 func maxInt(a, b int) int {

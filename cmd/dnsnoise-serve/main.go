@@ -12,11 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dnsnoise/internal/authority"
+	"dnsnoise/internal/telemetry"
 	"dnsnoise/internal/udptransport"
 	"dnsnoise/internal/workload"
 )
@@ -38,9 +41,16 @@ func run(args []string) error {
 		maxHosts = fs.Int("hosts-per-zone", 128, "host pool cap")
 		zonefile = fs.String("zonefile", "", "optional extra zone file to serve ($ORIGIN required)")
 	)
+	var tcfg telemetry.CLIConfig
+	tcfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := tcfg.Start("dnsnoise-serve", args)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 
 	reg := workload.NewRegistry(workload.RegistryConfig{
 		Seed:               *seed,
@@ -68,11 +78,13 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "serving extra zone %s\n", zone.Origin())
 	}
 
-	srv, err := udptransport.Serve(auth, *addr)
+	srv, err := udptransport.Serve(auth, *addr,
+		udptransport.WithServerMetrics(sess.Registry))
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	sess.StartProgress(serveProgress(sess.Registry))
 	fmt.Fprintf(os.Stderr, "serving %d zones on udp://%s (try: dig @%s www.google.com A)\n",
 		len(reg.AllZones()), srv.Addr(), srv.Addr())
 
@@ -80,5 +92,32 @@ func run(args []string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "shutting down")
-	return nil
+	return sess.Close()
+}
+
+// serveProgress returns the per-tick attributes for the -progress line:
+// cumulative datagrams in/out and the receive rate since the last tick.
+// It runs on the progress goroutine only, so the last-tick state needs
+// no locking.
+func serveProgress(reg *telemetry.Registry) telemetry.ProgressFunc {
+	var (
+		lastRx      uint64
+		lastElapsed time.Duration
+	)
+	return func(elapsed time.Duration) []slog.Attr {
+		snap := reg.Snapshot()
+		rx := snap.Counter("udp_rx_packets_total")
+		dt := (elapsed - lastElapsed).Seconds()
+		drx := rx - lastRx
+		lastRx, lastElapsed = rx, elapsed
+		attrs := []slog.Attr{
+			slog.Uint64("rx_packets", rx),
+			slog.Uint64("tx_packets", snap.Counter("udp_tx_packets_total")),
+			slog.Uint64("dropped", snap.Counter("udp_dropped_total")),
+		}
+		if dt > 0 {
+			attrs = append(attrs, slog.Float64("rx_pps", float64(drx)/dt))
+		}
+		return attrs
+	}
 }

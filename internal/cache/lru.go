@@ -10,6 +10,7 @@ package cache
 
 import (
 	"container/list"
+	"sync/atomic"
 	"time"
 )
 
@@ -64,13 +65,28 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// counters hold the cache's event counts as atomics, so Stats() and Len()
+// may be polled (e.g. by a metrics scrape) while the owning server mutates
+// the cache. The structural operations themselves remain single-owner.
+type counters struct {
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	expiries   atomic.Uint64
+	insertions atomic.Uint64
+	evictions  atomic.Uint64
+	premature  [2][2]atomic.Uint64
+}
+
 // LRU is a fixed-capacity least-recently-used cache with per-entry TTL.
-// It is not safe for concurrent use; each simulated server owns one.
+// Structural operations (Get/Put/Remove) are not safe for concurrent use —
+// each simulated server owns one — but Len, Capacity and Stats are safe to
+// call from other goroutines while the owner works.
 type LRU struct {
 	capacity int
 	order    *list.List // front = most recently used
 	items    map[string]*list.Element
-	stats    Stats
+	stats    counters
+	size     atomic.Int64
 }
 
 // NewLRU returns a cache holding at most capacity entries. capacity < 1 is
@@ -88,13 +104,26 @@ func NewLRU(capacity int) *LRU {
 
 // Len returns the number of entries currently stored, including any that
 // have expired but not yet been touched.
-func (c *LRU) Len() int { return c.order.Len() }
+func (c *LRU) Len() int { return int(c.size.Load()) }
 
 // Capacity returns the configured maximum entry count.
 func (c *LRU) Capacity() int { return c.capacity }
 
 // Stats returns a copy of the event counters.
-func (c *LRU) Stats() Stats { return c.stats }
+func (c *LRU) Stats() Stats {
+	var s Stats
+	s.Hits = c.stats.hits.Load()
+	s.Misses = c.stats.misses.Load()
+	s.Expiries = c.stats.expiries.Load()
+	s.Insertions = c.stats.insertions.Load()
+	s.Evictions = c.stats.evictions.Load()
+	for v := range c.stats.premature {
+		for i := range c.stats.premature[v] {
+			s.PrematureEvictions[v][i] = c.stats.premature[v][i].Load()
+		}
+	}
+	return s
+}
 
 // Get looks up key at instant now. A present, unexpired entry counts as a
 // hit and is promoted to most-recently-used. A present but expired entry is
@@ -102,18 +131,18 @@ func (c *LRU) Stats() Stats { return c.stats }
 func (c *LRU) Get(key string, now time.Time) (any, bool) {
 	el, ok := c.items[key]
 	if !ok {
-		c.stats.Misses++
+		c.stats.misses.Add(1)
 		return nil, false
 	}
 	ent := el.Value.(*Entry)
 	if !now.Before(ent.Expires) {
 		c.removeElement(el)
-		c.stats.Expiries++
-		c.stats.Misses++
+		c.stats.expiries.Add(1)
+		c.stats.misses.Add(1)
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	c.stats.Hits++
+	c.stats.hits.Add(1)
 	return ent.Value, true
 }
 
@@ -147,7 +176,7 @@ func (c *LRU) PutLowPriority(key string, value any, ttl time.Duration, cat Categ
 }
 
 func (c *LRU) put(key string, value any, ttl time.Duration, cat Category, now time.Time, low bool) {
-	c.stats.Insertions++
+	c.stats.insertions.Add(1)
 	expires := now.Add(ttl)
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*Entry)
@@ -167,9 +196,10 @@ func (c *LRU) put(key string, value any, ttl time.Duration, cat Category, now ti
 	ent := &Entry{Key: key, Value: value, Expires: expires, Category: cat}
 	if low {
 		c.items[key] = c.order.PushBack(ent)
-		return
+	} else {
+		c.items[key] = c.order.PushFront(ent)
 	}
-	c.items[key] = c.order.PushFront(ent)
+	c.size.Add(1)
 }
 
 // Remove deletes key if present and reports whether it was.
@@ -192,8 +222,8 @@ func (c *LRU) evictOldest(inserter Category, now time.Time) {
 	}
 	ent := el.Value.(*Entry)
 	if now.Before(ent.Expires) {
-		c.stats.Evictions++
-		c.stats.PrematureEvictions[ent.Category][inserter]++
+		c.stats.evictions.Add(1)
+		c.stats.premature[ent.Category][inserter].Add(1)
 	}
 	c.removeElement(el)
 }
@@ -202,6 +232,7 @@ func (c *LRU) removeElement(el *list.Element) {
 	ent := el.Value.(*Entry)
 	delete(c.items, ent.Key)
 	c.order.Remove(el)
+	c.size.Add(-1)
 }
 
 // CategoryCounts returns how many currently cached entries belong to each

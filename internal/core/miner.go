@@ -17,6 +17,7 @@ import (
 	"dnsnoise/internal/dntree"
 	"dnsnoise/internal/features"
 	"dnsnoise/internal/mlearn"
+	"dnsnoise/internal/telemetry"
 )
 
 // Errors reported by the miner.
@@ -67,6 +68,23 @@ func (c *MinerConfig) setDefaults() {
 type Miner struct {
 	classifier mlearn.Classifier
 	cfg        MinerConfig
+
+	// Telemetry counters; nil (no-op) unless SetMetrics was called. The
+	// counters are atomic, so ProcessDays' concurrent miners share them.
+	mDecisions  *telemetry.Counter
+	mDisposable *telemetry.Counter
+}
+
+// SetMetrics registers the miner's classifier-decision counters with reg.
+// Call before mining starts.
+func (m *Miner) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m.mDecisions = reg.Counter("miner_decisions_total",
+		"Classifier decisions over same-depth name groups.")
+	m.mDisposable = reg.Counter("miner_disposable_groups_total",
+		"Groups classified disposable (Algorithm 1 line 5 positives).")
 }
 
 // NewMiner wraps a trained classifier.
@@ -126,9 +144,11 @@ func (m *Miner) mineZone(tree *dntree.Tree, byName map[string][]*chrstat.RRStat,
 		if err != nil {
 			return fmt.Errorf("classify %s depth %d: %w", zone, g.Depth, err)
 		}
+		m.mDecisions.Inc()
 		if !disposable {
 			continue
 		}
+		m.mDisposable.Inc()
 		for _, name := range g.Names {
 			tree.Decolor(name)
 		}

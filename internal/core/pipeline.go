@@ -8,6 +8,7 @@ import (
 
 	"dnsnoise/internal/chrstat"
 	"dnsnoise/internal/dnsname"
+	"dnsnoise/internal/telemetry"
 )
 
 // Pipeline is the daily disposable zone ranking process of Figure 10: each
@@ -19,8 +20,35 @@ type Pipeline struct {
 	miner    *Miner
 	suffixes *dnsname.Suffixes
 
+	// mu guards the cumulative ranking, so Days/Ranking/Summary (and
+	// metric gauges) may be read while a fold is in flight.
+	mu    sync.Mutex
 	days  int
 	zones map[string]*ZoneRecord
+
+	// Telemetry counter; nil (no-op) unless SetMetrics was called.
+	mFindings *telemetry.Counter
+}
+
+// SetMetrics registers the pipeline's ranking metrics with reg: findings
+// folded so far plus gauges for processed days and distinct zones. Call
+// before processing starts.
+func (p *Pipeline) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	p.mFindings = reg.Counter("pipeline_findings_total",
+		"Disposable (zone, depth) findings folded into the ranking.")
+	reg.GaugeFunc("pipeline_days",
+		"Days processed by the ranking pipeline.",
+		func() float64 { return float64(p.Days()) })
+	reg.GaugeFunc("pipeline_zones",
+		"Distinct zones currently in the cumulative ranking.",
+		func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return float64(len(p.zones))
+		})
 }
 
 // ZoneRecord is one zone's cumulative ranking entry.
@@ -68,6 +96,9 @@ func (p *Pipeline) ProcessDay(date time.Time, byName map[string][]*chrstat.RRSta
 
 // fold accumulates one day's findings into the cumulative ranking.
 func (p *Pipeline) fold(date time.Time, findings []Finding) {
+	p.mFindings.Add(uint64(len(findings)))
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.days++
 	for _, f := range findings {
 		rec, ok := p.zones[f.Zone]
@@ -151,11 +182,17 @@ func containsInt(xs []int, v int) bool {
 }
 
 // Days returns how many days the pipeline has processed.
-func (p *Pipeline) Days() int { return p.days }
+func (p *Pipeline) Days() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.days
+}
 
 // Ranking returns the cumulative zone records, most persistent first
 // (days seen, then names, then zone name for determinism).
 func (p *Pipeline) Ranking() []ZoneRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]ZoneRecord, 0, len(p.zones))
 	for _, rec := range p.zones {
 		out = append(out, *rec)
@@ -176,6 +213,8 @@ func (p *Pipeline) Ranking() []ZoneRecord {
 // distinct zones, distinct registrable domains, and the count of zones seen
 // on at least minDays days (persistent zones are the high-confidence set).
 func (p *Pipeline) Summary(minDays int) (zones, e2lds, persistent int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	e2set := make(map[string]struct{})
 	for _, rec := range p.zones {
 		zones++

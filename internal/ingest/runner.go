@@ -1,11 +1,14 @@
 package ingest
 
 import (
+	"context"
 	"io"
+	"log/slog"
 	"time"
 
 	"dnsnoise/internal/chrstat"
 	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/telemetry"
 )
 
 // Window is one completed measurement window: a UTC day of the query
@@ -39,6 +42,22 @@ type Runner struct {
 	qsinks     []QuerySink
 	onWindow   func(Window) error
 	onDayStart func(time.Time) error
+
+	// Telemetry (all optional; see WithMetrics/WithTracer/WithProgress).
+	metrics  *telemetry.Registry
+	tracer   *telemetry.Tracer
+	progress *slog.Logger
+	queries  *telemetry.Counter
+	days     *telemetry.Counter
+	pauses   *telemetry.Counter
+	obsBelow telemetry.Counter // standalone: counted only when telemetry is on
+	obsAbove telemetry.Counter
+	countObs bool
+
+	// Per-day state owned by the driving goroutine.
+	daySpan     *telemetry.Span
+	resolveSpan *telemetry.Span
+	dayWall     time.Time // wall-clock instant the current day opened
 }
 
 // Option configures a Runner.
@@ -101,12 +120,48 @@ func OnDayStart(fn func(time.Time) error) Option {
 	return func(r *Runner) { r.onDayStart = fn }
 }
 
+// WithMetrics registers the runner's live counters with reg: queries
+// submitted, day rotations, source pauses, and tapped observations per
+// side. Without a registry the runner's hot path carries no counting at
+// all.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(r *Runner) { r.metrics = reg }
+}
+
+// WithTracer records one span per simulated day, with prepare (day hook),
+// resolve (query flow) and collect (window emit) children. The tracer's
+// nesting stack is driven from the runner's goroutine only.
+func WithTracer(tr *telemetry.Tracer) Option {
+	return func(r *Runner) { r.tracer = tr }
+}
+
+// WithProgress logs one structured line per completed simulated day:
+// that day's query count and wall time plus the run's cumulative cache hit
+// ratio (from the cluster's counters) and domain hit ratio (1 − above/below
+// observations, the paper's eq. 1 over the whole run so far).
+func WithProgress(l *slog.Logger) Option {
+	return func(r *Runner) { r.progress = l }
+}
+
 // NewRunner builds a runner over cluster.
 func NewRunner(cluster *resolver.Cluster, opts ...Option) *Runner {
 	r := &Runner{cluster: cluster}
 	for _, o := range opts {
 		o(r)
 	}
+	if r.metrics != nil {
+		r.queries = r.metrics.Counter("ingest_queries_total",
+			"Queries pulled from the source and resolved.")
+		r.days = r.metrics.Counter("ingest_days_total",
+			"Simulated UTC days completed.")
+		r.pauses = r.metrics.Counter("ingest_pauses_total",
+			"Source quiesce pauses honored.")
+		r.metrics.CounterFunc(`ingest_observations_total{side="below"}`,
+			"Answer records tapped below (server to client).", r.obsBelow.Value)
+		r.metrics.CounterFunc(`ingest_observations_total{side="above"}`,
+			"Answer records tapped above (authority to server).", r.obsAbove.Value)
+	}
+	r.countObs = r.metrics != nil || r.progress != nil
 	return r
 }
 
@@ -128,7 +183,9 @@ func (r *Runner) Run(src QuerySource) error {
 }
 
 // installTaps points the cluster's below/above taps at the window
-// collector followed by the persistent sinks.
+// collector followed by the persistent sinks, counting observations per
+// side when telemetry is enabled (the counters are atomic, so the parallel
+// workers may share them).
 func (r *Runner) installTaps(col ObservationSink) {
 	below := func(ob resolver.Observation) {
 		col.ObserveBelow(ob)
@@ -142,15 +199,106 @@ func (r *Runner) installTaps(col ObservationSink) {
 			s.ObserveAbove(ob)
 		}
 	}
+	if r.countObs {
+		innerBelow, innerAbove := below, above
+		below = func(ob resolver.Observation) {
+			r.obsBelow.Inc()
+			innerBelow(ob)
+		}
+		above = func(ob resolver.Observation) {
+			r.obsAbove.Inc()
+			innerAbove(ob)
+		}
+	}
 	r.cluster.SetTaps(resolver.TapFunc(below), resolver.TapFunc(above))
 }
 
-// emit delivers a completed window to the callback.
+// emit delivers a completed window to the callback under a collect span
+// (a child of the still-open day span, when tracing).
 func (r *Runner) emit(w Window) error {
 	if r.onWindow == nil {
 		return nil
 	}
-	return r.onWindow(w)
+	sp := r.tracer.Start("collect")
+	err := r.onWindow(w)
+	sp.End()
+	return err
+}
+
+// startDay opens the new day's span, runs the OnDayStart hook under a
+// prepare child, and opens the resolve child that stays open while the
+// day's queries flow. Called with the stream quiesced.
+func (r *Runner) startDay(day time.Time) error {
+	r.dayWall = time.Now()
+	if r.tracer != nil {
+		r.daySpan = r.tracer.Start(day.UTC().Format("2006-01-02"))
+	}
+	if r.onDayStart != nil {
+		sp := r.tracer.Start("prepare")
+		err := r.onDayStart(day)
+		sp.End()
+		if err != nil {
+			return err
+		}
+	}
+	if r.tracer != nil {
+		r.resolveSpan = r.tracer.Start("resolve")
+	}
+	return nil
+}
+
+// finishResolve ends the day's resolve span, crediting it with the day's
+// query count, and logs the per-day progress line. Called with the stream
+// quiesced, before the window (if any) is emitted.
+func (r *Runner) finishResolve(day time.Time, dayQueries int) {
+	if r.resolveSpan != nil {
+		r.resolveSpan.AddItems(int64(dayQueries))
+		r.resolveSpan.End()
+		r.resolveSpan = nil
+	}
+	r.days.Inc()
+	r.logDay(day, dayQueries)
+}
+
+// endDay closes the day span after its window has been collected.
+func (r *Runner) endDay() {
+	if r.daySpan != nil {
+		r.daySpan.End()
+		r.daySpan = nil
+	}
+}
+
+// logDay emits the per-day structured progress line with the run's
+// cumulative hit ratios.
+func (r *Runner) logDay(day time.Time, dayQueries int) {
+	if r.progress == nil {
+		return
+	}
+	wall := time.Since(r.dayWall)
+	qps := 0.0
+	if s := wall.Seconds(); s > 0 {
+		qps = float64(dayQueries) / s
+	}
+	st := r.cluster.Stats()
+	chr := 0.0
+	if st.Queries > 0 {
+		chr = float64(st.CacheHits) / float64(st.Queries)
+	}
+	below, above := r.obsBelow.Value(), r.obsAbove.Value()
+	dhr := 0.0
+	if below > 0 && above < below {
+		dhr = 1 - float64(above)/float64(below)
+	}
+	r.progress.LogAttrs(context.Background(), slog.LevelInfo, "day complete",
+		slog.String("day", day.UTC().Format("2006-01-02")),
+		slog.Int("queries", dayQueries),
+		slog.Float64("wall_s", wall.Seconds()),
+		slog.Float64("qps", qps),
+		slog.Float64("chr", chr),
+		slog.Float64("dhr", dhr),
+		slog.Uint64("obs_below", below),
+		slog.Uint64("obs_above", above),
+	)
 }
 
 // tee feeds one query to the query sinks.
@@ -171,11 +319,12 @@ func dayOf(t time.Time) time.Time {
 
 func (r *Runner) runSequential(src QuerySource) error {
 	var (
-		col     *chrstat.Collector
-		winDate time.Time
-		curDay  time.Time
-		started bool
-		count   int
+		col      *chrstat.Collector
+		winDate  time.Time
+		curDay   time.Time
+		started  bool
+		count    int
+		dayCount int
 	)
 	open := func(day time.Time) {
 		col = chrstat.NewCollector()
@@ -186,6 +335,7 @@ func (r *Runner) runSequential(src QuerySource) error {
 	for {
 		q, err := src.Next()
 		if err == ErrPause {
+			r.pauses.Inc()
 			continue // nothing is ever in flight sequentially
 		}
 		if err == io.EOF {
@@ -195,20 +345,23 @@ func (r *Runner) runSequential(src QuerySource) error {
 			return err
 		}
 		if day := dayOf(q.Time); !started || !day.Equal(curDay) {
-			if started && !r.single {
-				if err := r.emit(Window{Date: winDate, Collector: col, Queries: count}); err != nil {
-					return err
+			if started {
+				r.finishResolve(curDay, dayCount)
+				if !r.single {
+					if err := r.emit(Window{Date: winDate, Collector: col, Queries: count}); err != nil {
+						return err
+					}
 				}
+				r.endDay()
 			}
-			if r.onDayStart != nil {
-				if err := r.onDayStart(day); err != nil {
-					return err
-				}
+			if err := r.startDay(day); err != nil {
+				return err
 			}
 			if !started || !r.single {
 				open(day)
 			}
 			curDay, started = day, true
+			dayCount = 0
 		}
 		if err := r.tee(q); err != nil {
 			return err
@@ -217,23 +370,30 @@ func (r *Runner) runSequential(src QuerySource) error {
 			return err
 		}
 		count++
+		dayCount++
+		r.queries.Inc()
 	}
 	if !started {
 		if !r.single {
 			return nil // empty stream, nothing to emit
 		}
 		col = chrstat.NewCollector()
+	} else {
+		r.finishResolve(curDay, dayCount)
 	}
-	return r.emit(Window{Date: winDate, Collector: col, Queries: count})
+	err := r.emit(Window{Date: winDate, Collector: col, Queries: count})
+	r.endDay()
+	return err
 }
 
 func (r *Runner) runParallel(src QuerySource) error {
 	var (
-		sh      *chrstat.ShardedCollector
-		winDate time.Time
-		curDay  time.Time
-		started bool
-		count   int
+		sh       *chrstat.ShardedCollector
+		winDate  time.Time
+		curDay   time.Time
+		started  bool
+		count    int
+		dayCount int
 	)
 	st := r.cluster.StartStream()
 	// Close on every exit path: Submit never blocks forever (workers keep
@@ -255,6 +415,7 @@ func (r *Runner) runParallel(src QuerySource) error {
 			if err := st.Barrier(); err != nil {
 				return err
 			}
+			r.pauses.Inc()
 			continue
 		}
 		if err == io.EOF {
@@ -271,27 +432,30 @@ func (r *Runner) runParallel(src QuerySource) error {
 				if err := st.Barrier(); err != nil {
 					return err
 				}
+				r.finishResolve(curDay, dayCount)
 				if !r.single {
 					if err := r.emit(Window{Date: winDate, Collector: sh.Merge(), Queries: count}); err != nil {
 						return err
 					}
 				}
+				r.endDay()
 			}
-			if r.onDayStart != nil {
-				if err := r.onDayStart(day); err != nil {
-					return err
-				}
+			if err := r.startDay(day); err != nil {
+				return err
 			}
 			if !started || !r.single {
 				open(day)
 			}
 			curDay, started = day, true
+			dayCount = 0
 		}
 		if err := r.tee(q); err != nil {
 			return err
 		}
 		st.Submit(q)
 		count++
+		dayCount++
+		r.queries.Inc()
 		if i%errCheckInterval == errCheckInterval-1 {
 			if err := st.Err(); err != nil {
 				return err
@@ -308,5 +472,8 @@ func (r *Runner) runParallel(src QuerySource) error {
 		}
 		return r.emit(Window{Collector: chrstat.NewCollector(), Queries: 0})
 	}
-	return r.emit(Window{Date: winDate, Collector: sh.Merge(), Queries: count})
+	r.finishResolve(curDay, dayCount)
+	err := r.emit(Window{Date: winDate, Collector: sh.Merge(), Queries: count})
+	r.endDay()
+	return err
 }

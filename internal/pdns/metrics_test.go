@@ -1,0 +1,32 @@
+package pdns
+
+import (
+	"testing"
+
+	"dnsnoise/internal/cache"
+	"dnsnoise/internal/telemetry"
+)
+
+func TestStoreMetrics(t *testing.T) {
+	s := NewStore()
+	reg := telemetry.NewRegistry()
+	s.SetMetrics(reg)
+
+	s.Insert(rrA("a.example.com", "192.0.2.1"), cache.CategoryOther, day1)
+	s.Insert(rrA("a.example.com", "192.0.2.1"), cache.CategoryOther, day1) // dup
+	s.Insert(rrA("b.example.com", "192.0.2.2"), cache.CategoryDisposable, day1)
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("pdns_inserts_total"); got != 2 {
+		t.Errorf("pdns_inserts_total = %d, want 2", got)
+	}
+	if got := snap.Counter("pdns_duplicates_total"); got != 1 {
+		t.Errorf("pdns_duplicates_total = %d, want 1", got)
+	}
+	if got := snap.Gauges["pdns_records"]; got != 2 {
+		t.Errorf("pdns_records = %v, want 2", got)
+	}
+	if got := snap.Gauges["pdns_storage_bytes"]; got <= 0 {
+		t.Errorf("pdns_storage_bytes = %v, want > 0", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"dnsnoise/internal/cache"
 	"dnsnoise/internal/dnsmsg"
 	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/telemetry"
 )
 
 // Record is one deduplicated rpDNS entry: the (name, type, rdata) tuple
@@ -48,6 +49,29 @@ type Store struct {
 	seriesFn  []func(*Record) bool
 	seriesNm  []string
 	days      map[int64]*DayCounts // unix day -> counts
+
+	// Telemetry counters; nil (no-op) unless SetMetrics was called.
+	mInserts *telemetry.Counter
+	mDups    *telemetry.Counter
+}
+
+// SetMetrics registers the store's live metrics with reg: insert and
+// duplicate counters plus gauges for the deduplicated record count and the
+// estimated storage footprint. Call before observations arrive.
+func (s *Store) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mInserts = reg.Counter("pdns_inserts_total",
+		"New deduplicated records appended to the rpDNS store.")
+	s.mDups = reg.Counter("pdns_duplicates_total",
+		"Observations dropped as already-known (name, type, rdata) tuples.")
+	reg.GaugeFunc("pdns_records",
+		"Deduplicated records currently stored.",
+		func() float64 { return float64(s.Len()) })
+	reg.GaugeFunc("pdns_storage_bytes",
+		"Estimated storage footprint of the store.",
+		func() float64 { return float64(s.StorageBytes()) })
 }
 
 // NewStore returns an empty rpDNS database.
@@ -89,8 +113,10 @@ func (s *Store) Insert(rr dnsmsg.RR, cat cache.Category, at time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.firstSeen[key]; ok {
+		s.mDups.Inc()
 		return
 	}
+	s.mInserts.Inc()
 	rec := &Record{
 		Name:      rr.Name,
 		Type:      rr.Type,

@@ -23,13 +23,16 @@ import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnsnoise/internal/authority"
 	"dnsnoise/internal/cache"
 	"dnsnoise/internal/dnsmsg"
 	"dnsnoise/internal/dnsname"
+	"dnsnoise/internal/telemetry"
 )
 
 // Errors reported by the cluster.
@@ -138,6 +141,54 @@ type Stats struct {
 	MissesByCategory  [2]uint64
 }
 
+// statsShard is one server's counter shard, kept as atomics so Stats(),
+// PerServerStats() and metric scrapes can read mid-run without racing the
+// worker. The hit path pays as little as possible: Queries, CacheMisses and
+// CacheHits are not stored but derived on read — Queries is the sum of the
+// per-category query counts, CacheMisses the sum of the per-category miss
+// counts, and CacheHits = Queries − CacheMisses − NegCacheHits, which holds
+// exactly because every query takes precisely one of the three branches.
+type statsShard struct {
+	queriesByCategory [2]atomic.Uint64
+	missesByCategory  [2]atomic.Uint64
+	negCacheHits      atomic.Uint64
+	nxDomains         atomic.Uint64
+	upstreamRTs       atomic.Uint64
+	validations       atomic.Uint64
+	validationErrs    atomic.Uint64
+	wireBytesUp       atomic.Uint64
+	upstreamErrors    atomic.Uint64
+	servFails         atomic.Uint64
+}
+
+// snapshot loads the shard into the exported Stats form. Outcome counters
+// (misses, negative hits) are loaded BEFORE the query counters: a query
+// increments its query counter first and its outcome counter later, so this
+// order guarantees Queries ≥ CacheMisses + NegCacheHits and the derived
+// CacheHits never underflows. In-flight queries may transiently count as
+// hits until their outcome lands.
+func (sh *statsShard) snapshot() Stats {
+	var st Stats
+	for i := range sh.missesByCategory {
+		st.MissesByCategory[i] = sh.missesByCategory[i].Load()
+		st.CacheMisses += st.MissesByCategory[i]
+	}
+	st.NegCacheHits = sh.negCacheHits.Load()
+	for i := range sh.queriesByCategory {
+		st.QueriesByCategory[i] = sh.queriesByCategory[i].Load()
+		st.Queries += st.QueriesByCategory[i]
+	}
+	st.CacheHits = st.Queries - st.CacheMisses - st.NegCacheHits
+	st.NXDomains = sh.nxDomains.Load()
+	st.UpstreamRTs = sh.upstreamRTs.Load()
+	st.Validations = sh.validations.Load()
+	st.ValidationErrs = sh.validationErrs.Load()
+	st.WireBytesUp = sh.wireBytesUp.Load()
+	st.UpstreamErrors = sh.upstreamErrors.Load()
+	st.ServFails = sh.servFails.Load()
+	return st
+}
+
 // add folds o into st.
 func (st *Stats) add(o *Stats) {
 	st.Queries += o.Queries
@@ -187,9 +238,14 @@ type server struct {
 	idx      int
 	cache    *cache.LRU
 	negCache *cache.LRU
-	stats    Stats
+	stats    statsShard
 	msgID    uint16 // upstream message-ID counter, independent of any stat
 	queryBuf []byte // reusable wire buffer for upstream queries
+
+	// Telemetry (nil / unused unless WithTelemetry was given). latSample is
+	// touched only by the server's owning goroutine.
+	latHist   *telemetry.Histogram
+	latSample uint64
 
 	// Parallel-mode tap buffering (see WithBufferedTaps).
 	buffered bool
@@ -218,6 +274,7 @@ type options struct {
 	maxTTL        time.Duration
 	deprioritizer func(name string) bool
 	retries       int
+	telemetry     *telemetry.Registry
 }
 
 // Option configures a Cluster.
@@ -299,6 +356,16 @@ func WithDeprioritizer(pred func(name string) bool) Option {
 	return optionFunc(func(o *options) { o.deprioritizer = pred })
 }
 
+// WithTelemetry registers the cluster's live counters with reg: per-server
+// query/hit/miss/eviction series, cluster-wide upstream counters, and a
+// sampled per-query latency histogram. All metrics are read-time functions
+// over the per-server atomic shards, so the resolve hot path costs the same
+// with or without a registry (except the 1-in-16 latency sample). A nil
+// registry disables everything.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return optionFunc(func(o *options) { o.telemetry = reg })
+}
+
 // WithMaxTTL caps cached TTLs (default 24h).
 func WithMaxTTL(d time.Duration) Option {
 	return optionFunc(func(o *options) {
@@ -335,7 +402,67 @@ func NewCluster(upstream Upstream, opts ...Option) (*Cluster, error) {
 			negCache: cache.NewLRU(o.cacheSize / 4),
 		})
 	}
+	c.registerMetrics(o.telemetry)
 	return c, nil
+}
+
+// registerMetrics wires the cluster into a telemetry registry. Per-server
+// series carry a server label in the metric name; counters that rarely
+// differ across servers are exported cluster-wide to bound the series count.
+func (c *Cluster) registerMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	hists := make([]*telemetry.Histogram, len(c.servers))
+	for i, s := range c.servers {
+		s.latHist = new(telemetry.Histogram)
+		hists[i] = s.latHist
+		sh := &s.stats
+		srv := s
+		label := `{server="` + strconv.Itoa(i) + `"}`
+		reg.CounterFunc("resolver_queries_total"+label,
+			"Client queries handled.",
+			func() uint64 { return sh.snapshot().Queries })
+		reg.CounterFunc("resolver_cache_hits_total"+label,
+			"Positive-cache hits.",
+			func() uint64 { return sh.snapshot().CacheHits })
+		reg.CounterFunc("resolver_cache_misses_total"+label,
+			"Positive-cache misses (recursed upstream).",
+			func() uint64 { return sh.snapshot().CacheMisses })
+		reg.CounterFunc("resolver_negcache_hits_total"+label,
+			"Negative-cache hits.",
+			func() uint64 { return sh.snapshot().NegCacheHits })
+		reg.GaugeFunc("resolver_cache_entries"+label,
+			"Entries currently in the positive cache.",
+			func() float64 { return float64(srv.cache.Len()) })
+		reg.CounterFunc("resolver_cache_evictions_total"+label,
+			"Live entries evicted from the positive cache.",
+			func() uint64 { return srv.cache.Stats().Evictions })
+	}
+	reg.CounterFunc("resolver_upstream_roundtrips_total",
+		"Round trips to the authority across all servers.",
+		func() uint64 { return c.Stats().UpstreamRTs })
+	reg.CounterFunc("resolver_upstream_errors_total",
+		"Upstream exchanges that failed after retries.",
+		func() uint64 { return c.Stats().UpstreamErrors })
+	reg.CounterFunc("resolver_nxdomains_total",
+		"NXDOMAIN answers returned to clients.",
+		func() uint64 { return c.Stats().NXDomains })
+	reg.CounterFunc("resolver_servfails_total",
+		"SERVFAIL answers returned to clients.",
+		func() uint64 { return c.Stats().ServFails })
+	reg.CounterFunc("resolver_wire_bytes_up_total",
+		"Bytes exchanged with the authority.",
+		func() uint64 { return c.Stats().WireBytesUp })
+	reg.CounterFunc("resolver_validations_total",
+		"DNSSEC signature verifications performed.",
+		func() uint64 { return c.Stats().Validations })
+	reg.CounterFunc("resolver_validation_errors_total",
+		"DNSSEC validations that failed.",
+		func() uint64 { return c.Stats().ValidationErrs })
+	reg.HistogramFunc("resolver_latency_ns",
+		"Sampled per-query wall time in nanoseconds (1 query in 16).",
+		func() telemetry.HistogramSnapshot { return telemetry.SnapshotHistograms(hists...) })
 }
 
 // SetTaps installs the below/above observation taps; either may be nil.
@@ -346,19 +473,23 @@ func (c *Cluster) SetTaps(below, above Tap) {
 }
 
 // Stats returns the cluster counters, merged across the per-server shards.
+// Safe to call while a ResolveStream/ResolveBatch run is in flight; counts
+// from in-flight queries land atomically.
 func (c *Cluster) Stats() Stats {
 	var out Stats
 	for _, s := range c.servers {
-		out.add(&s.stats)
+		shard := s.stats.snapshot()
+		out.add(&shard)
 	}
 	return out
 }
 
 // PerServerStats returns each server's own counter shard, indexed by server.
+// Safe to call mid-run, like Stats.
 func (c *Cluster) PerServerStats() []Stats {
 	out := make([]Stats, len(c.servers))
 	for i, s := range c.servers {
-		out[i] = s.stats
+		out[i] = s.stats.snapshot()
 	}
 	return out
 }
@@ -418,40 +549,61 @@ func (c *Cluster) Resolve(q Query) (Response, error) {
 	return c.resolveOn(c.servers[c.pickServer(q.ClientID)], q)
 }
 
-// resolveOn processes one query on server s. In parallel mode every server
-// is driven by its own worker, so everything touched here — caches,
-// counters, wire buffers — must live on s or be concurrent-safe.
+// latSampleMask samples 1 query in 64 for the latency histogram — still
+// thousands of samples over a day's traffic, while amortizing the two
+// clock reads (which cost ~100ns on hosts without vDSO time) far below
+// the hit path's own cost; every unsampled query pays only a counter
+// increment and a mask test.
+const latSampleMask = 63
+
+// resolveOn processes one query on server s, timing a 1-in-64 sample when
+// telemetry is enabled. latSample belongs to the server's owning goroutine,
+// so the sampling decision costs no synchronization.
 func (c *Cluster) resolveOn(s *server, q Query) (Response, error) {
-	s.stats.Queries++
-	s.stats.QueriesByCategory[q.Category]++
+	if s.latHist != nil {
+		s.latSample++
+		if s.latSample&latSampleMask == 0 {
+			start := time.Now()
+			resp, err := c.doResolve(s, q)
+			s.latHist.Observe(uint64(time.Since(start)))
+			return resp, err
+		}
+	}
+	return c.doResolve(s, q)
+}
+
+// doResolve is the resolution path proper. In parallel mode every server is
+// driven by its own worker, so everything touched here — caches, counters,
+// wire buffers — must live on s or be concurrent-safe.
+func (c *Cluster) doResolve(s *server, q Query) (Response, error) {
+	s.stats.queriesByCategory[q.Category].Add(1)
 	q.Name = dnsname.Normalize(q.Name)
 	key := cacheKey(q.Name, q.Type)
 
-	// Positive cache.
+	// Positive cache. Hits are derived on read (see statsShard), so the
+	// hottest branch increments nothing beyond the query counter above.
 	if v, ok := s.cache.Get(key, q.Time); ok {
 		cv := v.(cacheValue)
-		s.stats.CacheHits++
 		c.emitBelow(s, q, cv.answers, dnsmsg.RCodeNoError)
 		return Response{RCode: dnsmsg.RCodeNoError, Answers: cv.answers, FromCache: true}, nil
 	}
 	// Negative cache.
 	if c.opts.negCache {
 		if _, ok := s.negCache.Get(key, q.Time); ok {
-			s.stats.NegCacheHits++
-			s.stats.NXDomains++
+			s.stats.negCacheHits.Add(1)
+			s.stats.nxDomains.Add(1)
 			c.emitBelow(s, q, nil, dnsmsg.RCodeNXDomain)
 			return Response{RCode: dnsmsg.RCodeNXDomain, FromCache: true}, nil
 		}
 	}
-	s.stats.CacheMisses++
-	s.stats.MissesByCategory[q.Category]++
+	s.stats.missesByCategory[q.Category].Add(1)
 
 	answers, rcode, negTTL, err := c.recurse(q, s)
 	if errors.Is(err, errUpstreamUnavailable) {
 		// The authority could not be reached after retries: degrade to
 		// SERVFAIL, as a production resolver would, rather than failing
 		// the simulation.
-		s.stats.ServFails++
+		s.stats.servFails.Add(1)
 		c.emitBelow(s, q, nil, dnsmsg.RCodeServFail)
 		return Response{RCode: dnsmsg.RCodeServFail}, nil
 	}
@@ -459,7 +611,7 @@ func (c *Cluster) resolveOn(s *server, q Query) (Response, error) {
 		return Response{}, err
 	}
 	if rcode == dnsmsg.RCodeNXDomain {
-		s.stats.NXDomains++
+		s.stats.nxDomains.Add(1)
 		if c.opts.negCache {
 			s.negCache.Put(key, struct{}{}, c.clampTTL(negTTL), q.Category, q.Time)
 		}
@@ -602,7 +754,7 @@ var errUpstreamUnavailable = errors.New("resolver: upstream unavailable")
 func (c *Cluster) exchange(s *server, name string, qtype dnsmsg.Type) (*dnsmsg.Message, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.retries; attempt++ {
-		s.stats.UpstreamRTs++
+		s.stats.upstreamRTs.Add(1)
 		s.msgID++
 		query := dnsmsg.NewQuery(s.msgID, name, qtype)
 		wire, err := query.AppendEncode(s.queryBuf[:0])
@@ -610,13 +762,13 @@ func (c *Cluster) exchange(s *server, name string, qtype dnsmsg.Type) (*dnsmsg.M
 			return nil, fmt.Errorf("encode upstream query: %w", err)
 		}
 		s.queryBuf = wire
-		s.stats.WireBytesUp += uint64(len(wire))
+		s.stats.wireBytesUp.Add(uint64(len(wire)))
 		respWire, err := c.upstream.HandleWire(wire)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		s.stats.WireBytesUp += uint64(len(respWire))
+		s.stats.wireBytesUp.Add(uint64(len(respWire)))
 		resp, err := dnsmsg.Decode(respWire)
 		if err != nil {
 			lastErr = err
@@ -624,7 +776,7 @@ func (c *Cluster) exchange(s *server, name string, qtype dnsmsg.Type) (*dnsmsg.M
 		}
 		return resp, nil
 	}
-	s.stats.UpstreamErrors++
+	s.stats.upstreamErrors.Add(1)
 	return nil, fmt.Errorf("%w: %v", errUpstreamUnavailable, lastErr)
 }
 
@@ -642,7 +794,7 @@ func (c *Cluster) validate(s *server, q Query, rrsig *dnsmsg.RR, answers []dnsms
 		resp, err := c.exchange(s, zone, dnsmsg.TypeDNSKEY)
 		if err != nil || resp.Header.RCode != dnsmsg.RCodeNoError {
 			c.keysMu.Unlock()
-			s.stats.ValidationErrs++
+			s.stats.validationErrs.Add(1)
 			return
 		}
 		c.emitAbove(s, q, resp)
@@ -655,21 +807,21 @@ func (c *Cluster) validate(s *server, q Query, rrsig *dnsmsg.RR, answers []dnsms
 		}
 		if dnskey == nil {
 			c.keysMu.Unlock()
-			s.stats.ValidationErrs++
+			s.stats.validationErrs.Add(1)
 			return
 		}
 		pub, err = authority.PublicKeyFromDNSKEY(*dnskey)
 		if err != nil {
 			c.keysMu.Unlock()
-			s.stats.ValidationErrs++
+			s.stats.validationErrs.Add(1)
 			return
 		}
 		c.keys[zone] = pub
 	}
 	c.keysMu.Unlock()
-	s.stats.Validations++
+	s.stats.validations.Add(1)
 	if err := authority.Verify(pub, *rrsig, answers); err != nil {
-		s.stats.ValidationErrs++
+		s.stats.validationErrs.Add(1)
 	}
 }
 

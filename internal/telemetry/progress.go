@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"runtime"
+	"time"
+)
+
+// ProgressFunc produces the workload-specific attributes for one
+// progress line (qps since the last line, cache hit ratio so far, ...).
+// It runs on the progress goroutine at every tick.
+type ProgressFunc func(elapsed time.Duration) []slog.Attr
+
+// StartProgress logs one structured "progress" line to l every
+// interval: the attributes from fn (may be nil) plus process vitals
+// (uptime, heap bytes, goroutine count). It returns a stop function
+// that halts the ticker and emits one final line; stop is idempotent.
+func StartProgress(l *slog.Logger, interval time.Duration, fn ProgressFunc) (stop func()) {
+	if l == nil || interval <= 0 {
+		return func() {}
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				logProgress(l, start, fn)
+			case <-done:
+				logProgress(l, start, fn)
+				return
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(done)
+		<-finished
+	}
+}
+
+func logProgress(l *slog.Logger, start time.Time, fn ProgressFunc) {
+	elapsed := time.Since(start)
+	attrs := []slog.Attr{
+		slog.Float64("uptime_s", elapsed.Seconds()),
+	}
+	if fn != nil {
+		attrs = append(attrs, fn(elapsed)...)
+	}
+	attrs = append(attrs, runtimeAttrs()...)
+	l.LogAttrs(context.Background(), slog.LevelInfo, "progress", attrs...)
+}
+
+// runtimeAttrs returns the process-vital attributes shared by every
+// structured progress line.
+func runtimeAttrs() []slog.Attr {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return []slog.Attr{
+		slog.Uint64("heap_bytes", ms.HeapAlloc),
+		slog.Int("goroutines", runtime.NumGoroutine()),
+	}
+}
+
+// registerRuntimeMetrics adds the Go runtime gauges every registry
+// carries, so any scrape shows process health next to pipeline counters.
+func registerRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return uint64(ms.NumGC)
+		})
+}

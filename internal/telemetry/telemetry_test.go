@@ -1,0 +1,292 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"dnsnoise/internal/stats"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	var h *Histogram
+	h.Observe(42)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram should stay empty")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.CounterFunc("x", "", nil)
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	var tr *Tracer
+	sp := tr.Start("x")
+	sp.AddItems(1)
+	sp.End()
+	if tr.Roots() != nil {
+		t.Fatal("nil tracer should have no roots")
+	}
+}
+
+func TestCounterConcurrentHammer(t *testing.T) {
+	const workers, perWorker = 16, 10_000
+	var c Counter
+	var g Gauge
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(uint64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		lo, hi uint64
+	}{
+		{0, 0, 1},
+		{1, 1, 2},
+		{2, 2, 4},
+		{3, 2, 4},
+		{4, 4, 8},
+		{1023, 512, 1024},
+		{1024, 1024, 2048},
+		{1 << 62, 1 << 62, 1 << 63},
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(tc.v)
+		s := h.Snapshot()
+		if len(s.Buckets) != 1 {
+			t.Fatalf("Observe(%d): %d buckets, want 1", tc.v, len(s.Buckets))
+		}
+		b := s.Buckets[0]
+		if b.Lo != tc.lo || b.Hi != tc.hi || b.Count != 1 {
+			t.Fatalf("Observe(%d) landed in [%d,%d) count %d, want [%d,%d) count 1",
+				tc.v, b.Lo, b.Hi, b.Count, tc.lo, tc.hi)
+		}
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the power-of-two-bucket quantile
+// estimate against the exact stats.Quantile over the same sample: the
+// estimate must stay within one bucket (a factor of two) of the truth.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	sample := make([]float64, 0, 20_000)
+	for i := 0; i < 20_000; i++ {
+		// Long-tailed values spanning several decades, like latencies.
+		v := uint64(math.Exp(rng.Float64()*12)) + 1
+		h.Observe(v)
+		sample = append(sample, float64(v))
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact, err := stats.Quantile(sample, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := h.Quantile(q)
+		if est < exact/2 || est > exact*2 {
+			t.Fatalf("q=%v: estimate %v not within a factor of 2 of exact %v", q, est, exact)
+		}
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "test counter")
+	h := r.Histogram("lat_ns", "test histogram")
+	c.Add(5)
+	h.Observe(10)
+	h.Observe(100)
+	_, d1 := r.DeltaSnapshot()
+	if d1.Counter("events_total") != 5 {
+		t.Fatalf("first delta counter = %d, want 5", d1.Counter("events_total"))
+	}
+	if d1.Histograms["lat_ns"].Count != 2 {
+		t.Fatalf("first delta hist count = %d, want 2", d1.Histograms["lat_ns"].Count)
+	}
+
+	c.Add(3)
+	h.Observe(10)
+	cur, d2 := r.DeltaSnapshot()
+	if cur.Counter("events_total") != 8 {
+		t.Fatalf("cumulative counter = %d, want 8", cur.Counter("events_total"))
+	}
+	if d2.Counter("events_total") != 3 {
+		t.Fatalf("second delta counter = %d, want 3", d2.Counter("events_total"))
+	}
+	hd := d2.Histograms["lat_ns"]
+	if hd.Count != 1 || hd.Sum != 10 {
+		t.Fatalf("second delta hist = count %d sum %d, want 1/10", hd.Count, hd.Sum)
+	}
+	if len(hd.Buckets) != 1 || hd.Buckets[0].Lo != 8 {
+		t.Fatalf("second delta buckets = %+v, want one bucket at lo=8", hd.Buckets)
+	}
+}
+
+func TestRegistryFuncsAndReuse(t *testing.T) {
+	r := NewRegistry()
+	v := uint64(41)
+	r.CounterFunc("fn_total", "", func() uint64 { return v })
+	r.GaugeFunc("fn_gauge", "", func() float64 { return 2.5 })
+	var sh1, sh2 Histogram
+	sh1.Observe(4)
+	sh2.Observe(4)
+	r.HistogramFunc("fn_hist", "", func() HistogramSnapshot {
+		return SnapshotHistograms(&sh1, &sh2)
+	})
+	s := r.Snapshot()
+	if s.Counter("fn_total") != 41 {
+		t.Fatalf("counter func = %d, want 41", s.Counter("fn_total"))
+	}
+	if s.Gauges["fn_gauge"] != 2.5 {
+		t.Fatalf("gauge func = %v, want 2.5", s.Gauges["fn_gauge"])
+	}
+	if hs := s.Histograms["fn_hist"]; hs.Count != 2 || hs.Buckets[0].Count != 2 {
+		t.Fatalf("merged hist = %+v, want count 2 in one bucket", hs)
+	}
+	// Same name returns the same instrument.
+	c := r.Counter("dup_total", "")
+	c.Add(2)
+	r.Counter("dup_total", "").Add(3)
+	if c.Value() != 5 {
+		t.Fatalf("re-registered counter = %d, want 5", c.Value())
+	}
+	// Kind mismatch panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch should panic")
+		}
+	}()
+	r.Gauge("dup_total", "")
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	day := tr.Start("2011-12-01")
+	prep := tr.Start("prepare")
+	prep.End()
+	res := tr.Start("resolve")
+	res.AddItems(1000)
+	res.End()
+	day.End()
+	other := tr.Start("mine")
+	other.AddItems(7)
+	other.End()
+
+	roots := tr.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("%d roots, want 2", len(roots))
+	}
+	d := roots[0]
+	if d.Name != "2011-12-01" || len(d.Children) != 2 {
+		t.Fatalf("day span = %q with %d children, want 2", d.Name, len(d.Children))
+	}
+	if d.Children[0].Name != "prepare" || d.Children[1].Name != "resolve" {
+		t.Fatalf("children = %q, %q", d.Children[0].Name, d.Children[1].Name)
+	}
+	if d.Children[1].Items != 1000 {
+		t.Fatalf("resolve items = %d, want 1000", d.Children[1].Items)
+	}
+	if d.Running || d.Children[0].Running {
+		t.Fatal("ended spans must not report running")
+	}
+	if roots[1].Name != "mine" || roots[1].Items != 7 {
+		t.Fatalf("second root = %+v", roots[1])
+	}
+	if d.DurationSeconds < 0 || d.DurationSeconds < d.Children[1].DurationSeconds {
+		t.Fatalf("day duration %v should cover child %v", d.DurationSeconds, d.Children[1].DurationSeconds)
+	}
+}
+
+func TestSpanStartRootConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := tr.StartRoot("exp")
+			sp.AddItems(1)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	roots := tr.Roots()
+	if len(roots) != 8 {
+		t.Fatalf("%d roots, want 8", len(roots))
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_events_total", "Events processed.").Add(12)
+	r.Counter(`app_shard_total{server="0"}`, "Per-shard events.").Add(3)
+	r.Counter(`app_shard_total{server="1"}`, "Per-shard events.").Add(4)
+	r.Gauge("app_depth", "").Set(1.5)
+	r.Histogram("app_lat_ns", "").Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE app_events_total counter",
+		"app_events_total 12",
+		`app_shard_total{server="0"} 3`,
+		`app_shard_total{server="1"} 4`,
+		"# TYPE app_depth gauge",
+		"app_depth 1.5",
+		"# TYPE app_lat_ns histogram",
+		`app_lat_ns_bucket{le="8"} 1`,
+		`app_lat_ns_bucket{le="+Inf"} 1`,
+		"app_lat_ns_sum 5",
+		"app_lat_ns_count 1",
+		"# TYPE go_goroutines gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE app_shard_total") != 1 {
+		t.Fatal("labeled series must share one TYPE header")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/telemetry"
 )
 
 // Errors returned by the transport.
@@ -25,6 +26,10 @@ var (
 // simulator's non-EDNS messages.
 const maxPacket = 4096
 
+// dnsHeaderLen is the fixed DNS message header size; shorter datagrams
+// cannot possibly be valid queries.
+const dnsHeaderLen = 12
+
 // Handler answers a wire-format DNS query.
 type Handler interface {
 	HandleWire(query []byte) ([]byte, error)
@@ -34,15 +39,52 @@ type Handler interface {
 type Server struct {
 	conn    *net.UDPConn
 	handler Handler
+	metrics serverMetrics
 
 	mu     sync.Mutex
 	closed bool
 	done   chan struct{}
 }
 
+// serverMetrics holds the server's packet counters. All fields are nil-safe
+// no-ops until WithServerMetrics registers them.
+type serverMetrics struct {
+	rxPackets *telemetry.Counter
+	rxBytes   *telemetry.Counter
+	txPackets *telemetry.Counter
+	txBytes   *telemetry.Counter
+	malformed *telemetry.Counter
+	dropped   *telemetry.Counter
+	truncated *telemetry.Counter
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerMetrics registers the server's packet counters with reg:
+// datagrams and bytes in/out, malformed queries (shorter than a DNS
+// header), dropped queries (handler failures, malformed included), and
+// responses exceeding the transport's packet budget.
+func WithServerMetrics(reg *telemetry.Registry) ServerOption {
+	return func(s *Server) {
+		if reg == nil {
+			return
+		}
+		s.metrics = serverMetrics{
+			rxPackets: reg.Counter("udp_rx_packets_total", "Datagrams received."),
+			rxBytes:   reg.Counter("udp_rx_bytes_total", "Bytes received."),
+			txPackets: reg.Counter("udp_tx_packets_total", "Response datagrams sent."),
+			txBytes:   reg.Counter("udp_tx_bytes_total", "Bytes sent."),
+			malformed: reg.Counter("udp_malformed_total", "Queries shorter than a DNS header."),
+			dropped:   reg.Counter("udp_dropped_total", "Queries dropped unanswered."),
+			truncated: reg.Counter("udp_truncated_total", "Responses exceeding the packet budget."),
+		}
+	}
+}
+
 // Serve binds addr (e.g. "127.0.0.1:0" for an ephemeral port; "" defaults
 // to that) and starts answering queries with handler until Close.
-func Serve(handler Handler, addr string) (*Server, error) {
+func Serve(handler Handler, addr string, opts ...ServerOption) (*Server, error) {
 	if handler == nil {
 		return nil, errors.New("udptransport: nil handler")
 	}
@@ -61,6 +103,9 @@ func Serve(handler Handler, addr string) (*Server, error) {
 		conn:    conn,
 		handler: handler,
 		done:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	go s.serveLoop()
 	return s, nil
@@ -85,11 +130,17 @@ func (s *Server) Close() error {
 
 func (s *Server) serveLoop() {
 	defer close(s.done)
+	m := &s.metrics
 	buf := make([]byte, maxPacket)
 	for {
 		n, raddr, err := s.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // closed (or fatal socket error): stop serving
+		}
+		m.rxPackets.Inc()
+		m.rxBytes.Add(uint64(n))
+		if n < dnsHeaderLen {
+			m.malformed.Inc()
 		}
 		query := make([]byte, n)
 		copy(query, buf[:n])
@@ -97,10 +148,17 @@ func (s *Server) serveLoop() {
 		if err != nil || len(resp) == 0 {
 			// Unanswerable garbage: drop it, like a real server under
 			// junk traffic. The client's timeout handles the rest.
+			m.dropped.Inc()
 			continue
 		}
+		if len(resp) > maxPacket {
+			m.truncated.Inc()
+		}
 		// Best effort; a lost response packet is the client's problem.
-		_, _ = s.conn.WriteToUDP(resp, raddr)
+		if _, err := s.conn.WriteToUDP(resp, raddr); err == nil {
+			m.txPackets.Inc()
+			m.txBytes.Add(uint64(len(resp)))
+		}
 	}
 }
 
