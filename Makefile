@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench clean
+.PHONY: all build test race vet lint bench bench-smoke clean
 
 all: build test vet lint
 
@@ -28,6 +28,15 @@ lint:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/resolver/...
 	$(GO) run ./cmd/dnsnoise-bench -out BENCH_resolver.json
+
+# Fast hot-path health check, cheap enough for CI: the resolver and cache
+# micro-benchmarks at -benchtime=100x (smoke, not measurement) plus the
+# allocation guards — testing.AllocsPerRun asserting 0 allocs/op on the
+# cache-hit resolve path, LRU Get/Put refresh, and Normalize fast paths.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkResolveCacheHit|BenchmarkResolveCacheMiss|BenchmarkPutGet|BenchmarkEvictionChurn' \
+		-benchtime=100x -benchmem ./internal/resolver/ ./internal/cache/
+	$(GO) test -run 'ZeroAlloc' -v ./internal/resolver/ ./internal/cache/ ./internal/dnsname/
 
 clean:
 	$(GO) clean ./...

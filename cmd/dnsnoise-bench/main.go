@@ -57,19 +57,54 @@ type overheadResult struct {
 	QueriesPerPass      int     `json:"queries_per_pass"`
 }
 
+// allocResult is the alloc scenario: allocation behaviour of the resolve
+// hot path, measured separately for the steady-state cache-hit path (the
+// zero-allocation contract) and the upstream-miss path, plus how many GC
+// cycles the hit benchmark triggered — on a truly allocation-free path the
+// collector never runs.
+type allocResult struct {
+	HitNsPerOp      float64 `json:"hit_ns_per_op"`
+	HitAllocsPerOp  int64   `json:"hit_allocs_per_op"`
+	HitBytesPerOp   int64   `json:"hit_bytes_per_op"`
+	HitGCCycles     uint32  `json:"hit_gc_cycles"`
+	HitOps          int     `json:"hit_ops"`
+	MissNsPerOp     float64 `json:"miss_ns_per_op"`
+	MissAllocsPerOp int64   `json:"miss_allocs_per_op"`
+	MissBytesPerOp  int64   `json:"miss_bytes_per_op"`
+	MissOps         int     `json:"miss_ops"`
+}
+
+// baselineComparison embeds the headline numbers of a previous run (read
+// via -baseline) next to this run's, so one report file carries the
+// before/after perf trajectory across a change.
+type baselineComparison struct {
+	Source            string  `json:"source"`
+	SequentialNsPerOp float64 `json:"sequential_ns_per_op"`
+	SequentialQPS     float64 `json:"sequential_qps"`
+	SeqAllocsPerOp    int64   `json:"sequential_allocs_per_op"`
+	ParallelNsPerOp   float64 `json:"parallel_ns_per_op"`
+	ParallelQPS       float64 `json:"parallel_qps"`
+	Speedup           float64 `json:"speedup"`
+	// Deltas are this run versus the baseline; positive = faster now.
+	SequentialGainPct float64 `json:"sequential_gain_pct"`
+	ParallelGainPct   float64 `json:"parallel_gain_pct"`
+}
+
 // report embeds telemetry.RunReport, so BENCH_resolver.json carries the
 // same schema as the CLIs' -report output (command, timing, runtime,
 // metrics snapshot, span tree) plus the benchmark numbers.
 type report struct {
 	telemetry.RunReport
-	Servers    int             `json:"servers"`
-	Queries    int             `json:"workload_queries"`
-	Sequential benchResult     `json:"sequential"`
-	Parallel   benchResult     `json:"parallel"`
-	Speedup    float64         `json:"speedup"`
-	Overhead   *overheadResult `json:"telemetry_overhead,omitempty"`
-	Note       string          `json:"note,omitempty"`
-	Extra      []benchResult   `json:"extra,omitempty"`
+	Servers    int                 `json:"servers"`
+	Queries    int                 `json:"workload_queries"`
+	Sequential benchResult         `json:"sequential"`
+	Parallel   benchResult         `json:"parallel"`
+	Speedup    float64             `json:"speedup"`
+	Alloc      *allocResult        `json:"alloc,omitempty"`
+	Baseline   *baselineComparison `json:"baseline,omitempty"`
+	Overhead   *overheadResult     `json:"telemetry_overhead,omitempty"`
+	Note       string              `json:"note,omitempty"`
+	Extra      []benchResult       `json:"extra,omitempty"`
 }
 
 func main() {
@@ -247,6 +282,117 @@ func benchResolverDay(servers int, qs []resolver.Query, extra ...resolver.Option
 	return res, clusterErr
 }
 
+// benchAlloc measures the hot path's allocation behaviour. The hit side
+// warms a small name set, then replays it with timestamps inside the TTL —
+// every op is a steady-state cache hit, which the slab LRU + composite-key
+// design contracts to resolve with zero heap allocation (and therefore zero
+// GC cycles). The miss side draws from a name pool far larger than the
+// cache, so every op recurses upstream: its allocs/op is the price of a
+// full resolution (wire encode/decode, RR slices, cache insert).
+func benchAlloc(servers int) (allocResult, error) {
+	var res allocResult
+	t0 := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+
+	hitC, err := newCluster(servers)
+	if err != nil {
+		return res, err
+	}
+	hot := make([]resolver.Query, 97)
+	for i := range hot {
+		hot[i] = resolver.Query{
+			Time:     t0,
+			ClientID: uint32(i),
+			Name:     fmt.Sprintf("hot%d.bench.test", i),
+			Type:     dnsmsg.TypeA,
+		}
+	}
+	for _, q := range hot { // warm: all misses, fills the caches
+		if _, err := hitC.Resolve(q); err != nil {
+			return res, err
+		}
+	}
+	var benchErr error
+	var gcBefore, gcAfter runtime.MemStats
+	hit := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		runtime.ReadMemStats(&gcBefore)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hitC.Resolve(hot[i%len(hot)]); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&gcAfter)
+	})
+	if benchErr != nil {
+		return res, benchErr
+	}
+	res.HitNsPerOp = float64(hit.NsPerOp())
+	res.HitAllocsPerOp = hit.AllocsPerOp()
+	res.HitBytesPerOp = hit.AllocedBytesPerOp()
+	res.HitGCCycles = gcAfter.NumGC - gcBefore.NumGC
+	res.HitOps = hit.N
+
+	missC, err := newCluster(servers)
+	if err != nil {
+		return res, err
+	}
+	// Pool 8x the per-server cache: by the time an index wraps, its name
+	// has long been evicted, so every op stays a miss.
+	cold := make([]resolver.Query, 1<<17)
+	for i := range cold {
+		cold[i] = resolver.Query{
+			Time:     t0,
+			ClientID: uint32(i % 512),
+			Name:     fmt.Sprintf("cold%d.bench.test", i),
+			Type:     dnsmsg.TypeA,
+		}
+	}
+	miss := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := missC.Resolve(cold[i%len(cold)]); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return res, benchErr
+	}
+	res.MissNsPerOp = float64(miss.NsPerOp())
+	res.MissAllocsPerOp = miss.AllocsPerOp()
+	res.MissBytesPerOp = miss.AllocedBytesPerOp()
+	res.MissOps = miss.N
+	return res, nil
+}
+
+// loadBaseline reads a previous run's report and distills the comparison
+// fields. Gain percentages are filled in by the caller once this run's
+// numbers exist.
+func loadBaseline(path string) (*baselineComparison, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prev report
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return &baselineComparison{
+		Source:            path,
+		SequentialNsPerOp: prev.Sequential.NsPerOp,
+		SequentialQPS:     prev.Sequential.QueriesPerSec,
+		SeqAllocsPerOp:    prev.Sequential.AllocsPerOp,
+		ParallelNsPerOp:   prev.Parallel.NsPerOp,
+		ParallelQPS:       prev.Parallel.QueriesPerSec,
+		Speedup:           prev.Speedup,
+	}, nil
+}
+
 // Overhead-scenario shape: enough pairs for a median that survives one
 // unlucky cluster instance, enough rounds for the min to find a quiet
 // window, and segments long enough that a GC cycle does not dominate.
@@ -414,10 +560,12 @@ func median(xs []float64) float64 {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dnsnoise-bench", flag.ContinueOnError)
 	var (
-		out     = fs.String("out", "BENCH_resolver.json", "output JSON path ('-' for stdout)")
-		servers = fs.Int("servers", 4, "RDNS servers in the cluster")
-		queries = fs.Int("queries", 100_000, "pre-generated workload size")
-		maxOv   = fs.Float64("max-overhead", 2.0, "fail when telemetry overhead exceeds this percent (0 disables the gate)")
+		out      = fs.String("out", "BENCH_resolver.json", "output JSON path ('-' for stdout)")
+		servers  = fs.Int("servers", 4, "RDNS servers in the cluster")
+		queries  = fs.Int("queries", 100_000, "pre-generated workload size")
+		maxOv    = fs.Float64("max-overhead", 2.0, "fail when telemetry overhead exceeds this percent (0 disables the gate)")
+		baseline = fs.String("baseline", "", "previous BENCH_resolver.json to embed as a before/after comparison")
+		maxHitAl = fs.Int64("max-hit-allocs", 0, "fail when the cache-hit path exceeds this many allocs/op (-1 disables the gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -461,6 +609,13 @@ func run(args []string) error {
 	parSpan.AddItems(int64(par.N))
 	parSpan.End()
 
+	allocSpan := tracer.Start("alloc")
+	alloc, err := benchAlloc(*servers)
+	if err != nil {
+		return fmt.Errorf("alloc benchmark: %w", err)
+	}
+	allocSpan.End()
+
 	ovSpan := tracer.Start("telemetry-overhead")
 	overhead, ovReg, err := benchOverhead(*servers, qs)
 	if err != nil {
@@ -481,8 +636,22 @@ func run(args []string) error {
 		Queries:    *queries,
 		Sequential: toResult("BenchmarkClusterSequential", seq),
 		Parallel:   toResult("BenchmarkClusterParallel", par),
+		Alloc:      &alloc,
 		Overhead:   &overhead,
 		Extra:      extra,
+	}
+	if *baseline != "" {
+		cmp, err := loadBaseline(*baseline)
+		if err != nil {
+			return err
+		}
+		if cmp.SequentialNsPerOp > 0 && rep.Sequential.NsPerOp > 0 {
+			cmp.SequentialGainPct = 100 * (cmp.SequentialNsPerOp/rep.Sequential.NsPerOp - 1)
+		}
+		if cmp.ParallelNsPerOp > 0 && rep.Parallel.NsPerOp > 0 {
+			cmp.ParallelGainPct = 100 * (cmp.ParallelNsPerOp/rep.Parallel.NsPerOp - 1)
+		}
+		rep.Baseline = cmp
 	}
 	// NewRunReport ran after the benchmarks, so backdate Start to the
 	// first span for an honest wall-clock duration.
@@ -511,6 +680,14 @@ func run(args []string) error {
 		fmt.Printf("sequential: %8.1f ns/op (%.0f queries/s)\n", rep.Sequential.NsPerOp, rep.Sequential.QueriesPerSec)
 		fmt.Printf("parallel:   %8.1f ns/op (%.0f queries/s)\n", rep.Parallel.NsPerOp, rep.Parallel.QueriesPerSec)
 		fmt.Printf("speedup:    %.2fx on %d CPUs (%d servers)\n", rep.Speedup, runtime.NumCPU(), rep.Servers)
+		fmt.Printf("alloc hit:  %8.1f ns/op, %d allocs/op, %d B/op, %d GC cycles\n",
+			alloc.HitNsPerOp, alloc.HitAllocsPerOp, alloc.HitBytesPerOp, alloc.HitGCCycles)
+		fmt.Printf("alloc miss: %8.1f ns/op, %d allocs/op, %d B/op\n",
+			alloc.MissNsPerOp, alloc.MissAllocsPerOp, alloc.MissBytesPerOp)
+		if rep.Baseline != nil {
+			fmt.Printf("baseline:   seq %+.1f%%, par %+.1f%% vs %s\n",
+				rep.Baseline.SequentialGainPct, rep.Baseline.ParallelGainPct, rep.Baseline.Source)
+		}
 		fmt.Printf("telemetry:  %+.2f%% overhead, ±%.2f%% noise (%.1f -> %.1f ns/op, %d pairs)\n",
 			overhead.OverheadPct, overhead.NoisePct,
 			overhead.PlainNsPerOp, overhead.InstrumentedNsPerOp, overhead.Pairs)
@@ -518,6 +695,10 @@ func run(args []string) error {
 			fmt.Printf("%-32s %8.1f ns/op (%.0f events/s)\n", r.Name+":", r.NsPerOp, r.QueriesPerSec)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+	if *maxHitAl >= 0 && alloc.HitAllocsPerOp > *maxHitAl {
+		return fmt.Errorf("cache-hit path allocates %d allocs/op (%d B/op), -max-hit-allocs is %d",
+			alloc.HitAllocsPerOp, alloc.HitBytesPerOp, *maxHitAl)
 	}
 	if *maxOv > 0 && overhead.OverheadPct > *maxOv {
 		// Only fail when this run could actually resolve the gate: on a

@@ -6,10 +6,18 @@
 // disposable domains prematurely evict useful entries. To support that last
 // measurement, entries carry an opaque Category label and the cache counts
 // evictions per (evicted category, inserting category) pair.
+//
+// The implementation is a slab-backed intrusive list: entries live in a
+// contiguous arena indexed by int32 prev/next links, with a map from key to
+// slot index. Steady-state operation — hits, refreshes, and evict-then-insert
+// churn once the slab has grown to capacity — performs no heap allocation:
+// there is no per-entry *list.Element, no boxing of values into interface{},
+// and promotion to the front of the recency order touches only three slots'
+// links. Keys and values are typed via generics, so callers pay neither an
+// allocation nor a type assertion per operation.
 package cache
 
 import (
-	"container/list"
 	"sync/atomic"
 	"time"
 )
@@ -35,10 +43,11 @@ func (c Category) String() string {
 	}
 }
 
-// Entry is a cached value with an absolute expiry instant.
-type Entry struct {
-	Key      string
-	Value    any
+// Entry is a cached value with an absolute expiry instant, as reported by
+// Peek. It is a copy of the cache's internal slot, detached from the arena.
+type Entry[K comparable, V any] struct {
+	Key      K
+	Value    V
 	Expires  time.Time
 	Category Category
 }
@@ -77,40 +86,65 @@ type counters struct {
 	premature  [2][2]atomic.Uint64
 }
 
+// nilIdx marks the absence of a slot in the intrusive links.
+const nilIdx int32 = -1
+
+// slot is one arena cell: the entry payload plus its recency-list links.
+// Free slots are chained through next.
+type slot[K comparable, V any] struct {
+	key      K
+	value    V
+	expires  time.Time
+	category Category
+	prev     int32
+	next     int32
+}
+
 // LRU is a fixed-capacity least-recently-used cache with per-entry TTL.
 // Structural operations (Get/Put/Remove) are not safe for concurrent use —
-// each simulated server owns one — but Len, Capacity and Stats are safe to
-// call from other goroutines while the owner works.
-type LRU struct {
+// each simulated server owns one — but Len, Capacity, Stats and
+// CategoryCounts are safe to call from other goroutines while the owner
+// works.
+type LRU[K comparable, V any] struct {
 	capacity int
-	order    *list.List // front = most recently used
-	items    map[string]*list.Element
+	slab     []slot[K, V]
+	index    map[K]int32
+	head     int32 // most recently used
+	tail     int32 // least recently used
+	free     int32 // head of the free-slot chain (linked via next)
 	stats    counters
 	size     atomic.Int64
+	// catCount tracks live entries per category, maintained on every
+	// insert/remove/evict/refresh so CategoryCounts is a constant-time
+	// atomic read instead of a list walk.
+	catCount [2]atomic.Int64
 }
 
 // NewLRU returns a cache holding at most capacity entries. capacity < 1 is
-// promoted to 1.
-func NewLRU(capacity int) *LRU {
+// promoted to 1. The entry arena grows geometrically up to capacity on first
+// use and is never released, so steady-state operation allocates nothing.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &LRU{
+	return &LRU[K, V]{
 		capacity: capacity,
-		order:    list.New(),
-		items:    make(map[string]*list.Element, capacity),
+		index:    make(map[K]int32, capacity),
+		head:     nilIdx,
+		tail:     nilIdx,
+		free:     nilIdx,
 	}
 }
 
 // Len returns the number of entries currently stored, including any that
 // have expired but not yet been touched.
-func (c *LRU) Len() int { return int(c.size.Load()) }
+func (c *LRU[K, V]) Len() int { return int(c.size.Load()) }
 
 // Capacity returns the configured maximum entry count.
-func (c *LRU) Capacity() int { return c.capacity }
+func (c *LRU[K, V]) Capacity() int { return c.capacity }
 
 // Stats returns a copy of the event counters.
-func (c *LRU) Stats() Stats {
+func (c *LRU[K, V]) Stats() Stats {
 	var s Stats
 	s.Hits = c.stats.hits.Load()
 	s.Misses = c.stats.misses.Load()
@@ -128,41 +162,42 @@ func (c *LRU) Stats() Stats {
 // Get looks up key at instant now. A present, unexpired entry counts as a
 // hit and is promoted to most-recently-used. A present but expired entry is
 // removed, counted as an expiry AND a miss (the resolver must re-fetch).
-func (c *LRU) Get(key string, now time.Time) (any, bool) {
-	el, ok := c.items[key]
+func (c *LRU[K, V]) Get(key K, now time.Time) (V, bool) {
+	var zero V
+	i, ok := c.index[key]
 	if !ok {
 		c.stats.misses.Add(1)
-		return nil, false
+		return zero, false
 	}
-	ent := el.Value.(*Entry)
-	if !now.Before(ent.Expires) {
-		c.removeElement(el)
+	s := &c.slab[i]
+	if !now.Before(s.expires) {
+		c.removeSlot(i)
 		c.stats.expiries.Add(1)
 		c.stats.misses.Add(1)
-		return nil, false
+		return zero, false
 	}
-	c.order.MoveToFront(el)
+	c.moveToFront(i)
 	c.stats.hits.Add(1)
-	return ent.Value, true
+	return s.value, true
 }
 
-// Peek returns the entry without promoting it or counting a hit/miss.
-// Expired entries are still returned; the caller can inspect Expires.
-func (c *LRU) Peek(key string) (*Entry, bool) {
-	el, ok := c.items[key]
+// Peek returns a copy of the entry without promoting it or counting a
+// hit/miss. Expired entries are still returned; the caller can inspect
+// Expires.
+func (c *LRU[K, V]) Peek(key K) (Entry[K, V], bool) {
+	i, ok := c.index[key]
 	if !ok {
-		return nil, false
+		return Entry[K, V]{}, false
 	}
-	ent := el.Value.(*Entry)
-	cp := *ent
-	return &cp, true
+	s := &c.slab[i]
+	return Entry[K, V]{Key: s.key, Value: s.value, Expires: s.expires, Category: s.category}, true
 }
 
 // Put inserts or refreshes key with the given value, TTL and category.
 // When the cache is full, the least-recently-used entry is evicted; if that
 // victim had not yet expired the eviction is counted as premature, attributed
 // to the inserting entry's category.
-func (c *LRU) Put(key string, value any, ttl time.Duration, cat Category, now time.Time) {
+func (c *LRU[K, V]) Put(key K, value V, ttl time.Duration, cat Category, now time.Time) {
 	c.put(key, value, ttl, cat, now, false)
 }
 
@@ -171,76 +206,167 @@ func (c *LRU) Put(key string, value any, ttl time.Duration, cat Category, now ti
 // (the eviction mitigation of paper Section VI-A — disposable answers are
 // cached, but at the lowest priority). Refreshing an existing entry keeps
 // it cold.
-func (c *LRU) PutLowPriority(key string, value any, ttl time.Duration, cat Category, now time.Time) {
+func (c *LRU[K, V]) PutLowPriority(key K, value V, ttl time.Duration, cat Category, now time.Time) {
 	c.put(key, value, ttl, cat, now, true)
 }
 
-func (c *LRU) put(key string, value any, ttl time.Duration, cat Category, now time.Time, low bool) {
+func (c *LRU[K, V]) put(key K, value V, ttl time.Duration, cat Category, now time.Time, low bool) {
 	c.stats.insertions.Add(1)
 	expires := now.Add(ttl)
-	if el, ok := c.items[key]; ok {
-		ent := el.Value.(*Entry)
-		ent.Value = value
-		ent.Expires = expires
-		ent.Category = cat
+	if i, ok := c.index[key]; ok {
+		s := &c.slab[i]
+		if s.category != cat {
+			c.catCount[s.category].Add(-1)
+			c.catCount[cat].Add(1)
+		}
+		s.value = value
+		s.expires = expires
+		s.category = cat
 		if low {
-			c.order.MoveToBack(el)
+			c.moveToBack(i)
 		} else {
-			c.order.MoveToFront(el)
+			c.moveToFront(i)
 		}
 		return
 	}
-	if c.order.Len() >= c.capacity {
+	if int(c.size.Load()) >= c.capacity {
 		c.evictOldest(cat, now)
 	}
-	ent := &Entry{Key: key, Value: value, Expires: expires, Category: cat}
+	i := c.allocSlot()
+	s := &c.slab[i]
+	s.key = key
+	s.value = value
+	s.expires = expires
+	s.category = cat
 	if low {
-		c.items[key] = c.order.PushBack(ent)
+		c.pushBack(i)
 	} else {
-		c.items[key] = c.order.PushFront(ent)
+		c.pushFront(i)
 	}
+	c.index[key] = i
 	c.size.Add(1)
+	c.catCount[cat].Add(1)
 }
 
 // Remove deletes key if present and reports whether it was.
-func (c *LRU) Remove(key string) bool {
-	el, ok := c.items[key]
+func (c *LRU[K, V]) Remove(key K) bool {
+	i, ok := c.index[key]
 	if !ok {
 		return false
 	}
-	c.removeElement(el)
+	c.removeSlot(i)
 	return true
 }
 
 // evictOldest removes the LRU entry to make room for an insertion by
 // category inserter. Expired victims are reclaimed silently; live victims
 // count as (premature) evictions.
-func (c *LRU) evictOldest(inserter Category, now time.Time) {
-	el := c.order.Back()
-	if el == nil {
+func (c *LRU[K, V]) evictOldest(inserter Category, now time.Time) {
+	i := c.tail
+	if i == nilIdx {
 		return
 	}
-	ent := el.Value.(*Entry)
-	if now.Before(ent.Expires) {
+	s := &c.slab[i]
+	if now.Before(s.expires) {
 		c.stats.evictions.Add(1)
-		c.stats.premature[ent.Category][inserter].Add(1)
+		c.stats.premature[s.category][inserter].Add(1)
 	}
-	c.removeElement(el)
-}
-
-func (c *LRU) removeElement(el *list.Element) {
-	ent := el.Value.(*Entry)
-	delete(c.items, ent.Key)
-	c.order.Remove(el)
-	c.size.Add(-1)
+	c.removeSlot(i)
 }
 
 // CategoryCounts returns how many currently cached entries belong to each
 // category (expired-but-untouched entries included). Index by Category.
-func (c *LRU) CategoryCounts() [2]int {
-	var out [2]int
-	for el := c.order.Front(); el != nil; el = el.Next() {
-		out[el.Value.(*Entry).Category]++
+// It reads two atomics — safe to call from a metrics scrape while the
+// owning goroutine mutates the cache.
+func (c *LRU[K, V]) CategoryCounts() [2]int {
+	return [2]int{
+		int(c.catCount[0].Load()),
+		int(c.catCount[1].Load()),
 	}
-	return out
+}
+
+// allocSlot returns a free arena index, growing the slab geometrically
+// (via append) until it reaches capacity. After the slab is full the free
+// chain always has a slot available, so no allocation ever happens again.
+func (c *LRU[K, V]) allocSlot() int32 {
+	if c.free != nilIdx {
+		i := c.free
+		c.free = c.slab[i].next
+		return i
+	}
+	c.slab = append(c.slab, slot[K, V]{})
+	return int32(len(c.slab) - 1)
+}
+
+// removeSlot unlinks slot i, drops its index entry, zeroes the payload (so
+// the arena does not pin the evicted key/value for the garbage collector)
+// and pushes the slot onto the free chain.
+func (c *LRU[K, V]) removeSlot(i int32) {
+	s := &c.slab[i]
+	delete(c.index, s.key)
+	c.unlink(i)
+	c.catCount[s.category].Add(-1)
+	var zero slot[K, V]
+	*s = zero
+	s.next = c.free
+	c.free = i
+	c.size.Add(-1)
+}
+
+func (c *LRU[K, V]) unlink(i int32) {
+	s := &c.slab[i]
+	if s.prev != nilIdx {
+		c.slab[s.prev].next = s.next
+	} else {
+		c.head = s.next
+	}
+	if s.next != nilIdx {
+		c.slab[s.next].prev = s.prev
+	} else {
+		c.tail = s.prev
+	}
+	s.prev = nilIdx
+	s.next = nilIdx
+}
+
+func (c *LRU[K, V]) pushFront(i int32) {
+	s := &c.slab[i]
+	s.prev = nilIdx
+	s.next = c.head
+	if c.head != nilIdx {
+		c.slab[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == nilIdx {
+		c.tail = i
+	}
+}
+
+func (c *LRU[K, V]) pushBack(i int32) {
+	s := &c.slab[i]
+	s.next = nilIdx
+	s.prev = c.tail
+	if c.tail != nilIdx {
+		c.slab[c.tail].next = i
+	}
+	c.tail = i
+	if c.head == nilIdx {
+		c.head = i
+	}
+}
+
+func (c *LRU[K, V]) moveToFront(i int32) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
+}
+
+func (c *LRU[K, V]) moveToBack(i int32) {
+	if c.tail == i {
+		return
+	}
+	c.unlink(i)
+	c.pushBack(i)
 }

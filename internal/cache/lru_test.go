@@ -11,13 +11,13 @@ import (
 var t0 = time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
 
 func TestGetMissThenHit(t *testing.T) {
-	c := NewLRU(4)
+	c := NewLRU[string, int](4)
 	if _, ok := c.Get("a", t0); ok {
 		t.Fatal("Get on empty cache should miss")
 	}
 	c.Put("a", 1, time.Minute, CategoryOther, t0)
 	v, ok := c.Get("a", t0.Add(time.Second))
-	if !ok || v.(int) != 1 {
+	if !ok || v != 1 {
 		t.Fatalf("Get = (%v, %v), want (1, true)", v, ok)
 	}
 	st := c.Stats()
@@ -27,7 +27,7 @@ func TestGetMissThenHit(t *testing.T) {
 }
 
 func TestTTLExpiry(t *testing.T) {
-	c := NewLRU(4)
+	c := NewLRU[string, int](4)
 	c.Put("a", 1, 30*time.Second, CategoryOther, t0)
 	if _, ok := c.Get("a", t0.Add(29*time.Second)); !ok {
 		t.Error("entry expired too early")
@@ -46,7 +46,7 @@ func TestTTLExpiry(t *testing.T) {
 }
 
 func TestLRUEvictionOrder(t *testing.T) {
-	c := NewLRU(2)
+	c := NewLRU[string, int](2)
 	c.Put("a", 1, time.Hour, CategoryOther, t0)
 	c.Put("b", 2, time.Hour, CategoryOther, t0)
 	// Touch "a" so "b" becomes LRU.
@@ -66,7 +66,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 }
 
 func TestPrematureEvictionAccounting(t *testing.T) {
-	c := NewLRU(2)
+	c := NewLRU[string, int](2)
 	c.Put("nd1", 1, time.Hour, CategoryOther, t0)
 	c.Put("nd2", 2, time.Hour, CategoryOther, t0)
 	// A disposable insertion evicts a live non-disposable entry.
@@ -84,7 +84,7 @@ func TestPrematureEvictionAccounting(t *testing.T) {
 }
 
 func TestExpiredVictimIsNotPremature(t *testing.T) {
-	c := NewLRU(1)
+	c := NewLRU[string, int](1)
 	c.Put("a", 1, time.Second, CategoryOther, t0)
 	// Insert long after "a" expired: reclaim, not premature eviction.
 	c.Put("b", 2, time.Minute, CategoryDisposable, t0.Add(time.Hour))
@@ -95,14 +95,14 @@ func TestExpiredVictimIsNotPremature(t *testing.T) {
 }
 
 func TestPutRefreshesExisting(t *testing.T) {
-	c := NewLRU(2)
+	c := NewLRU[string, int](2)
 	c.Put("a", 1, time.Second, CategoryOther, t0)
 	c.Put("a", 2, time.Hour, CategoryDisposable, t0)
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", c.Len())
 	}
 	v, ok := c.Get("a", t0.Add(time.Minute))
-	if !ok || v.(int) != 2 {
+	if !ok || v != 2 {
 		t.Errorf("Get = (%v, %v), want (2, true) after refresh", v, ok)
 	}
 	ent, ok := c.Peek("a")
@@ -112,7 +112,7 @@ func TestPutRefreshesExisting(t *testing.T) {
 }
 
 func TestPeekDoesNotPromoteOrCount(t *testing.T) {
-	c := NewLRU(2)
+	c := NewLRU[string, int](2)
 	c.Put("a", 1, time.Hour, CategoryOther, t0)
 	c.Put("b", 2, time.Hour, CategoryOther, t0)
 	before := c.Stats()
@@ -130,7 +130,7 @@ func TestPeekDoesNotPromoteOrCount(t *testing.T) {
 }
 
 func TestRemove(t *testing.T) {
-	c := NewLRU(2)
+	c := NewLRU[string, int](2)
 	c.Put("a", 1, time.Hour, CategoryOther, t0)
 	if !c.Remove("a") {
 		t.Error("Remove should report true for present key")
@@ -144,7 +144,7 @@ func TestRemove(t *testing.T) {
 }
 
 func TestCapacityFloor(t *testing.T) {
-	c := NewLRU(0)
+	c := NewLRU[string, int](0)
 	if c.Capacity() != 1 {
 		t.Errorf("Capacity = %d, want 1", c.Capacity())
 	}
@@ -156,7 +156,7 @@ func TestCapacityFloor(t *testing.T) {
 }
 
 func TestCategoryCounts(t *testing.T) {
-	c := NewLRU(10)
+	c := NewLRU[string, int](10)
 	for i := 0; i < 3; i++ {
 		c.Put(fmt.Sprintf("d%d", i), i, time.Hour, CategoryDisposable, t0)
 	}
@@ -192,7 +192,7 @@ func TestInvariantsProperty(t *testing.T) {
 	f := func(seed int64, capRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		capacity := int(capRaw%20) + 1
-		c := NewLRU(capacity)
+		c := NewLRU[string, int](capacity)
 		now := t0
 		gets := uint64(0)
 		for i := 0; i < 500; i++ {
@@ -224,7 +224,7 @@ func TestInvariantsProperty(t *testing.T) {
 // TTL) always hits.
 func TestImmediateHitProperty(t *testing.T) {
 	f := func(key string, ttlRaw uint16) bool {
-		c := NewLRU(4)
+		c := NewLRU[string, string](4)
 		ttl := time.Duration(ttlRaw%3600+1) * time.Second
 		c.Put(key, "v", ttl, CategoryOther, t0)
 		_, ok := c.Get(key, t0)
@@ -236,7 +236,7 @@ func TestImmediateHitProperty(t *testing.T) {
 }
 
 func TestPutLowPriorityIsFirstVictim(t *testing.T) {
-	c := NewLRU(3)
+	c := NewLRU[string, int](3)
 	c.Put("hot1", 1, time.Hour, CategoryOther, t0)
 	c.PutLowPriority("cold", 2, time.Hour, CategoryDisposable, t0)
 	c.Put("hot2", 3, time.Hour, CategoryOther, t0)
@@ -254,7 +254,7 @@ func TestPutLowPriorityIsFirstVictim(t *testing.T) {
 }
 
 func TestPutLowPriorityRefreshStaysCold(t *testing.T) {
-	c := NewLRU(2)
+	c := NewLRU[string, int](2)
 	c.Put("hot", 1, time.Hour, CategoryOther, t0)
 	c.PutLowPriority("cold", 2, time.Hour, CategoryDisposable, t0)
 	// Refreshing the cold entry must not promote it.
@@ -269,10 +269,10 @@ func TestPutLowPriorityRefreshStaysCold(t *testing.T) {
 }
 
 func TestPutLowPriorityStillServesHits(t *testing.T) {
-	c := NewLRU(4)
+	c := NewLRU[string, int](4)
 	c.PutLowPriority("cold", 1, time.Hour, CategoryDisposable, t0)
 	v, ok := c.Get("cold", t0.Add(time.Second))
-	if !ok || v.(int) != 1 {
+	if !ok || v != 1 {
 		t.Errorf("Get = (%v, %v): low priority entries are still cached", v, ok)
 	}
 }

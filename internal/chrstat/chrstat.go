@@ -79,10 +79,19 @@ func (s *RRStat) DHR() float64 {
 // Misses returns the number of cache misses attributed to the record.
 func (s *RRStat) Misses() uint64 { return s.Above }
 
+// rrKey is a record's dedup identity, matching dnsmsg.RR.Key() but as a
+// comparable struct: the per-observation map lookup then costs no string
+// concatenation and no allocation.
+type rrKey struct {
+	name  string
+	typ   dnsmsg.Type
+	rdata string
+}
+
 // Collector accumulates one observation window (typically a day).
 // It is not safe for concurrent use.
 type Collector struct {
-	perRR map[string]*RRStat
+	perRR map[rrKey]*RRStat
 
 	belowTotal   uint64 // all below observations, incl. NXDOMAIN
 	aboveTotal   uint64
@@ -95,7 +104,7 @@ type Collector struct {
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
 	return &Collector{
-		perRR:        make(map[string]*RRStat),
+		perRR:        make(map[rrKey]*RRStat),
 		queriedNames: make(map[string]struct{}),
 		resolvedNF:   make(map[string]struct{}),
 	}
@@ -147,7 +156,7 @@ func (c *Collector) ObserveAbove(ob resolver.Observation) {
 }
 
 func (c *Collector) stat(rr dnsmsg.RR, cat cache.Category) *RRStat {
-	key := rr.Key()
+	key := rrKey{name: rr.Name, typ: rr.Type, rdata: rr.RData}
 	st, ok := c.perRR[key]
 	if !ok {
 		st = &RRStat{Name: rr.Name, Type: rr.Type, TTL: rr.TTL, Category: cat}
@@ -315,20 +324,31 @@ func (c *Collector) Tail(inTail func(*RRStat) bool) TailStats {
 	return ts
 }
 
+// hourlyShardCount is the counter's lock-stripe count (power of two, so
+// the shard pick is a mask).
+const hourlyShardCount = 16
+
 // HourlyCounter buckets observation volumes by hour for the Figure 2
 // traffic profile. Series membership is decided by predicates over the
-// observation. The tap is mutex-guarded, so it may be installed directly on
-// a cluster driven by concurrent workers; contention is acceptable because
-// hourly counting is far off the CHR hot path.
+// observation. The tap is lock-striped by an FNV-1a hash of the queried
+// name, so a cluster's concurrent per-server workers rarely contend on one
+// mutex; per-(series, hour) volumes are sums, so the merged read-side view
+// (Series) is identical whether observations arrived sequentially or in
+// parallel.
 type HourlyCounter struct {
-	mu     sync.Mutex
 	series []hourlySeries
+	shards [hourlyShardCount]hourlyShard
 }
 
 type hourlySeries struct {
-	name   string
-	pred   func(resolver.Observation) bool
-	counts map[int64]uint64 // unix hour -> volume
+	name string
+	pred func(resolver.Observation) bool
+}
+
+// hourlyShard is one lock stripe: a per-series map of unix hour -> volume.
+type hourlyShard struct {
+	mu     sync.Mutex
+	counts []map[int64]uint64 // indexed like HourlyCounter.series
 }
 
 // NewHourlyCounter builds a counter with named series. The predicate for
@@ -336,37 +356,63 @@ type hourlySeries struct {
 func NewHourlyCounter() *HourlyCounter { return &HourlyCounter{} }
 
 // AddSeries registers a named series counted when pred matches.
+// Must be called before observations arrive.
 func (h *HourlyCounter) AddSeries(name string, pred func(resolver.Observation) bool) {
-	h.series = append(h.series, hourlySeries{
-		name:   name,
-		pred:   pred,
-		counts: make(map[int64]uint64),
-	})
+	h.series = append(h.series, hourlySeries{name: name, pred: pred})
+	for i := range h.shards {
+		h.shards[i].counts = append(h.shards[i].counts, make(map[int64]uint64))
+	}
 }
 
-// Tap returns a resolver tap feeding the counter. Safe for concurrent use.
+// Tap returns a resolver tap feeding the counter. Safe for concurrent use;
+// observations for names hashing to different stripes count in parallel.
 func (h *HourlyCounter) Tap() resolver.Tap {
 	return resolver.TapFunc(func(ob resolver.Observation) {
 		hour := ob.Time.Unix() / 3600
-		h.mu.Lock()
+		sh := &h.shards[fnvHash(ob.QName)&(hourlyShardCount-1)]
+		sh.mu.Lock()
 		for i := range h.series {
 			if h.series[i].pred(ob) {
-				h.series[i].counts[hour]++
+				sh.counts[i][hour]++
 			}
 		}
-		h.mu.Unlock()
+		sh.mu.Unlock()
 	})
 }
 
+// fnvHash is FNV-1a over s, used to pick a lock stripe.
+func fnvHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
 // Series returns the hourly counts for the named series as (unixHour,
-// volume) pairs sorted by hour, or nil when the series is unknown.
+// volume) pairs sorted by hour, or nil when the series is unknown. The
+// per-stripe maps are merged by summing each hour's volume.
 func (h *HourlyCounter) Series(name string) []HourPoint {
 	for i := range h.series {
 		if h.series[i].name != name {
 			continue
 		}
-		pts := make([]HourPoint, 0, len(h.series[i].counts))
-		for hour, v := range h.series[i].counts {
+		merged := make(map[int64]uint64)
+		for s := range h.shards {
+			sh := &h.shards[s]
+			sh.mu.Lock()
+			for hour, v := range sh.counts[i] {
+				merged[hour] += v
+			}
+			sh.mu.Unlock()
+		}
+		pts := make([]HourPoint, 0, len(merged))
+		for hour, v := range merged {
 			pts = append(pts, HourPoint{UnixHour: hour, Volume: v})
 		}
 		sortHourPoints(pts)

@@ -1,6 +1,9 @@
 package chrstat
 
 import (
+	"fmt"
+	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -216,6 +219,66 @@ func TestHourlyCounter(t *testing.T) {
 	names := h.SeriesNames()
 	if len(names) != 2 || names[0] != "all" || names[1] != "nx" {
 		t.Errorf("SeriesNames = %v", names)
+	}
+}
+
+// TestHourlyCounterSeqVsParallel: the lock-striped counter must report the
+// same merged series whether observations arrive from one goroutine or
+// many — per-(series, hour) volumes are sums, so order cannot matter.
+func TestHourlyCounterSeqVsParallel(t *testing.T) {
+	mkObs := func() []resolver.Observation {
+		var obs []resolver.Observation
+		for i := 0; i < 3000; i++ {
+			ob := resolver.Observation{
+				Time:  t0.Add(time.Duration(i) * 37 * time.Second),
+				QName: fmt.Sprintf("host%d.zone%d.test", i%800, i%23),
+			}
+			if i%7 == 0 {
+				ob.RCode = dnsmsg.RCodeNXDomain
+			} else {
+				ob.RR = rrA(ob.QName, "192.0.2.9")
+			}
+			obs = append(obs, ob)
+		}
+		return obs
+	}
+	mkCounter := func() *HourlyCounter {
+		h := NewHourlyCounter()
+		h.AddSeries("all", func(resolver.Observation) bool { return true })
+		h.AddSeries("nx", func(ob resolver.Observation) bool { return ob.RCode == dnsmsg.RCodeNXDomain })
+		return h
+	}
+	obs := mkObs()
+
+	seq := mkCounter()
+	tap := seq.Tap()
+	for _, ob := range obs {
+		tap.Observe(ob)
+	}
+
+	par := mkCounter()
+	ptap := par.Tap()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(obs); i += workers {
+				ptap.Observe(obs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, name := range []string{"all", "nx"} {
+		s, p := seq.Series(name), par.Series(name)
+		if !reflect.DeepEqual(s, p) {
+			t.Errorf("series %q diverges:\nseq %v\npar %v", name, s, p)
+		}
+		if len(s) == 0 {
+			t.Errorf("series %q is empty", name)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ package dnsname
 import (
 	"errors"
 	"strings"
+	"unicode/utf8"
 )
 
 // Errors reported by name validation.
@@ -30,10 +31,54 @@ const MaxLabelLength = 63
 
 // Normalize lower-cases a domain name and strips a single trailing dot.
 // It performs no validation; see Validate.
+//
+// Normalize sits on the per-query hot path, so it is written to allocate
+// nothing for already-normalized input (the overwhelmingly common case for
+// generated and replayed workloads): a single scan classifies the name, a
+// bare trailing dot is stripped by reslicing, and only a name that actually
+// contains an upper-case ASCII letter pays one allocation for the lowered
+// copy. Names with non-ASCII bytes take the full Unicode path, preserving
+// strings.ToLower semantics.
 func Normalize(name string) string {
-	name = strings.ToLower(name)
-	name = strings.TrimSuffix(name, ".")
+	hasUpper := false
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= utf8.RuneSelf {
+			// Rare: defer to the Unicode-correct (allocating) path.
+			name = strings.ToLower(name)
+			return strings.TrimSuffix(name, ".")
+		}
+		if 'A' <= c && c <= 'Z' {
+			hasUpper = true
+		}
+	}
+	if hasUpper {
+		return normalizeASCIIUpper(name)
+	}
+	if len(name) > 0 && name[len(name)-1] == '.' {
+		return name[:len(name)-1]
+	}
 	return name
+}
+
+// normalizeASCIIUpper lowers an all-ASCII name containing at least one
+// upper-case letter and strips a single trailing dot, in one pass with one
+// allocation.
+func normalizeASCIIUpper(name string) string {
+	n := len(name)
+	if name[n-1] == '.' {
+		n--
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i := 0; i < n; i++ {
+		c := name[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
 }
 
 // Validate checks that name is a plausible DNS name in presentation format:

@@ -25,6 +25,43 @@ func TestNormalize(t *testing.T) {
 	}
 }
 
+// TestNormalizeMatchesReference: the single-pass implementation must agree
+// byte-for-byte with the original ToLower+TrimSuffix composition on
+// arbitrary input, including non-ASCII.
+func TestNormalizeMatchesReference(t *testing.T) {
+	ref := func(name string) string {
+		return strings.TrimSuffix(strings.ToLower(name), ".")
+	}
+	for _, name := range []string{
+		"", ".", "..", "a", "A", "a.", "A.", "aBc.DeF.com", "already.normal.com",
+		"trailing.dot.", "MIXED.case.", "Ünïcode.ÉXAMPLE.com", "ünïcode.com",
+		"123.456", "UPPER", "x.Y.z.W.", "ÀÈÌ.com.",
+	} {
+		if got, want := Normalize(name), ref(name); got != want {
+			t.Errorf("Normalize(%q) = %q, reference = %q", name, got, want)
+		}
+	}
+	f := func(name string) bool { return Normalize(name) == ref(name) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNormalizeZeroAlloc: already-normalized names — the hot-path case —
+// and bare trailing-dot names must not allocate; a mixed-case ASCII name
+// pays exactly one allocation.
+func TestNormalizeZeroAlloc(t *testing.T) {
+	for _, name := range []string{"host1.example.com", "host1.example.com.", "", "a"} {
+		name := name
+		if allocs := testing.AllocsPerRun(200, func() { Normalize(name) }); allocs != 0 {
+			t.Errorf("Normalize(%q) allocated %.1f times per op, want 0", name, allocs)
+		}
+	}
+	if allocs := testing.AllocsPerRun(200, func() { Normalize("HOST1.Example.COM.") }); allocs > 1 {
+		t.Errorf("mixed-case Normalize allocated %.1f times per op, want <= 1", allocs)
+	}
+}
+
 func TestValidate(t *testing.T) {
 	long := strings.Repeat("a", 64)
 	tests := []struct {

@@ -36,19 +36,43 @@ type DayCounts struct {
 	PerSeries []int
 }
 
+// recordKey is the dedup identity of a record. A comparable struct keys the
+// shard maps directly, so the duplicate check — the operation every single
+// observation pays — allocates nothing, unlike the former
+// name+"|"+type+"|"+rdata concatenation.
+type recordKey struct {
+	name  string
+	typ   dnsmsg.Type
+	rdata string
+}
+
+// numShards is the store's lock-stripe count. Power of two so the shard
+// pick is a mask; 32 stripes keep the probability of two cluster workers
+// colliding on one mutex low even at high server counts.
+const numShards = 32
+
+// shard is one lock stripe: its own dedup map and per-day accounting, so
+// concurrent inserts for different name hashes never contend.
+type shard struct {
+	mu        sync.Mutex
+	firstSeen map[recordKey]*Record
+	days      map[int64]*DayCounts // unix day -> counts
+}
+
 // Store is the rpDNS database. It consumes the below-the-resolver stream
 // (successful resolutions only, like the paper's rpDNS) and deduplicates
-// records by (name, type, rdata). Insert (and thus the tap) is
-// mutex-guarded, so the store may be attached to a cluster driven by
-// concurrent per-server workers; dedup means most observations take the
-// lock only for a map lookup. Readers (Len, Records, Days, ...) take the
-// same lock and may run while insertion is in flight.
+// records by (name, type, rdata).
+//
+// The store is striped into numShards independently locked shards by an
+// FNV-1a hash of the owner name, so a cluster's concurrent per-server
+// workers insert without funneling through a single mutex; dedup means most
+// observations take their stripe's lock only for a map lookup. Readers
+// (Len, Records, Days, ...) merge a view across the stripes and may run
+// while insertion is in flight.
 type Store struct {
-	mu        sync.Mutex
-	firstSeen map[string]*Record
-	seriesFn  []func(*Record) bool
-	seriesNm  []string
-	days      map[int64]*DayCounts // unix day -> counts
+	shards   [numShards]shard
+	seriesFn []func(*Record) bool
+	seriesNm []string
 
 	// Telemetry counters; nil (no-op) unless SetMetrics was called.
 	mInserts *telemetry.Counter
@@ -76,10 +100,26 @@ func (s *Store) SetMetrics(reg *telemetry.Registry) {
 
 // NewStore returns an empty rpDNS database.
 func NewStore() *Store {
-	return &Store{
-		firstSeen: make(map[string]*Record),
-		days:      make(map[int64]*DayCounts),
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].firstSeen = make(map[recordKey]*Record)
+		s.shards[i].days = make(map[int64]*DayCounts)
 	}
+	return s
+}
+
+// shardFor maps an owner name to its lock stripe (FNV-1a over the name).
+func (s *Store) shardFor(name string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return &s.shards[h&(numShards-1)]
 }
 
 // AddSeries registers a named per-day matcher (e.g. "google", "akamai").
@@ -107,12 +147,14 @@ func (s *Store) Tap() resolver.Tap {
 }
 
 // Insert records one observed RR at instant at. Duplicate tuples are
-// ignored; the first sighting wins. Safe for concurrent use.
+// ignored; the first sighting wins. Safe for concurrent use; inserts for
+// names hashing to different stripes proceed in parallel.
 func (s *Store) Insert(rr dnsmsg.RR, cat cache.Category, at time.Time) {
-	key := rr.Key()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.firstSeen[key]; ok {
+	key := recordKey{name: rr.Name, typ: rr.Type, rdata: rr.RData}
+	sh := s.shardFor(rr.Name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.firstSeen[key]; ok {
 		s.mDups.Inc()
 		return
 	}
@@ -124,16 +166,16 @@ func (s *Store) Insert(rr dnsmsg.RR, cat cache.Category, at time.Time) {
 		FirstSeen: at,
 		Category:  cat,
 	}
-	s.firstSeen[key] = rec
+	sh.firstSeen[key] = rec
 
 	day := at.Unix() / 86400
-	dc, ok := s.days[day]
+	dc, ok := sh.days[day]
 	if !ok {
 		dc = &DayCounts{
 			Date:      time.Unix(day*86400, 0).UTC(),
 			PerSeries: make([]int, len(s.seriesFn)),
 		}
-		s.days[day] = dc
+		sh.days[day] = dc
 	}
 	dc.New++
 	if cat == cache.CategoryDisposable {
@@ -148,30 +190,59 @@ func (s *Store) Insert(rr dnsmsg.RR, cat cache.Category, at time.Time) {
 
 // Len returns the number of distinct records stored.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.firstSeen)
-}
-
-// DisposableCount returns how many stored records are disposable.
-func (s *Store) DisposableCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, rec := range s.firstSeen {
-		if rec.Category == cache.CategoryDisposable {
-			n++
-		}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.firstSeen)
+		sh.mu.Unlock()
 	}
 	return n
 }
 
-// Days returns per-day new-record counts sorted by date.
+// DisposableCount returns how many stored records are disposable.
+func (s *Store) DisposableCount() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, rec := range sh.firstSeen {
+			if rec.Category == cache.CategoryDisposable {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Days returns per-day new-record counts sorted by date, merged across the
+// stripes. The merge is a per-day sum, so the result is identical whether
+// the inserts arrived sequentially or from concurrent workers.
 func (s *Store) Days() []DayCounts {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]DayCounts, 0, len(s.days))
-	for _, dc := range s.days {
+	merged := make(map[int64]*DayCounts)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for day, dc := range sh.days {
+			m, ok := merged[day]
+			if !ok {
+				m = &DayCounts{
+					Date:      dc.Date,
+					PerSeries: make([]int, len(dc.PerSeries)),
+				}
+				merged[day] = m
+			}
+			m.New += dc.New
+			m.Disposable += dc.Disposable
+			for j, v := range dc.PerSeries {
+				m.PerSeries[j] += v
+			}
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]DayCounts, 0, len(merged))
+	for _, dc := range merged {
 		out = append(out, *dc)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Date.Before(out[j].Date) })
@@ -180,11 +251,14 @@ func (s *Store) Days() []DayCounts {
 
 // Records returns all stored records; order is undefined.
 func (s *Store) Records() []*Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*Record, 0, len(s.firstSeen))
-	for _, rec := range s.firstSeen {
-		out = append(out, rec)
+	out := make([]*Record, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, rec := range sh.firstSeen {
+			out = append(out, rec)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -192,12 +266,15 @@ func (s *Store) Records() []*Record {
 // StorageBytes estimates the database's storage cost as the sum of tuple
 // sizes: name + rdata + fixed overhead per record (type, timestamp, index).
 func (s *Store) StorageBytes() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	const overhead = 24
 	var total uint64
-	for _, rec := range s.firstSeen {
-		total += uint64(len(rec.Name) + len(rec.RData) + overhead)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, rec := range sh.firstSeen {
+			total += uint64(len(rec.Name) + len(rec.RData) + overhead)
+		}
+		sh.mu.Unlock()
 	}
 	return total
 }
@@ -233,28 +310,34 @@ func (r CollapseResult) DisposableRatio() float64 {
 // owner name maps (via zoneOf) to a known disposable zone is replaced by a
 // single "*.<zone>" wildcard record; all other records are kept verbatim.
 // zoneOf returns the covering disposable zone and true, or false when the
-// name is not under any mined disposable zone.
+// name is not under any mined disposable zone. The stripes are visited one
+// at a time under their own locks; the wildcard set is global, so a zone
+// whose children spread across stripes still collapses to one owner.
 func (s *Store) CollapseWildcards(zoneOf func(name string) (string, bool)) CollapseResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	res := CollapseResult{Before: len(s.firstSeen)}
+	var res CollapseResult
 	wildcards := make(map[string]struct{})
 	kept := 0
 	var keptBytes uint64
 	const overhead = 24
-	for _, rec := range s.firstSeen {
-		zone, ok := zoneOf(rec.Name)
-		if !ok {
-			kept++
-			keptBytes += uint64(len(rec.Name) + len(rec.RData) + overhead)
-			continue
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		res.Before += len(sh.firstSeen)
+		for _, rec := range sh.firstSeen {
+			zone, ok := zoneOf(rec.Name)
+			if !ok {
+				kept++
+				keptBytes += uint64(len(rec.Name) + len(rec.RData) + overhead)
+				continue
+			}
+			res.Collapsed++
+			owner := "*." + zone
+			if _, seen := wildcards[owner]; !seen {
+				wildcards[owner] = struct{}{}
+				keptBytes += uint64(len(owner) + overhead)
+			}
 		}
-		res.Collapsed++
-		owner := "*." + zone
-		if _, seen := wildcards[owner]; !seen {
-			wildcards[owner] = struct{}{}
-			keptBytes += uint64(len(owner) + overhead)
-		}
+		sh.mu.Unlock()
 	}
 	res.Wildcards = len(wildcards)
 	res.After = kept + res.Wildcards

@@ -236,8 +236,8 @@ type Cluster struct {
 // synchronizing with its siblings.
 type server struct {
 	idx      int
-	cache    *cache.LRU
-	negCache *cache.LRU
+	cache    *cache.LRU[qkey, cacheValue]
+	negCache *cache.LRU[qkey, negValue]
 	stats    statsShard
 	msgID    uint16 // upstream message-ID counter, independent of any stat
 	queryBuf []byte // reusable wire buffer for upstream queries
@@ -398,8 +398,8 @@ func NewCluster(upstream Upstream, opts ...Option) (*Cluster, error) {
 	for i := 0; i < o.numServers; i++ {
 		c.servers = append(c.servers, &server{
 			idx:      i,
-			cache:    cache.NewLRU(o.cacheSize),
-			negCache: cache.NewLRU(o.cacheSize / 4),
+			cache:    cache.NewLRU[qkey, cacheValue](o.cacheSize),
+			negCache: cache.NewLRU[qkey, negValue](o.cacheSize / 4),
 		})
 	}
 	c.registerMetrics(o.telemetry)
@@ -512,35 +512,19 @@ type cacheValue struct {
 	answers []dnsmsg.RR
 }
 
-// cacheKey builds the per-server cache key for (name, qtype) without going
-// through Type.String concatenation chains: the common types resolve to a
-// constant "|<TYPE>" suffix, leaving a single string concatenation per key.
-func cacheKey(name string, t dnsmsg.Type) string {
-	return name + typeKeySuffix(t)
+// qkey is the composite per-server cache key for (name, qtype). Earlier
+// versions concatenated the pair into a "name|TYPE" string, which cost one
+// heap allocation per query; a comparable struct keys the LRU's index map
+// directly, so building a key is free and the hot path performs no
+// allocation at all.
+type qkey struct {
+	name  string
+	qtype dnsmsg.Type
 }
 
-func typeKeySuffix(t dnsmsg.Type) string {
-	switch t {
-	case dnsmsg.TypeA:
-		return "|A"
-	case dnsmsg.TypeAAAA:
-		return "|AAAA"
-	case dnsmsg.TypeCNAME:
-		return "|CNAME"
-	case dnsmsg.TypeNS:
-		return "|NS"
-	case dnsmsg.TypeSOA:
-		return "|SOA"
-	case dnsmsg.TypeTXT:
-		return "|TXT"
-	case dnsmsg.TypeDNSKEY:
-		return "|DNSKEY"
-	case dnsmsg.TypeRRSIG:
-		return "|RRSIG"
-	default:
-		return "|" + t.String()
-	}
-}
+// negValue is the (empty) payload of a negative-cache entry; only the
+// entry's presence and TTL matter.
+type negValue struct{}
 
 // Resolve processes one client query through the cluster. It is not safe
 // for concurrent use; parallel callers should use ResolveStream or
@@ -578,12 +562,11 @@ func (c *Cluster) resolveOn(s *server, q Query) (Response, error) {
 func (c *Cluster) doResolve(s *server, q Query) (Response, error) {
 	s.stats.queriesByCategory[q.Category].Add(1)
 	q.Name = dnsname.Normalize(q.Name)
-	key := cacheKey(q.Name, q.Type)
+	key := qkey{name: q.Name, qtype: q.Type}
 
 	// Positive cache. Hits are derived on read (see statsShard), so the
 	// hottest branch increments nothing beyond the query counter above.
-	if v, ok := s.cache.Get(key, q.Time); ok {
-		cv := v.(cacheValue)
+	if cv, ok := s.cache.Get(key, q.Time); ok {
 		c.emitBelow(s, q, cv.answers, dnsmsg.RCodeNoError)
 		return Response{RCode: dnsmsg.RCodeNoError, Answers: cv.answers, FromCache: true}, nil
 	}
@@ -613,7 +596,7 @@ func (c *Cluster) doResolve(s *server, q Query) (Response, error) {
 	if rcode == dnsmsg.RCodeNXDomain {
 		s.stats.nxDomains.Add(1)
 		if c.opts.negCache {
-			s.negCache.Put(key, struct{}{}, c.clampTTL(negTTL), q.Category, q.Time)
+			s.negCache.Put(key, negValue{}, c.clampTTL(negTTL), q.Category, q.Time)
 		}
 		c.emitBelow(s, q, nil, dnsmsg.RCodeNXDomain)
 		return Response{RCode: rcode}, nil
@@ -654,7 +637,7 @@ func (c *Cluster) recurse(q Query, s *server) ([]dnsmsg.RR, dnsmsg.RCode, uint32
 			return chain, dnsmsg.RCodeNoError, 0, nil // NODATA
 		}
 		// Cache this hop's RRset under the name queried at this hop.
-		c.cachePut(s, cacheKey(name, q.Type), name, cacheValue{answers: answers},
+		c.cachePut(s, qkey{name: name, qtype: q.Type}, cacheValue{answers: answers},
 			c.clampTTL(answers[0].TTL), q)
 		chain = append(chain, answers...)
 		last := answers[len(answers)-1]
@@ -667,7 +650,7 @@ func (c *Cluster) recurse(q Query, s *server) ([]dnsmsg.RR, dnsmsg.RCode, uint32
 			// with the full chain so a later hit replays the complete
 			// answer section. The chain lives only as long as its
 			// shortest-lived link.
-			c.cachePut(s, cacheKey(q.Name, q.Type), q.Name, cacheValue{answers: chain},
+			c.cachePut(s, qkey{name: q.Name, qtype: q.Type}, cacheValue{answers: chain},
 				c.clampTTL(minChainTTL(chain)), q)
 		}
 		return chain, dnsmsg.RCodeNoError, 0, nil
@@ -726,8 +709,8 @@ func soaMinimum(rdata string) (uint32, bool) {
 
 // cachePut stores a positive entry, demoting deprioritized names to the
 // cold end of the LRU.
-func (c *Cluster) cachePut(s *server, key, name string, v cacheValue, ttl time.Duration, q Query) {
-	if c.opts.deprioritizer != nil && c.opts.deprioritizer(name) {
+func (c *Cluster) cachePut(s *server, key qkey, v cacheValue, ttl time.Duration, q Query) {
+	if c.opts.deprioritizer != nil && c.opts.deprioritizer(key.name) {
 		s.cache.PutLowPriority(key, v, ttl, q.Category, q.Time)
 		return
 	}
