@@ -25,6 +25,7 @@ import (
 	"dnsnoise/internal/authority"
 	"dnsnoise/internal/dnsmsg"
 	"dnsnoise/internal/ingest"
+	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/resolver"
 	"dnsnoise/internal/telemetry"
 	"dnsnoise/internal/traceio"
@@ -103,8 +104,11 @@ type report struct {
 	Alloc      *allocResult        `json:"alloc,omitempty"`
 	Baseline   *baselineComparison `json:"baseline,omitempty"`
 	Overhead   *overheadResult     `json:"telemetry_overhead,omitempty"`
-	Note       string              `json:"note,omitempty"`
-	Extra      []benchResult       `json:"extra,omitempty"`
+	// QlogOverhead prices the query-level event log (internal/qlog) on
+	// the same paired plain-vs-instrumented method as Overhead.
+	QlogOverhead *overheadResult `json:"qlog_overhead,omitempty"`
+	Note         string          `json:"note,omitempty"`
+	Extra        []benchResult   `json:"extra,omitempty"`
 }
 
 func main() {
@@ -407,14 +411,15 @@ const (
 // near-identical heap layout and machine state — then alternates timed
 // segments between them for ovRounds and returns each side's minimum
 // ns/op and their ratio. The minimum is the noise-robust estimator:
-// contention and GC only ever add time.
-func ovPairRatio(servers int, qs []resolver.Query, flip bool, reg *telemetry.Registry) (plainNs, otherNs float64, err error) {
+// contention and GC only ever add time. other builds the instrumented
+// side; nil makes a plain-vs-plain control pair.
+func ovPairRatio(servers int, qs []resolver.Query, flip bool, other func() (*resolver.Cluster, error)) (plainNs, otherNs float64, err error) {
 	build := func(first bool) (*resolver.Cluster, error) {
 		if first != flip { // plain side
 			return newCluster(servers)
 		}
-		if reg != nil {
-			return newCluster(servers, resolver.WithTelemetry(reg))
+		if other != nil {
+			return other()
 		}
 		return newCluster(servers) // control pair: both plain
 	}
@@ -498,11 +503,18 @@ func benchOverhead(servers int, qs []resolver.Query) (overheadResult, *telemetry
 	)
 	for pair := 0; pair <= ovPairs; pair++ {
 		control := pair == ovPairs
-		var pairReg *telemetry.Registry
+		var (
+			pairReg *telemetry.Registry
+			other   func() (*resolver.Cluster, error)
+		)
 		if !control {
 			pairReg = telemetry.NewRegistry()
+			reg := pairReg
+			other = func() (*resolver.Cluster, error) {
+				return newCluster(servers, resolver.WithTelemetry(reg))
+			}
 		}
-		plainNs, otherNs, err := ovPairRatio(servers, qs, pair%2 == 1, pairReg)
+		plainNs, otherNs, err := ovPairRatio(servers, qs, pair%2 == 1, other)
 		if err != nil {
 			return overheadResult{}, nil, err
 		}
@@ -536,6 +548,64 @@ func benchOverhead(servers int, qs []resolver.Query) (overheadResult, *telemetry
 	}, reg, nil
 }
 
+// benchQlogOverhead is the qlog-overhead scenario: the same paired method
+// as benchOverhead, but the instrumented side carries a live query log in
+// its heaviest in-process shape — head-sampled events fanning out to a
+// memory ring and an exemplar store, the configuration a CLI runs with
+// -metrics-addr live. The plain side resolves with qlog fully disabled
+// (nil log), so the ratio prices the entire feature: the per-query
+// sampling counter plus the amortized sampled-path event build and drain.
+func benchQlogOverhead(servers int, qs []resolver.Query) (overheadResult, error) {
+	var (
+		ratios       []float64
+		plainMin     float64
+		instrMin     float64
+		controlRatio float64
+	)
+	for pair := 0; pair <= ovPairs; pair++ {
+		control := pair == ovPairs
+		var other func() (*resolver.Cluster, error)
+		if !control {
+			l := qlog.New(qlog.Config{})
+			l.AddSink(qlog.NewMemorySink(1024))
+			l.AddSink(qlog.NewExemplarSink())
+			other = func() (*resolver.Cluster, error) {
+				return newCluster(servers, resolver.WithQueryLog(l))
+			}
+		}
+		plainNs, otherNs, err := ovPairRatio(servers, qs, pair%2 == 1, other)
+		if err != nil {
+			return overheadResult{}, err
+		}
+		if control {
+			controlRatio = otherNs / plainNs
+			continue
+		}
+		ratios = append(ratios, otherNs/plainNs)
+		if plainMin == 0 || plainNs < plainMin {
+			plainMin = plainNs
+		}
+		if instrMin == 0 || otherNs < instrMin {
+			instrMin = otherNs
+		}
+	}
+	sort.Float64s(ratios)
+	spread := 100 * (ratios[len(ratios)-1] - ratios[0]) / 2
+	noise := 100 * absFloat(controlRatio-1)
+	if spread > noise {
+		noise = spread
+	}
+	return overheadResult{
+		PlainNsPerOp:        plainMin,
+		InstrumentedNsPerOp: instrMin,
+		OverheadPct:         100 * (median(ratios) - 1),
+		NoisePct:            noise,
+		Pairs:               ovPairs,
+		RoundsPerPair:       ovRounds,
+		QueriesPerPass:      len(qs),
+	}, nil
+}
+
 func absFloat(x float64) float64 {
 	if x < 0 {
 		return -x
@@ -564,6 +634,7 @@ func run(args []string) error {
 		servers  = fs.Int("servers", 4, "RDNS servers in the cluster")
 		queries  = fs.Int("queries", 100_000, "pre-generated workload size")
 		maxOv    = fs.Float64("max-overhead", 2.0, "fail when telemetry overhead exceeds this percent (0 disables the gate)")
+		maxQlOv  = fs.Float64("max-qlog-overhead", 2.0, "fail when qlog overhead exceeds this percent (0 disables the gate)")
 		baseline = fs.String("baseline", "", "previous BENCH_resolver.json to embed as a before/after comparison")
 		maxHitAl = fs.Int64("max-hit-allocs", 0, "fail when the cache-hit path exceeds this many allocs/op (-1 disables the gate)")
 	)
@@ -623,6 +694,13 @@ func run(args []string) error {
 	}
 	ovSpan.End()
 
+	qlSpan := tracer.Start("qlog-overhead")
+	qlOverhead, err := benchQlogOverhead(*servers, qs)
+	if err != nil {
+		return fmt.Errorf("qlog overhead benchmark: %w", err)
+	}
+	qlSpan.End()
+
 	srcSpan := tracer.Start("sources")
 	extra, err := benchSources()
 	if err != nil {
@@ -640,6 +718,7 @@ func run(args []string) error {
 		Overhead:   &overhead,
 		Extra:      extra,
 	}
+	rep.QlogOverhead = &qlOverhead
 	if *baseline != "" {
 		cmp, err := loadBaseline(*baseline)
 		if err != nil {
@@ -691,6 +770,9 @@ func run(args []string) error {
 		fmt.Printf("telemetry:  %+.2f%% overhead, ±%.2f%% noise (%.1f -> %.1f ns/op, %d pairs)\n",
 			overhead.OverheadPct, overhead.NoisePct,
 			overhead.PlainNsPerOp, overhead.InstrumentedNsPerOp, overhead.Pairs)
+		fmt.Printf("qlog:       %+.2f%% overhead, ±%.2f%% noise (%.1f -> %.1f ns/op, %d pairs)\n",
+			qlOverhead.OverheadPct, qlOverhead.NoisePct,
+			qlOverhead.PlainNsPerOp, qlOverhead.InstrumentedNsPerOp, qlOverhead.Pairs)
 		for _, r := range rep.Extra {
 			fmt.Printf("%-32s %8.1f ns/op (%.0f events/s)\n", r.Name+":", r.NsPerOp, r.QueriesPerSec)
 		}
@@ -700,20 +782,27 @@ func run(args []string) error {
 		return fmt.Errorf("cache-hit path allocates %d allocs/op (%d B/op), -max-hit-allocs is %d",
 			alloc.HitAllocsPerOp, alloc.HitBytesPerOp, *maxHitAl)
 	}
-	if *maxOv > 0 && overhead.OverheadPct > *maxOv {
-		// Only fail when this run could actually resolve the gate: on a
-		// loaded shared host the reading is dominated by scheduling and
-		// allocator luck, and failing on noise teaches people to delete
-		// the gate. The noise estimate is recorded in the report either
-		// way.
-		if overhead.NoisePct > *maxOv {
-			fmt.Fprintf(os.Stderr,
-				"telemetry overhead gate inconclusive: measured %+.2f%% but this run's noise floor is ±%.2f%% (gate %.2f%%)\n",
-				overhead.OverheadPct, overhead.NoisePct, *maxOv)
-		} else {
-			return fmt.Errorf("telemetry overhead %.2f%% exceeds -max-overhead %.2f%% (noise ±%.2f%%)",
-				overhead.OverheadPct, *maxOv, overhead.NoisePct)
-		}
+	if err := checkOverheadGate("telemetry", "-max-overhead", overhead, *maxOv); err != nil {
+		return err
 	}
-	return nil
+	return checkOverheadGate("qlog", "-max-qlog-overhead", qlOverhead, *maxQlOv)
+}
+
+// checkOverheadGate enforces an overhead ceiling. It only fails when this
+// run could actually resolve the gate: on a loaded shared host the reading
+// is dominated by scheduling and allocator luck, and failing on noise
+// teaches people to delete the gate. The noise estimate is recorded in the
+// report either way.
+func checkOverheadGate(what, flagName string, ov overheadResult, max float64) error {
+	if max <= 0 || ov.OverheadPct <= max {
+		return nil
+	}
+	if ov.NoisePct > max {
+		fmt.Fprintf(os.Stderr,
+			"%s overhead gate inconclusive: measured %+.2f%% but this run's noise floor is ±%.2f%% (gate %.2f%%)\n",
+			what, ov.OverheadPct, ov.NoisePct, max)
+		return nil
+	}
+	return fmt.Errorf("%s overhead %.2f%% exceeds %s %.2f%% (noise ±%.2f%%)",
+		what, ov.OverheadPct, flagName, max, ov.NoisePct)
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dnsnoise/internal/experiments"
+	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/telemetry"
 )
 
@@ -178,6 +179,8 @@ func run(args []string, stdout io.Writer) error {
 	)
 	var tcfg telemetry.CLIConfig
 	tcfg.RegisterFlags(fs)
+	var qcfg qlog.CLIConfig
+	qcfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -221,6 +224,16 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer sess.Close()
+	qs, err := qcfg.Start(sess)
+	if err != nil {
+		return err
+	}
+	defer qs.Close()
+	// One query log is shared by every selected experiment's cluster. Each
+	// cluster drains only its own recorders at day boundaries
+	// (Cluster.FlushQueryLog), so concurrent -parallel experiments never
+	// flush each other's live workers; qs.Close drains the rest at exit.
+	sc.QueryLog = qs.Log()
 	// Experiments run concurrently under -parallel, so each owns a root
 	// span; the completion counter feeds the periodic progress line.
 	completed := sess.Registry.Counter("exp_completed_total",
@@ -244,6 +257,9 @@ func run(args []string, stdout io.Writer) error {
 			sp.End()
 			completed.Inc()
 			fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
+		}
+		if err := qs.Close(); err != nil {
+			return fmt.Errorf("qlog: %w", err)
 		}
 		return sess.Close()
 	}
@@ -285,6 +301,9 @@ func run(args []string, stdout io.Writer) error {
 		if _, err := stdout.Write(reports[i].buf.Bytes()); err != nil {
 			return err
 		}
+	}
+	if err := qs.Close(); err != nil {
+		return fmt.Errorf("qlog: %w", err)
 	}
 	return sess.Close()
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"dnsnoise/internal/qlog"
 )
 
 func TestRunList(t *testing.T) {
@@ -43,5 +46,40 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Figure 3") {
 		t.Errorf("output missing figure header:\n%s", out.String())
+	}
+}
+
+// TestQlogDoesNotPerturbExperiment checks the experiment driver's
+// zero-perturbation contract: running fig3a with a query log attached
+// prints byte-identical stdout, and the log carries day-stamped events.
+func TestQlogDoesNotPerturbExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	var plain strings.Builder
+	if err := run([]string{"-id", "fig3a", "-scale", "small"}, &plain); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	qlogPath := filepath.Join(t.TempDir(), "events.jsonl.gz")
+	var logged strings.Builder
+	if err := run([]string{"-id", "fig3a", "-scale", "small",
+		"-qlog", qlogPath, "-qlog-sample", "256"}, &logged); err != nil {
+		t.Fatalf("qlog run: %v", err)
+	}
+	if plain.String() != logged.String() {
+		t.Errorf("qlog perturbed experiment output:\n--- plain ---\n%s\n--- qlog ---\n%s",
+			plain.String(), logged.String())
+	}
+	evs, err := qlog.OpenEvents(qlogPath)
+	if err != nil {
+		t.Fatalf("read qlog: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("experiment run sampled no events")
+	}
+	for _, ev := range evs {
+		if ev.Day == "" || ev.Window == 0 {
+			t.Fatalf("event missing day stamp: %+v", ev)
+		}
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"dnsnoise/internal/chrstat"
 	"dnsnoise/internal/core"
 	"dnsnoise/internal/ingest"
+	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/resolver"
 	"dnsnoise/internal/telemetry"
 	"dnsnoise/internal/workload"
@@ -84,11 +85,18 @@ func run(args []string, stdout io.Writer) error {
 		theta     = fs.Float64("theta", 0.9, "classification threshold")
 		top       = fs.Int("top", 25, "findings to print")
 		parallel  = fs.Bool("parallel", false, "resolve through per-server resolver workers (one goroutine per simulated server)")
+		explain   = fs.String("explain", "", "write one provenance record per classifier decision as JSON lines to this path (.gz compresses)")
+		verifyExp = fs.String("verify-explain", "", "verify an -explain file (replay every decision path) and exit")
 	)
 	var tcfg telemetry.CLIConfig
 	tcfg.RegisterFlags(fs)
+	var qcfg qlog.CLIConfig
+	qcfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *verifyExp != "" {
+		return runVerifyExplain(*verifyExp, stdout)
 	}
 	if *tracePath == "" && !*live {
 		return fmt.Errorf("missing -trace (generate one with dnsnoise-gen, or pass -live to generate in-process)")
@@ -102,6 +110,11 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer sess.Close()
+	qs, err := qcfg.Start(sess)
+	if err != nil {
+		return err
+	}
+	defer qs.Close()
 
 	reg := workload.NewRegistry(workload.RegistryConfig{
 		Seed:               *seed,
@@ -115,7 +128,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 	cluster, err := resolver.NewCluster(auth,
 		resolver.WithServers(*servers), resolver.WithCacheSize(*cacheSz),
-		resolver.WithTelemetry(sess.Registry))
+		resolver.WithTelemetry(sess.Registry),
+		resolver.WithQueryLog(qs.Log()))
 	if err != nil {
 		return err
 	}
@@ -156,6 +170,7 @@ func run(args []string, stdout io.Writer) error {
 	)
 	opts = append(opts,
 		ingest.WithSingleWindow(),
+		ingest.WithQueryLog(qs.Log()),
 		ingest.WithMetrics(sess.Registry),
 		ingest.WithTracer(sess.Tracer),
 		ingest.WithProgress(sess.Logger),
@@ -194,6 +209,22 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	miner.SetMetrics(sess.Registry)
+	var (
+		ew         *core.ExplainWriter
+		explainErr error
+	)
+	if *explain != "" {
+		ew, err = core.CreateExplain(*explain)
+		if err != nil {
+			return fmt.Errorf("explain: %w", err)
+		}
+		miner.SetExplain(func(rec core.ExplainRecord) {
+			if err := ew.Record(rec); err != nil && explainErr == nil {
+				explainErr = err
+			}
+		})
+		defer ew.Close()
+	}
 	mineSpan := sess.Tracer.Start("mine")
 	tree = core.BuildTree(byName, nil)
 	findings, err := miner.Mine(tree, byName)
@@ -202,6 +233,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 	mineSpan.AddItems(int64(len(findings)))
 	mineSpan.End()
+	if ew != nil {
+		if explainErr != nil {
+			return fmt.Errorf("explain: %w", explainErr)
+		}
+		if err := ew.Close(); err != nil {
+			return fmt.Errorf("explain: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "explain: wrote %d decision records to %s\n", ew.Count(), *explain)
+	}
 
 	rep := core.Summarize(findings, nil)
 	fmt.Fprintf(stdout, "mined %d disposable zones under %d 2LDs covering %d names (%.1f periods/name)\n",
@@ -235,7 +275,31 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "%-44s %5d %10.3f %7d\n", f.Zone, f.Depth, f.Confidence, len(f.Names))
 	}
+	if err := qs.Close(); err != nil {
+		return fmt.Errorf("qlog: %w", err)
+	}
 	return sess.Close()
+}
+
+// runVerifyExplain is the -verify-explain mode: load an explain file and
+// replay every decision path against its recorded features.
+func runVerifyExplain(path string, stdout io.Writer) error {
+	recs, err := core.OpenExplain(path)
+	if err != nil {
+		return fmt.Errorf("verify-explain: %w", err)
+	}
+	if err := core.VerifyExplain(recs); err != nil {
+		return fmt.Errorf("verify-explain: %w", err)
+	}
+	disposable := 0
+	for _, rec := range recs {
+		if rec.Disposable {
+			disposable++
+		}
+	}
+	fmt.Fprintf(stdout, "verified %d explain records (%d disposable): all decision paths replay\n",
+		len(recs), disposable)
+	return nil
 }
 
 // clusterProgress returns the per-tick attributes for the -progress

@@ -7,7 +7,9 @@ import (
 	"strings"
 	"testing"
 
+	"dnsnoise/internal/core"
 	"dnsnoise/internal/ingest"
+	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/telemetry"
 	"dnsnoise/internal/traceio"
 	"dnsnoise/internal/workload"
@@ -204,6 +206,97 @@ func TestTelemetryDoesNotPerturbOutput(t *testing.T) {
 	}
 	if _, ok := rep.Metrics.Histograms["resolver_latency_ns"]; !ok {
 		t.Error("report metrics missing resolver_latency_ns histogram")
+	}
+}
+
+// TestQlogExplainDoNotPerturbOutput extends the zero-perturbation
+// contract to the query-level surfaces: enabling -qlog, -explain, and
+// the /debug/qlog endpoint leaves stdout byte-identical to a plain run,
+// while the side-channel files carry well-formed, verifiable records.
+func TestQlogExplainDoNotPerturbOutput(t *testing.T) {
+	trace := writeTestTrace(t)
+	var plain strings.Builder
+	if err := run(mineFlags(trace), &plain); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+
+	dir := t.TempDir()
+	qlogPath := filepath.Join(dir, "events.jsonl.gz")
+	explainPath := filepath.Join(dir, "explain.jsonl")
+	var instrumented strings.Builder
+	args := append(mineFlags(trace),
+		"-qlog", qlogPath, "-qlog-sample", "1",
+		"-explain", explainPath,
+		"-metrics-addr", "127.0.0.1:0",
+	)
+	if err := run(args, &instrumented); err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	if plain.String() != instrumented.String() {
+		t.Errorf("qlog/explain perturbed stdout:\n--- plain ---\n%s\n--- instrumented ---\n%s",
+			plain.String(), instrumented.String())
+	}
+
+	evs, err := qlog.OpenEvents(qlogPath)
+	if err != nil {
+		t.Fatalf("read qlog: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("qlog file holds no events at -qlog-sample 1")
+	}
+	for _, ev := range evs {
+		if ev.Name == "" || ev.Qtype == "" || ev.Day == "" || ev.Window == 0 {
+			t.Fatalf("qlog event missing identity or day stamp: %+v", ev)
+		}
+	}
+
+	recs, err := core.OpenExplain(explainPath)
+	if err != nil {
+		t.Fatalf("read explain: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("explain file holds no decision records")
+	}
+	if err := core.VerifyExplain(recs); err != nil {
+		t.Fatalf("VerifyExplain on CLI output: %v", err)
+	}
+	disposable := 0
+	for _, rec := range recs {
+		if rec.Disposable {
+			disposable++
+		}
+	}
+	if disposable == 0 {
+		t.Error("no disposable decisions recorded; mining found zones, so positives must exist")
+	}
+
+	// The -verify-explain mode replays the same file and reports.
+	var verifyOut strings.Builder
+	if err := run([]string{"-verify-explain", explainPath}, &verifyOut); err != nil {
+		t.Fatalf("-verify-explain: %v", err)
+	}
+	if !strings.Contains(verifyOut.String(), "all decision paths replay") {
+		t.Errorf("-verify-explain output = %q", verifyOut.String())
+	}
+}
+
+// TestVerifyExplainRejectsTamperedFile checks the CLI catches a record
+// whose label disagrees with its recorded confidence/theta.
+func TestVerifyExplainRejectsTamperedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	rec := core.ExplainRecord{
+		Zone: "z.test", Confidence: 0.9, Theta: 0.5, Disposable: false,
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-verify-explain", path}, &out); err == nil {
+		t.Error("tampered explain file should fail verification")
 	}
 }
 

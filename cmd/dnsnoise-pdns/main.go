@@ -25,6 +25,7 @@ import (
 	"dnsnoise/internal/core"
 	"dnsnoise/internal/ingest"
 	"dnsnoise/internal/pdns"
+	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/resolver"
 	"dnsnoise/internal/telemetry"
 	"dnsnoise/internal/workload"
@@ -55,11 +56,17 @@ func run(args []string, stdout io.Writer) error {
 		collapse  = fs.Bool("collapse", false, "mine the stream and apply the wildcard-collapse mitigation")
 		theta     = fs.Float64("theta", 0.9, "mining threshold for -collapse")
 		fpOut     = fs.String("fpdns", "", "also dump the full fpDNS tuple stream (JSONL) to this file")
+		explain   = fs.String("explain", "", "with -collapse, write one provenance record per classifier decision as JSON lines to this path (.gz compresses)")
 	)
 	var tcfg telemetry.CLIConfig
 	tcfg.RegisterFlags(fs)
+	var qcfg qlog.CLIConfig
+	qcfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *explain != "" && !*collapse {
+		return fmt.Errorf("-explain requires -collapse (the mining pass produces the records)")
 	}
 	if *tracePath == "" && !*live {
 		return fmt.Errorf("missing -trace (generate one with dnsnoise-gen, or pass -live to generate in-process)")
@@ -73,6 +80,11 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer sess.Close()
+	qs, err := qcfg.Start(sess)
+	if err != nil {
+		return err
+	}
+	defer qs.Close()
 
 	reg := workload.NewRegistry(workload.RegistryConfig{
 		Seed:               *seed,
@@ -86,7 +98,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 	cluster, err := resolver.NewCluster(auth,
 		resolver.WithServers(*servers), resolver.WithCacheSize(*cacheSz),
-		resolver.WithTelemetry(sess.Registry))
+		resolver.WithTelemetry(sess.Registry),
+		resolver.WithQueryLog(qs.Log()))
 	if err != nil {
 		return err
 	}
@@ -137,6 +150,7 @@ func run(args []string, stdout io.Writer) error {
 	)
 	opts = append(opts,
 		ingest.WithSingleWindow(),
+		ingest.WithQueryLog(qs.Log()),
 		ingest.WithMetrics(sess.Registry),
 		ingest.WithTracer(sess.Tracer),
 		ingest.WithProgress(sess.Logger),
@@ -174,6 +188,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if !*collapse {
+		if err := qs.Close(); err != nil {
+			return fmt.Errorf("qlog: %w", err)
+		}
 		return sess.Close()
 	}
 	byName := collector.ByName()
@@ -191,6 +208,22 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	miner.SetMetrics(sess.Registry)
+	var (
+		ew         *core.ExplainWriter
+		explainErr error
+	)
+	if *explain != "" {
+		ew, err = core.CreateExplain(*explain)
+		if err != nil {
+			return fmt.Errorf("explain: %w", err)
+		}
+		miner.SetExplain(func(rec core.ExplainRecord) {
+			if err := ew.Record(rec); err != nil && explainErr == nil {
+				explainErr = err
+			}
+		})
+		defer ew.Close()
+	}
 	mineSpan := sess.Tracer.Start("mine")
 	tree = core.BuildTree(byName, nil)
 	findings, err := miner.Mine(tree, byName)
@@ -199,6 +232,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 	mineSpan.AddItems(int64(len(findings)))
 	mineSpan.End()
+	if ew != nil {
+		if explainErr != nil {
+			return fmt.Errorf("explain: %w", explainErr)
+		}
+		if err := ew.Close(); err != nil {
+			return fmt.Errorf("explain: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "explain: wrote %d decision records to %s\n", ew.Count(), *explain)
+	}
 	collapseSpan := sess.Tracer.Start("collapse")
 	matcher := core.NewMatcher(findings)
 	res := store.CollapseWildcards(matcher.Match)
@@ -210,6 +252,9 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  %d records folded into %d wildcards; storage %.1f MB -> %.1f MB\n",
 		res.Collapsed, res.Wildcards,
 		float64(store.StorageBytes())/1e6, float64(res.BytesAfter)/1e6)
+	if err := qs.Close(); err != nil {
+		return fmt.Errorf("qlog: %w", err)
+	}
 	return sess.Close()
 }
 

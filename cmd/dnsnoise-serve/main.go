@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dnsnoise/internal/authority"
+	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/telemetry"
 	"dnsnoise/internal/udptransport"
 	"dnsnoise/internal/workload"
@@ -43,6 +44,8 @@ func run(args []string) error {
 	)
 	var tcfg telemetry.CLIConfig
 	tcfg.RegisterFlags(fs)
+	var qcfg qlog.CLIConfig
+	qcfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +54,13 @@ func run(args []string) error {
 		return err
 	}
 	defer sess.Close()
+	qs, err := qcfg.Start(sess)
+	if err != nil {
+		return err
+	}
+	// Deferred before srv.Close below: LIFO runs srv.Close first, joining
+	// the serve loop, so the final qlog flush sees a quiesced recorder.
+	defer qs.Close()
 
 	reg := workload.NewRegistry(workload.RegistryConfig{
 		Seed:               *seed,
@@ -79,7 +89,8 @@ func run(args []string) error {
 	}
 
 	srv, err := udptransport.Serve(auth, *addr,
-		udptransport.WithServerMetrics(sess.Registry))
+		udptransport.WithServerMetrics(sess.Registry),
+		udptransport.WithServerQueryLog(qs.Log()))
 	if err != nil {
 		return err
 	}

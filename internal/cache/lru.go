@@ -193,12 +193,26 @@ func (c *LRU[K, V]) Peek(key K) (Entry[K, V], bool) {
 	return Entry[K, V]{Key: s.key, Value: s.value, Expires: s.expires, Category: s.category}, true
 }
 
+// Eviction describes what an insertion displaced, for the query-level
+// event log. The zero value means the insertion evicted nothing (the
+// cache had room, or the key was refreshed in place).
+type Eviction struct {
+	Evicted   bool     // an LRU victim was removed to make room
+	Premature bool     // the victim had not yet expired
+	Victim    Category // the victim's category (meaningful when Evicted)
+}
+
 // Put inserts or refreshes key with the given value, TTL and category.
 // When the cache is full, the least-recently-used entry is evicted; if that
 // victim had not yet expired the eviction is counted as premature, attributed
 // to the inserting entry's category.
 func (c *LRU[K, V]) Put(key K, value V, ttl time.Duration, cat Category, now time.Time) {
 	c.put(key, value, ttl, cat, now, false)
+}
+
+// PutEv is Put returning what the insertion evicted.
+func (c *LRU[K, V]) PutEv(key K, value V, ttl time.Duration, cat Category, now time.Time) Eviction {
+	return c.put(key, value, ttl, cat, now, false)
 }
 
 // PutLowPriority inserts key at the cold end of the recency order: it is
@@ -210,7 +224,13 @@ func (c *LRU[K, V]) PutLowPriority(key K, value V, ttl time.Duration, cat Catego
 	c.put(key, value, ttl, cat, now, true)
 }
 
-func (c *LRU[K, V]) put(key K, value V, ttl time.Duration, cat Category, now time.Time, low bool) {
+// PutLowPriorityEv is PutLowPriority returning what the insertion
+// evicted.
+func (c *LRU[K, V]) PutLowPriorityEv(key K, value V, ttl time.Duration, cat Category, now time.Time) Eviction {
+	return c.put(key, value, ttl, cat, now, true)
+}
+
+func (c *LRU[K, V]) put(key K, value V, ttl time.Duration, cat Category, now time.Time, low bool) Eviction {
 	c.stats.insertions.Add(1)
 	expires := now.Add(ttl)
 	if i, ok := c.index[key]; ok {
@@ -227,10 +247,11 @@ func (c *LRU[K, V]) put(key K, value V, ttl time.Duration, cat Category, now tim
 		} else {
 			c.moveToFront(i)
 		}
-		return
+		return Eviction{}
 	}
+	var ev Eviction
 	if int(c.size.Load()) >= c.capacity {
-		c.evictOldest(cat, now)
+		ev = c.evictOldest(cat, now)
 	}
 	i := c.allocSlot()
 	s := &c.slab[i]
@@ -246,6 +267,7 @@ func (c *LRU[K, V]) put(key K, value V, ttl time.Duration, cat Category, now tim
 	c.index[key] = i
 	c.size.Add(1)
 	c.catCount[cat].Add(1)
+	return ev
 }
 
 // Remove deletes key if present and reports whether it was.
@@ -260,18 +282,21 @@ func (c *LRU[K, V]) Remove(key K) bool {
 
 // evictOldest removes the LRU entry to make room for an insertion by
 // category inserter. Expired victims are reclaimed silently; live victims
-// count as (premature) evictions.
-func (c *LRU[K, V]) evictOldest(inserter Category, now time.Time) {
+// count as (premature) evictions. Either way the removal is reported so
+// the query log can attribute eviction causes per query.
+func (c *LRU[K, V]) evictOldest(inserter Category, now time.Time) Eviction {
 	i := c.tail
 	if i == nilIdx {
-		return
+		return Eviction{}
 	}
 	s := &c.slab[i]
-	if now.Before(s.expires) {
+	ev := Eviction{Evicted: true, Victim: s.category, Premature: now.Before(s.expires)}
+	if ev.Premature {
 		c.stats.evictions.Add(1)
 		c.stats.premature[s.category][inserter].Add(1)
 	}
 	c.removeSlot(i)
+	return ev
 }
 
 // CategoryCounts returns how many currently cached entries belong to each

@@ -69,6 +69,10 @@ type Miner struct {
 	classifier mlearn.Classifier
 	cfg        MinerConfig
 
+	// explain, when set via SetExplain, receives one provenance record per
+	// classifier decision (see explain.go).
+	explain func(ExplainRecord)
+
 	// Telemetry counters; nil (no-op) unless SetMetrics was called. The
 	// counters are atomic, so ProcessDays' concurrent miners share them.
 	mDecisions  *telemetry.Counter
@@ -140,11 +144,15 @@ func (m *Miner) mineZone(tree *dntree.Tree, byName map[string][]*chrstat.RRStat,
 			continue
 		}
 		vec := features.FromGroup(g, byName)
-		disposable, p, err := mlearn.Predict(m.classifier, vec.Slice(), m.cfg.Theta)
+		slice := vec.Slice()
+		disposable, p, err := mlearn.Predict(m.classifier, slice, m.cfg.Theta)
 		if err != nil {
 			return fmt.Errorf("classify %s depth %d: %w", zone, g.Depth, err)
 		}
 		m.mDecisions.Inc()
+		if m.explain != nil {
+			m.explain(m.explainRecord(zone, g.Depth, g.Names, g.Labels, slice, p, disposable))
+		}
 		if !disposable {
 			continue
 		}

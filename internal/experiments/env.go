@@ -19,6 +19,7 @@ import (
 	"dnsnoise/internal/chrstat"
 	"dnsnoise/internal/dnsname"
 	"dnsnoise/internal/ingest"
+	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/resolver"
 	"dnsnoise/internal/workload"
 )
@@ -33,6 +34,10 @@ type Scale struct {
 	BaseEventsPerDay   int
 	Servers            int
 	CacheSize          int
+	// QueryLog, when non-nil, attaches the query-level event log to the
+	// environment's cluster and day runner (see internal/qlog). It never
+	// changes an experiment's output, only what is observable about it.
+	QueryLog *qlog.Log
 }
 
 // Small returns the test/bench scale: a few seconds for the full suite.
@@ -112,10 +117,14 @@ func NewEnv(scale Scale, opts ...EnvOption) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("build authority: %w", err)
 	}
-	resolverOpts := append([]resolver.Option{
+	resolverOpts := []resolver.Option{
 		resolver.WithServers(scale.Servers),
 		resolver.WithCacheSize(scale.CacheSize),
-	}, cfg.resolverOpts...)
+	}
+	if scale.QueryLog != nil {
+		resolverOpts = append(resolverOpts, resolver.WithQueryLog(scale.QueryLog))
+	}
+	resolverOpts = append(resolverOpts, cfg.resolverOpts...)
 	cluster, err := resolver.NewCluster(auth, resolverOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("build cluster: %w", err)
@@ -159,6 +168,9 @@ func (e *Env) RunDayParallel(p workload.Profile, extraBelow, extraAbove resolver
 
 func (e *Env) runDay(p workload.Profile, extraBelow, extraAbove resolver.Tap, opts ...ingest.Option) (*chrstat.Collector, error) {
 	var out *chrstat.Collector
+	if e.Scale.QueryLog != nil {
+		opts = append(opts, ingest.WithQueryLog(e.Scale.QueryLog))
+	}
 	opts = append(opts,
 		ingest.WithSingleWindow(),
 		ingest.WithSinks(ingest.TapSink(extraBelow, extraAbove)),

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dnsnoise/internal/chrstat"
+	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/resolver"
 	"dnsnoise/internal/telemetry"
 )
@@ -42,6 +43,9 @@ type Runner struct {
 	qsinks     []QuerySink
 	onWindow   func(Window) error
 	onDayStart func(time.Time) error
+
+	// Query-level event log (optional; see WithQueryLog).
+	qlg *qlog.Log
 
 	// Telemetry (all optional; see WithMetrics/WithTracer/WithProgress).
 	metrics  *telemetry.Registry
@@ -143,6 +147,16 @@ func WithProgress(l *slog.Logger) Option {
 	return func(r *Runner) { r.progress = l }
 }
 
+// WithQueryLog stamps the log's day/window marker at each day rotation
+// and flushes the cluster's query-log recorders at the day barrier, so
+// sampled events carry the simulated day they belong to and sinks (the
+// /debug/qlog ring, the -qlog file) never lag a full staging ring behind
+// the day being measured. The cluster must have been built with
+// resolver.WithQueryLog on the same log; a nil log is a no-op.
+func WithQueryLog(l *qlog.Log) Option {
+	return func(r *Runner) { r.qlg = l }
+}
+
 // NewRunner builds a runner over cluster.
 func NewRunner(cluster *resolver.Cluster, opts ...Option) *Runner {
 	r := &Runner{cluster: cluster}
@@ -230,6 +244,7 @@ func (r *Runner) emit(w Window) error {
 // day's queries flow. Called with the stream quiesced.
 func (r *Runner) startDay(day time.Time) error {
 	r.dayWall = time.Now()
+	r.qlg.SetDay(day) // quiesced here, so the stamp cannot tear a worker's emit
 	if r.tracer != nil {
 		r.daySpan = r.tracer.Start(day.UTC().Format("2006-01-02"))
 	}
@@ -256,6 +271,7 @@ func (r *Runner) finishResolve(day time.Time, dayQueries int) {
 		r.resolveSpan.End()
 		r.resolveSpan = nil
 	}
+	r.cluster.FlushQueryLog() // cluster quiesced at the day barrier
 	r.days.Inc()
 	r.logDay(day, dayQueries)
 }

@@ -1,0 +1,65 @@
+package mlearn
+
+import "fmt"
+
+// PathStep is one internal-node comparison on a decision tree's root-to-
+// leaf walk: the feature tested, the split threshold, the sample's value,
+// and which side the walk took. A step is self-verifying — Right must
+// equal Value > Threshold — which is what makes explain records
+// replayable evidence rather than free-form prose.
+type PathStep struct {
+	Feature   int     `json:"feature"`
+	Threshold float64 `json:"threshold"`
+	Value     float64 `json:"value"`
+	Right     bool    `json:"right"`
+}
+
+// PathExplainer is a classifier that can report the decision path behind
+// a prediction. Of the bundled classifiers only DecisionTree implements
+// it; callers fall back to probability-only records otherwise.
+type PathExplainer interface {
+	ExplainPath(sample []float64) (float64, []PathStep, error)
+}
+
+// ExplainPath routes sample to its leaf exactly like PredictProb while
+// recording each comparison taken. The returned probability is identical
+// to PredictProb's on the same sample.
+func (t *DecisionTree) ExplainPath(sample []float64) (float64, []PathStep, error) {
+	if t.root == nil {
+		return 0, nil, ErrNotFitted
+	}
+	if len(sample) != t.dim {
+		return 0, nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(sample), t.dim)
+	}
+	var path []PathStep
+	n := t.root
+	for !n.leaf {
+		right := sample[n.feature] > n.threshold
+		path = append(path, PathStep{
+			Feature:   n.feature,
+			Threshold: n.threshold,
+			Value:     sample[n.feature],
+			Right:     right,
+		})
+		if right {
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return n.prob, path, nil
+}
+
+var _ PathExplainer = (*DecisionTree)(nil)
+
+// ReplayPath checks a recorded decision path's internal consistency:
+// every step's branch direction must match its own value/threshold
+// comparison. It returns false for a tampered or corrupted record.
+func ReplayPath(path []PathStep) bool {
+	for _, st := range path {
+		if (st.Value > st.Threshold) != st.Right {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+package qlog
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dnsnoise/internal/telemetry"
+)
+
+// CLIConfig is the query-log flag set shared by the dnsnoise commands:
+// -qlog (JSONL file, ".gz" compresses), -qlog-sample (head-sampling
+// rate), -qlog-mem (/debug/qlog retention). Like telemetry.CLIConfig it
+// is opt-in: with no -qlog path and no -metrics-addr endpoint, Start
+// returns a session whose Log is nil and every downstream recorder is a
+// no-op.
+type CLIConfig struct {
+	Path   string
+	Sample int
+	Mem    int
+}
+
+// RegisterFlags adds the query-log flags to fs.
+func (c *CLIConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Path, "qlog", "",
+		"write sampled query events as JSON lines to this path (.gz compresses; empty disables the file sink)")
+	fs.IntVar(&c.Sample, "qlog-sample", DefaultSample,
+		"record 1 query in N per worker (1 records every query)")
+	fs.IntVar(&c.Mem, "qlog-mem", 1024,
+		"retain the last N sampled events for GET /debug/qlog (needs -metrics-addr)")
+}
+
+// CLISession is one command invocation's query-log state. Log is nil
+// when query logging is off; pass it through unconditionally.
+type CLISession struct {
+	log    *Log
+	file   *JSONLSink
+	closed bool
+}
+
+// Start builds the session from the parsed flags. The event log turns
+// on when -qlog names a file or the telemetry session has an HTTP
+// endpoint to serve /debug/qlog on; otherwise the session is inert.
+// When the endpoint exists, the last -qlog-mem events are mounted at
+// /debug/qlog (filterable by zone, qtype, outcome, n) and the latency
+// exemplar table at /debug/qlog/exemplars.
+func (c CLIConfig) Start(sess *telemetry.Session) (*CLISession, error) {
+	s := &CLISession{}
+	if c.Path == "" && !sess.HasEndpoint() {
+		return s, nil
+	}
+	s.log = New(Config{Sample: c.Sample})
+	if c.Path != "" {
+		f, err := CreateJSONL(c.Path)
+		if err != nil {
+			return nil, fmt.Errorf("qlog: %w", err)
+		}
+		s.file = f
+		s.log.AddSink(f)
+	}
+	if sess.HasEndpoint() {
+		mem := NewMemorySink(c.Mem)
+		ex := NewExemplarSink()
+		s.log.AddSink(mem)
+		s.log.AddSink(ex)
+		sess.Handle("/debug/qlog", mem.Handler())
+		sess.Handle("/debug/qlog/exemplars", ex.Handler())
+		fmt.Fprintf(os.Stderr, "qlog: serving /debug/qlog and /debug/qlog/exemplars (last %d events, 1-in-%d sampled)\n",
+			c.Mem, s.log.sample)
+	}
+	return s, nil
+}
+
+// Log returns the event log handle (nil when disabled).
+func (s *CLISession) Log() *Log {
+	if s == nil {
+		return nil
+	}
+	return s.log
+}
+
+// Close flushes the recorders and sinks and closes the -qlog file. It
+// requires quiesced recorders (call after the run joins its workers)
+// and is idempotent.
+func (s *CLISession) Close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.log.Close()
+}

@@ -6,6 +6,7 @@ import (
 
 	"dnsnoise/internal/authority"
 	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/qlog"
 )
 
 // allocTestCluster builds a 2-server cluster over a synthetic zone so every
@@ -77,6 +78,55 @@ func TestResolveHitPathZeroAllocWithTap(t *testing.T) {
 	}
 	if seen == 0 {
 		t.Error("tap saw no observations")
+	}
+}
+
+// TestResolveHitPathZeroAllocQlogSampleMiss pins qlog's disabled-cost
+// contract from the other side: with a log attached but the head sampler
+// never firing inside the measured window, every query pays only the tick
+// increment — still zero allocations on the hit path.
+func TestResolveHitPathZeroAllocQlogSampleMiss(t *testing.T) {
+	l := qlog.New(qlog.Config{Sample: 1 << 30})
+	l.AddSink(qlog.NewMemorySink(16))
+	c := allocTestCluster(t, WithQueryLog(l))
+	t0 := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+	q := Query{Time: t0, ClientID: 7, Name: "host4.alloc.test", Type: dnsmsg.TypeA}
+	if _, err := c.Resolve(q); err != nil {
+		t.Fatal(err)
+	}
+	q.Time = t0.Add(time.Second)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := c.Resolve(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("qlog sample-miss hit allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestResolveHitPathZeroAllocQlogSampled goes further: even when every
+// query is sampled into in-memory sinks (the -metrics-addr live shape),
+// staging the event and draining the ring into the memory and exemplar
+// sinks must not allocate. Only a file sink's JSON encoding costs heap.
+func TestResolveHitPathZeroAllocQlogSampled(t *testing.T) {
+	l := qlog.New(qlog.Config{Sample: 1, RingSize: 64})
+	l.AddSink(qlog.NewMemorySink(256))
+	l.AddSink(qlog.NewExemplarSink())
+	c := allocTestCluster(t, WithQueryLog(l))
+	t0 := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+	q := Query{Time: t0, ClientID: 7, Name: "host5.alloc.test", Type: dnsmsg.TypeA}
+	if _, err := c.Resolve(q); err != nil {
+		t.Fatal(err)
+	}
+	q.Time = t0.Add(time.Second)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := c.Resolve(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("qlog sampled hit allocated %.1f times per op, want 0", allocs)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"dnsnoise/internal/cache"
 	"dnsnoise/internal/dnsmsg"
 	"dnsnoise/internal/dnsname"
+	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/telemetry"
 )
 
@@ -247,6 +248,12 @@ type server struct {
 	latHist   *telemetry.Histogram
 	latSample uint64
 
+	// Query-level event log (nil unless WithQueryLog was given). qev is the
+	// preallocated scratch event for the sampled query in flight, so the
+	// logged path stores fields instead of allocating.
+	qrec *qlog.Recorder
+	qev  qlog.Event
+
 	// Parallel-mode tap buffering (see WithBufferedTaps).
 	buffered bool
 	obBuf    []bufferedOb
@@ -275,6 +282,7 @@ type options struct {
 	deprioritizer func(name string) bool
 	retries       int
 	telemetry     *telemetry.Registry
+	qlog          *qlog.Log
 }
 
 // Option configures a Cluster.
@@ -366,6 +374,16 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return optionFunc(func(o *options) { o.telemetry = reg })
 }
 
+// WithQueryLog attaches a query-level event log: each server gets its
+// own recorder and emits one structured event per head-sampled query —
+// name, qtype, outcome, cache evidence, eviction cause, authority round
+// trips, latency. A nil log (the default) keeps the hot path exactly as
+// before: one nil check per query, zero allocations (guarded by
+// AllocsPerRun tests).
+func WithQueryLog(l *qlog.Log) Option {
+	return optionFunc(func(o *options) { o.qlog = l })
+}
+
 // WithMaxTTL caps cached TTLs (default 24h).
 func WithMaxTTL(d time.Duration) Option {
 	return optionFunc(func(o *options) {
@@ -400,6 +418,7 @@ func NewCluster(upstream Upstream, opts ...Option) (*Cluster, error) {
 			idx:      i,
 			cache:    cache.NewLRU[qkey, cacheValue](o.cacheSize),
 			negCache: cache.NewLRU[qkey, negValue](o.cacheSize / 4),
+			qrec:     o.qlog.NewRecorder(i), // nil log → nil recorder
 		})
 	}
 	c.registerMetrics(o.telemetry)
@@ -497,6 +516,18 @@ func (c *Cluster) PerServerStats() []Stats {
 // NumServers returns the number of servers in the cluster.
 func (c *Cluster) NumServers() int { return len(c.servers) }
 
+// FlushQueryLog drains each server's query-log recorder into the log's
+// sinks (a no-op without WithQueryLog). Call it only while the cluster
+// is quiesced — between Resolve calls, or at a stream barrier — so the
+// drain cannot race the workers. Unlike qlog.Log.Flush it touches only
+// this cluster's recorders, which makes it safe when several clusters
+// share one log and only this one is quiesced.
+func (c *Cluster) FlushQueryLog() {
+	for _, s := range c.servers {
+		s.qrec.Drain()
+	}
+}
+
 // CacheStats returns per-server cache statistics.
 func (c *Cluster) CacheStats() []cache.Stats {
 	out := make([]cache.Stats, len(c.servers))
@@ -541,32 +572,61 @@ func (c *Cluster) Resolve(q Query) (Response, error) {
 const latSampleMask = 63
 
 // resolveOn processes one query on server s, timing a 1-in-64 sample when
-// telemetry is enabled. latSample belongs to the server's owning goroutine,
-// so the sampling decision costs no synchronization.
+// telemetry is enabled and recording a 1-in-N event when a query log is
+// attached. latSample and the qlog recorder belong to the server's owning
+// goroutine, so both sampling decisions cost no synchronization; when both
+// fire on the same query they share one pair of clock reads.
 func (c *Cluster) resolveOn(s *server, q Query) (Response, error) {
+	logged := s.qrec.Sample()
+	timed := false
 	if s.latHist != nil {
 		s.latSample++
-		if s.latSample&latSampleMask == 0 {
-			start := time.Now()
-			resp, err := c.doResolve(s, q)
-			s.latHist.Observe(uint64(time.Since(start)))
-			return resp, err
-		}
+		timed = s.latSample&latSampleMask == 0
 	}
-	return c.doResolve(s, q)
+	if !logged && !timed {
+		return c.doResolve(s, q, nil)
+	}
+	var ev *qlog.Event
+	if logged {
+		s.qev = qlog.Event{Time: q.Time, Client: q.ClientID}
+		ev = &s.qev
+	}
+	start := time.Now()
+	resp, err := c.doResolve(s, q, ev)
+	elapsed := uint64(time.Since(start))
+	if timed {
+		s.latHist.Observe(elapsed)
+	}
+	if logged {
+		ev.LatencyNs = elapsed
+		if err != nil {
+			ev.Outcome = qlog.OutcomeError
+		}
+		s.qrec.Emit(*ev)
+	}
+	return resp, err
 }
 
 // doResolve is the resolution path proper. In parallel mode every server is
 // driven by its own worker, so everything touched here — caches, counters,
-// wire buffers — must live on s or be concurrent-safe.
-func (c *Cluster) doResolve(s *server, q Query) (Response, error) {
+// wire buffers — must live on s or be concurrent-safe. ev is non-nil only
+// for queries the event log sampled; the outcome branches fill it in.
+func (c *Cluster) doResolve(s *server, q Query, ev *qlog.Event) (Response, error) {
 	s.stats.queriesByCategory[q.Category].Add(1)
 	q.Name = dnsname.Normalize(q.Name)
 	key := qkey{name: q.Name, qtype: q.Type}
+	if ev != nil {
+		ev.Name = q.Name
+		ev.Qtype = q.Type.String()
+	}
 
 	// Positive cache. Hits are derived on read (see statsShard), so the
 	// hottest branch increments nothing beyond the query counter above.
 	if cv, ok := s.cache.Get(key, q.Time); ok {
+		if ev != nil {
+			ev.Outcome = qlog.OutcomeHit
+			ev.CacheHit = true
+		}
 		c.emitBelow(s, q, cv.answers, dnsmsg.RCodeNoError)
 		return Response{RCode: dnsmsg.RCodeNoError, Answers: cv.answers, FromCache: true}, nil
 	}
@@ -575,18 +635,26 @@ func (c *Cluster) doResolve(s *server, q Query) (Response, error) {
 		if _, ok := s.negCache.Get(key, q.Time); ok {
 			s.stats.negCacheHits.Add(1)
 			s.stats.nxDomains.Add(1)
+			if ev != nil {
+				ev.Outcome = qlog.OutcomeNegHit
+				ev.CacheHit = true
+				ev.NegCache = true
+			}
 			c.emitBelow(s, q, nil, dnsmsg.RCodeNXDomain)
 			return Response{RCode: dnsmsg.RCodeNXDomain, FromCache: true}, nil
 		}
 	}
 	s.stats.missesByCategory[q.Category].Add(1)
 
-	answers, rcode, negTTL, err := c.recurse(q, s)
+	answers, rcode, negTTL, err := c.recurse(q, s, ev)
 	if errors.Is(err, errUpstreamUnavailable) {
 		// The authority could not be reached after retries: degrade to
 		// SERVFAIL, as a production resolver would, rather than failing
 		// the simulation.
 		s.stats.servFails.Add(1)
+		if ev != nil {
+			ev.Outcome = qlog.OutcomeServFail
+		}
 		c.emitBelow(s, q, nil, dnsmsg.RCodeServFail)
 		return Response{RCode: dnsmsg.RCodeServFail}, nil
 	}
@@ -595,11 +663,18 @@ func (c *Cluster) doResolve(s *server, q Query) (Response, error) {
 	}
 	if rcode == dnsmsg.RCodeNXDomain {
 		s.stats.nxDomains.Add(1)
+		if ev != nil {
+			ev.Outcome = qlog.OutcomeNXDomain
+			ev.NegCache = c.opts.negCache // the store half of the negative-cache path
+		}
 		if c.opts.negCache {
 			s.negCache.Put(key, negValue{}, c.clampTTL(negTTL), q.Category, q.Time)
 		}
 		c.emitBelow(s, q, nil, dnsmsg.RCodeNXDomain)
 		return Response{RCode: rcode}, nil
+	}
+	if ev != nil {
+		ev.Outcome = qlog.OutcomeNoError
 	}
 	c.emitBelow(s, q, answers, rcode)
 	return Response{RCode: rcode, Answers: answers}, nil
@@ -608,15 +683,24 @@ func (c *Cluster) doResolve(s *server, q Query) (Response, error) {
 // recurse performs the iterative resolution against the upstream authority,
 // following CNAME chains and caching every RRset it learns. For negative
 // outcomes it also reports the RFC 2308 negative-caching TTL derived from
-// the authority's SOA.
-func (c *Cluster) recurse(q Query, s *server) ([]dnsmsg.RR, dnsmsg.RCode, uint32, error) {
+// the authority's SOA. When ev is non-nil it accumulates the authority
+// round-trip count and wall time.
+func (c *Cluster) recurse(q Query, s *server, ev *qlog.Event) ([]dnsmsg.RR, dnsmsg.RCode, uint32, error) {
 	var chain []dnsmsg.RR
 	name := q.Name
 	for depth := 0; ; depth++ {
 		if depth >= maxChainDepth {
 			return nil, 0, 0, fmt.Errorf("%w: %q", ErrChainLoop, q.Name)
 		}
+		var authStart time.Time
+		if ev != nil {
+			authStart = time.Now()
+		}
 		resp, err := c.exchange(s, name, q.Type)
+		if ev != nil {
+			ev.AuthRTTs++
+			ev.AuthNs += uint64(time.Since(authStart))
+		}
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -638,7 +722,7 @@ func (c *Cluster) recurse(q Query, s *server) ([]dnsmsg.RR, dnsmsg.RCode, uint32
 		}
 		// Cache this hop's RRset under the name queried at this hop.
 		c.cachePut(s, qkey{name: name, qtype: q.Type}, cacheValue{answers: answers},
-			c.clampTTL(answers[0].TTL), q)
+			c.clampTTL(answers[0].TTL), q, ev)
 		chain = append(chain, answers...)
 		last := answers[len(answers)-1]
 		if last.Type == dnsmsg.TypeCNAME && q.Type != dnsmsg.TypeCNAME {
@@ -651,7 +735,7 @@ func (c *Cluster) recurse(q Query, s *server) ([]dnsmsg.RR, dnsmsg.RCode, uint32
 			// answer section. The chain lives only as long as its
 			// shortest-lived link.
 			c.cachePut(s, qkey{name: q.Name, qtype: q.Type}, cacheValue{answers: chain},
-				c.clampTTL(minChainTTL(chain)), q)
+				c.clampTTL(minChainTTL(chain)), q, ev)
 		}
 		return chain, dnsmsg.RCodeNoError, 0, nil
 	}
@@ -708,13 +792,39 @@ func soaMinimum(rdata string) (uint32, bool) {
 }
 
 // cachePut stores a positive entry, demoting deprioritized names to the
-// cold end of the LRU.
-func (c *Cluster) cachePut(s *server, key qkey, v cacheValue, ttl time.Duration, q Query) {
-	if c.opts.deprioritizer != nil && c.opts.deprioritizer(key.name) {
-		s.cache.PutLowPriority(key, v, ttl, q.Category, q.Time)
+// cold end of the LRU. For logged queries the eviction outcome feeds the
+// event's cause field; a query performing several insertions (a CNAME
+// chain) keeps the most severe cause it observed.
+func (c *Cluster) cachePut(s *server, key qkey, v cacheValue, ttl time.Duration, q Query, ev *qlog.Event) {
+	low := c.opts.deprioritizer != nil && c.opts.deprioritizer(key.name)
+	if ev == nil {
+		if low {
+			s.cache.PutLowPriority(key, v, ttl, q.Category, q.Time)
+		} else {
+			s.cache.Put(key, v, ttl, q.Category, q.Time)
+		}
 		return
 	}
-	s.cache.Put(key, v, ttl, q.Category, q.Time)
+	var e cache.Eviction
+	if low {
+		e = s.cache.PutLowPriorityEv(key, v, ttl, q.Category, q.Time)
+	} else {
+		e = s.cache.PutEv(key, v, ttl, q.Category, q.Time)
+	}
+	if !e.Evicted {
+		return
+	}
+	cause := qlog.EvictExpired
+	if e.Premature {
+		if e.Victim == cache.CategoryDisposable {
+			cause = qlog.EvictLiveDisposable
+		} else {
+			cause = qlog.EvictLiveOther
+		}
+	}
+	if cause > ev.Evict {
+		ev.Evict = cause
+	}
 }
 
 func minChainTTL(chain []dnsmsg.RR) uint32 {

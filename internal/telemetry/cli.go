@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"time"
 )
@@ -78,7 +79,20 @@ func (c CLIConfig) Start(command string, args []string) (*Session, error) {
 	return s, nil
 }
 
-// StartProgress begins the periodic progress line (a no-op unless
+// HasEndpoint reports whether -metrics-addr bound an HTTP server this
+// session, i.e. whether Handle can mount additional debug routes.
+func (s *Session) HasEndpoint() bool { return s != nil && s.server != nil }
+
+// Handle mounts handler at pattern on the session's HTTP endpoint (a
+// no-op without one). qlog uses this to put /debug/qlog next to
+// /metrics.
+func (s *Session) Handle(pattern string, handler http.Handler) {
+	if !s.HasEndpoint() {
+		return
+	}
+	s.server.Handle(pattern, handler)
+}
+
 // -progress was set). Call it once the objects fn reads exist; fn may
 // be nil for process vitals only.
 func (s *Session) StartProgress(fn ProgressFunc) {

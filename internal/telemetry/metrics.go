@@ -109,6 +109,18 @@ func bucketLo(i int) uint64 {
 	return 1 << (i - 1)
 }
 
+// HistogramBuckets is the exported bucket count, for consumers (the
+// qlog exemplar store) that index by the same bucket scheme.
+const HistogramBuckets = histBuckets
+
+// HistogramBucketOf returns the bucket index Observe(v) lands in, so
+// external stores can key per-bucket state against the exposition.
+func HistogramBucketOf(v uint64) int { return bucketOf(v) }
+
+// HistogramBucketBounds returns bucket i's [lo, hi) value range (hi is
+// MaxUint64 for the last bucket).
+func HistogramBucketBounds(i int) (lo, hi uint64) { return bucketLo(i), bucketHi(i) }
+
 // bucketHi returns the exclusive upper bound of bucket i, or MaxUint64
 // for the last bucket.
 func bucketHi(i int) uint64 {

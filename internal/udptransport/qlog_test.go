@@ -1,0 +1,101 @@
+package udptransport
+
+import (
+	"testing"
+	"time"
+
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/qlog"
+)
+
+// TestServerQueryLog runs real packets through a logging server and checks
+// the sampled events carry the decoded question and rcode-derived outcome.
+func TestServerQueryLog(t *testing.T) {
+	l := qlog.New(qlog.Config{Sample: 1, RingSize: 8})
+	mem := qlog.NewMemorySink(64)
+	l.AddSink(mem)
+	srv, err := Serve(testAuthority(t), "", WithServerQueryLog(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(srv.Addr(), WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	send := func(name string) {
+		t.Helper()
+		q := dnsmsg.NewQuery(9, name, dnsmsg.TypeA)
+		wire, err := q.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.HandleWire(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send("www.udp.test")
+	send("missing.udp.test")
+
+	// Close joins the serve loop, so the recorder is quiesced and the
+	// global flush may drain its ring.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := mem.Snapshot(qlog.Filter{})
+	if len(evs) != 2 {
+		t.Fatalf("sampled %d events, want 2: %+v", len(evs), evs)
+	}
+	if evs[0].Name != "www.udp.test" || evs[0].Qtype != "A" || evs[0].Outcome != qlog.OutcomeNoError {
+		t.Errorf("answered event = %+v, want www.udp.test/A noerror", evs[0])
+	}
+	if evs[1].Name != "missing.udp.test" || evs[1].Outcome != qlog.OutcomeNXDomain {
+		t.Errorf("nxdomain event = %+v, want missing.udp.test nxdomain", evs[1])
+	}
+	for _, ev := range evs {
+		if ev.LatencyNs == 0 {
+			t.Errorf("event %d has no handler latency", ev.ID)
+		}
+	}
+}
+
+// TestServerQueryLogSampling checks the head sampler thins server-side
+// events: with Sample 4, twelve queries yield exactly three.
+func TestServerQueryLogSampling(t *testing.T) {
+	l := qlog.New(qlog.Config{Sample: 4, RingSize: 8})
+	mem := qlog.NewMemorySink(64)
+	l.AddSink(mem)
+	srv, err := Serve(testAuthority(t), "", WithServerQueryLog(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(srv.Addr(), WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 12; i++ {
+		q := dnsmsg.NewQuery(uint16(i), "www.udp.test", dnsmsg.TypeA)
+		wire, err := q.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.HandleWire(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Total(); got != 3 {
+		t.Errorf("sampled %d of 12 queries at 1/4, want 3", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/telemetry"
 )
 
@@ -40,6 +41,7 @@ type Server struct {
 	conn    *net.UDPConn
 	handler Handler
 	metrics serverMetrics
+	qrec    *qlog.Recorder // nil unless WithServerQueryLog; owned by serveLoop
 
 	mu     sync.Mutex
 	closed bool
@@ -80,6 +82,16 @@ func WithServerMetrics(reg *telemetry.Registry) ServerOption {
 			truncated: reg.Counter("udp_truncated_total", "Responses exceeding the packet budget."),
 		}
 	}
+}
+
+// WithServerQueryLog attaches a query-level event log: the serve loop
+// head-samples handled queries and records name, qtype, rcode-derived
+// outcome and handler latency. The single serve-loop goroutine owns the
+// recorder, so the per-query cost is the sampling counter; a nil log
+// disables everything. Flush the log only after Close has joined the
+// loop.
+func WithServerQueryLog(l *qlog.Log) ServerOption {
+	return func(s *Server) { s.qrec = l.NewRecorder(0) }
 }
 
 // Serve binds addr (e.g. "127.0.0.1:0" for an ephemeral port; "" defaults
@@ -144,7 +156,15 @@ func (s *Server) serveLoop() {
 		}
 		query := make([]byte, n)
 		copy(query, buf[:n])
+		logged := s.qrec.Sample()
+		var handleStart time.Time
+		if logged {
+			handleStart = time.Now()
+		}
 		resp, err := s.handler.HandleWire(query)
+		if logged {
+			s.logQuery(query, resp, err, time.Since(handleStart))
+		}
 		if err != nil || len(resp) == 0 {
 			// Unanswerable garbage: drop it, like a real server under
 			// junk traffic. The client's timeout handles the rest.
@@ -160,6 +180,40 @@ func (s *Server) serveLoop() {
 			m.txBytes.Add(uint64(len(resp)))
 		}
 	}
+}
+
+// logQuery emits one event for a head-sampled query: the question
+// decoded from the query wire, the outcome derived from the response
+// rcode, and the handler's wall time. Decoding happens only on sampled
+// queries, off the unsampled fast path.
+func (s *Server) logQuery(query, resp []byte, herr error, elapsed time.Duration) {
+	ev := qlog.Event{Time: time.Now(), LatencyNs: uint64(elapsed)}
+	if msg, err := dnsmsg.Decode(query); err == nil && len(msg.Questions) > 0 {
+		ev.Name = msg.Questions[0].Name
+		ev.Qtype = msg.Questions[0].Type.String()
+	}
+	switch {
+	case herr != nil || len(resp) < dnsHeaderLen:
+		ev.Outcome = qlog.OutcomeError
+	default:
+		switch dnsmsg.RCode(resp[3] & 0x0F) {
+		case dnsmsg.RCodeNoError:
+			ev.Outcome = qlog.OutcomeNoError
+		case dnsmsg.RCodeNXDomain:
+			ev.Outcome = qlog.OutcomeNXDomain
+		case dnsmsg.RCodeServFail:
+			ev.Outcome = qlog.OutcomeServFail
+		default:
+			ev.Outcome = qlog.OutcomeError
+		}
+	}
+	s.qrec.Emit(ev)
+	// Drain eagerly: the server handles one datagram at a time and its
+	// /debug/qlog view should reflect a query as soon as it is answered,
+	// not after a 256-event staging ring fills. The ring batching exists
+	// for the simulation hot path; at packet-I/O rates one uncontended
+	// mutex per sampled query is noise.
+	s.qrec.Drain()
 }
 
 // Client sends DNS queries to a UDP server and implements the resolver's
