@@ -29,6 +29,7 @@ import (
 	"dnsnoise/internal/resolver"
 	"dnsnoise/internal/telemetry"
 	"dnsnoise/internal/traceio"
+	"dnsnoise/internal/udptransport"
 	"dnsnoise/internal/workload"
 )
 
@@ -107,8 +108,14 @@ type report struct {
 	// QlogOverhead prices the query-level event log (internal/qlog) on
 	// the same paired plain-vs-instrumented method as Overhead.
 	QlogOverhead *overheadResult `json:"qlog_overhead,omitempty"`
-	Note         string          `json:"note,omitempty"`
-	Extra        []benchResult   `json:"extra,omitempty"`
+	// ServeThroughput is the UDP front-door matrix: qps and latency
+	// percentiles across 1-vs-N listeners and single-vs-batched syscalls.
+	ServeThroughput []serveResult `json:"serve_throughput,omitempty"`
+	// ServePacketAlloc is the end-to-end serve-path allocation reading
+	// behind the -max-packet-allocs gate.
+	ServePacketAlloc *servePacketAlloc `json:"serve_packet_alloc,omitempty"`
+	Note             string            `json:"note,omitempty"`
+	Extra            []benchResult     `json:"extra,omitempty"`
 }
 
 func main() {
@@ -637,6 +644,11 @@ func run(args []string) error {
 		maxQlOv  = fs.Float64("max-qlog-overhead", 2.0, "fail when qlog overhead exceeds this percent (0 disables the gate)")
 		baseline = fs.String("baseline", "", "previous BENCH_resolver.json to embed as a before/after comparison")
 		maxHitAl = fs.Int64("max-hit-allocs", 0, "fail when the cache-hit path exceeds this many allocs/op (-1 disables the gate)")
+		only     = fs.String("only", "", "run a single scenario ('serve') instead of the full suite")
+		srvCli   = fs.Int("serve-clients", 8, "concurrent client goroutines in the serve-throughput scenario")
+		srvDur   = fs.Duration("serve-duration", time.Second, "flood duration per serve-throughput matrix cell")
+		srvBatch = fs.Int("serve-batch", udptransport.DefaultBatch, "batch size for the batched-syscall cells of the serve matrix")
+		maxPktAl = fs.Int64("max-packet-allocs", 0, "fail when the serve packet path exceeds this many allocs/op end to end (-1 disables the gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -646,6 +658,16 @@ func run(args []string) error {
 	}
 	if *queries < 1 {
 		return fmt.Errorf("-queries must be >= 1 (got %d)", *queries)
+	}
+	if *srvCli < 1 {
+		return fmt.Errorf("-serve-clients must be >= 1 (got %d)", *srvCli)
+	}
+	switch *only {
+	case "":
+	case "serve":
+		return runServeOnly(args, *out, *srvCli, *srvDur, *srvBatch, *maxPktAl)
+	default:
+		return fmt.Errorf("-only %q: unknown scenario (want 'serve')", *only)
 	}
 	qs := benchQueries(*queries)
 	tracer := telemetry.NewTracer()
@@ -708,6 +730,25 @@ func run(args []string) error {
 	}
 	srcSpan.End()
 
+	serveSpan := tracer.Start("serve-throughput")
+	serveReg, serveWires, err := serveWorkload(4096)
+	if err != nil {
+		return fmt.Errorf("serve workload: %w", err)
+	}
+	serveAuth, err := serveReg.BuildAuthority(nil, nil)
+	if err != nil {
+		return fmt.Errorf("serve authority: %w", err)
+	}
+	serveMatrix, err := benchServeMatrix(serveAuth, *srvCli, *srvDur, *srvBatch, serveWires)
+	if err != nil {
+		return fmt.Errorf("serve benchmark: %w", err)
+	}
+	pktAlloc, err := benchServePacketAlloc()
+	if err != nil {
+		return fmt.Errorf("serve alloc benchmark: %w", err)
+	}
+	serveSpan.End()
+
 	rep := report{
 		RunReport:  *telemetry.NewRunReport("dnsnoise-bench", args),
 		Servers:    *servers,
@@ -719,6 +760,8 @@ func run(args []string) error {
 		Extra:      extra,
 	}
 	rep.QlogOverhead = &qlOverhead
+	rep.ServeThroughput = serveMatrix
+	rep.ServePacketAlloc = &pktAlloc
 	if *baseline != "" {
 		cmp, err := loadBaseline(*baseline)
 		if err != nil {
@@ -773,6 +816,7 @@ func run(args []string) error {
 		fmt.Printf("qlog:       %+.2f%% overhead, ±%.2f%% noise (%.1f -> %.1f ns/op, %d pairs)\n",
 			qlOverhead.OverheadPct, qlOverhead.NoisePct,
 			qlOverhead.PlainNsPerOp, qlOverhead.InstrumentedNsPerOp, qlOverhead.Pairs)
+		printServe(rep.ServeThroughput, rep.ServePacketAlloc)
 		for _, r := range rep.Extra {
 			fmt.Printf("%-32s %8.1f ns/op (%.0f events/s)\n", r.Name+":", r.NsPerOp, r.QueriesPerSec)
 		}
@@ -785,7 +829,75 @@ func run(args []string) error {
 	if err := checkOverheadGate("telemetry", "-max-overhead", overhead, *maxOv); err != nil {
 		return err
 	}
-	return checkOverheadGate("qlog", "-max-qlog-overhead", qlOverhead, *maxQlOv)
+	if err := checkOverheadGate("qlog", "-max-qlog-overhead", qlOverhead, *maxQlOv); err != nil {
+		return err
+	}
+	return checkPacketAllocGate(pktAlloc, *maxPktAl)
+}
+
+// runServeOnly is the -only serve mode: just the front-door matrix and the
+// packet-allocation gate, fast enough for CI smoke runs, written in the
+// same report schema so consumers can read serve_throughput either way.
+func runServeOnly(args []string, out string, clients int, dur time.Duration, batch int, maxPktAl int64) error {
+	tracer := telemetry.NewTracer()
+	serveSpan := tracer.Start("serve-throughput")
+	reg, wires, err := serveWorkload(4096)
+	if err != nil {
+		return fmt.Errorf("serve workload: %w", err)
+	}
+	auth, err := reg.BuildAuthority(nil, nil)
+	if err != nil {
+		return fmt.Errorf("serve authority: %w", err)
+	}
+	matrix, err := benchServeMatrix(auth, clients, dur, batch, wires)
+	if err != nil {
+		return fmt.Errorf("serve benchmark: %w", err)
+	}
+	pktAlloc, err := benchServePacketAlloc()
+	if err != nil {
+		return fmt.Errorf("serve alloc benchmark: %w", err)
+	}
+	serveSpan.End()
+
+	rep := report{RunReport: *telemetry.NewRunReport("dnsnoise-bench", args)}
+	rep.ServeThroughput = matrix
+	rep.ServePacketAlloc = &pktAlloc
+	rep.Start = tracer.Roots()[0].Start
+	rep.Finish(nil, tracer)
+	if runtime.NumCPU() == 1 {
+		rep.Note = "single-CPU host: listener workers cannot run concurrently, so the multi-listener cells measure scheduling overhead only; expect near-linear scaling up to the listener count on multi-core hosts"
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		printServe(matrix, &pktAlloc)
+		fmt.Printf("wrote %s\n", out)
+	}
+	return checkPacketAllocGate(pktAlloc, maxPktAl)
+}
+
+// printServe renders the serve matrix and the packet-alloc reading on the
+// same stdout summary the other scenarios use.
+func printServe(matrix []serveResult, alloc *servePacketAlloc) {
+	for _, r := range matrix {
+		fmt.Printf("serve %dL/%db:  %8.0f qps, p50 %6.0f us, p99 %6.0f us, drop %.2f%% (%d clients)\n",
+			r.Listeners, r.Batch, r.QPS, r.P50Us, r.P99Us, 100*r.DropRate, r.Clients)
+	}
+	if alloc != nil {
+		fmt.Printf("serve alloc: %.3f allocs/op, %.1f B/op end to end (%d packets)\n",
+			alloc.AllocsPerOp, alloc.BytesPerOp, alloc.Packets)
+	}
 }
 
 // checkOverheadGate enforces an overhead ceiling. It only fails when this

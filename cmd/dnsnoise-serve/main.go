@@ -41,6 +41,8 @@ func run(args []string) error {
 		dispZn   = fs.Int("disposable-zones", 398, "disposable zone count")
 		maxHosts = fs.Int("hosts-per-zone", 128, "host pool cap")
 		zonefile = fs.String("zonefile", "", "optional extra zone file to serve ($ORIGIN required)")
+		nlisten  = fs.Int("listeners", 1, "SO_REUSEPORT listener sockets sharing the port (Linux; elsewhere falls back to 1)")
+		batch    = fs.Int("batch", udptransport.DefaultBatch, "datagrams moved per syscall via recvmmsg/sendmmsg (1 = single-packet syscalls)")
 	)
 	var tcfg telemetry.CLIConfig
 	tcfg.RegisterFlags(fs)
@@ -90,14 +92,16 @@ func run(args []string) error {
 
 	srv, err := udptransport.Serve(auth, *addr,
 		udptransport.WithServerMetrics(sess.Registry),
-		udptransport.WithServerQueryLog(qs.Log()))
+		udptransport.WithServerQueryLog(qs.Log()),
+		udptransport.WithListeners(*nlisten),
+		udptransport.WithBatch(*batch))
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	sess.StartProgress(serveProgress(sess.Registry))
-	fmt.Fprintf(os.Stderr, "serving %d zones on udp://%s (try: dig @%s www.google.com A)\n",
-		len(reg.AllZones()), srv.Addr(), srv.Addr())
+	fmt.Fprintf(os.Stderr, "serving %d zones on udp://%s with %d listener(s), batch %d (try: dig @%s www.google.com A)\n",
+		len(reg.AllZones()), srv.Addr(), srv.Listeners(), srv.Batch(), srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

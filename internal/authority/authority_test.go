@@ -241,6 +241,52 @@ func TestServerWireRoundTrip(t *testing.T) {
 	}
 }
 
+func TestServerAppendHandleWireMatchesHandleWire(t *testing.T) {
+	s := NewServer()
+	z := mustZone(t, "example.com")
+	mustAdd(t, z, aRR("www.example.com", "192.0.2.1"))
+	if err := s.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]byte{
+		{1, 2, 3}, // malformed: FORMERR on both paths
+	}
+	for _, name := range []string{"www.example.com", "missing.example.com"} {
+		wire, err := dnsmsg.NewQuery(0x5151, name, dnsmsg.TypeA).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, wire)
+	}
+	for i, q := range queries {
+		want, err := s.HandleWire(q)
+		if err != nil {
+			t.Fatalf("query %d: HandleWire: %v", i, err)
+		}
+		got, err := s.AppendHandleWire(nil, q)
+		if err != nil {
+			t.Fatalf("query %d: AppendHandleWire(nil): %v", i, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("query %d: AppendHandleWire(nil) differs from HandleWire", i)
+		}
+		// Appending into a non-empty buffer preserves the prefix and
+		// produces the same message bytes after it.
+		prefix := []byte("prefix")
+		buf := append([]byte(nil), prefix...)
+		appended, err := s.AppendHandleWire(buf, q)
+		if err != nil {
+			t.Fatalf("query %d: AppendHandleWire(prefix): %v", i, err)
+		}
+		if string(appended[:len(prefix)]) != string(prefix) {
+			t.Errorf("query %d: prefix clobbered", i)
+		}
+		if string(appended[len(prefix):]) != string(want) {
+			t.Errorf("query %d: appended message differs from HandleWire", i)
+		}
+	}
+}
+
 func TestServerWireMalformed(t *testing.T) {
 	s := NewServer()
 	respWire, err := s.HandleWire([]byte{1, 2, 3})

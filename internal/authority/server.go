@@ -142,6 +142,17 @@ func (s *Server) Resolve(name string, qtype dnsmsg.Type) *dnsmsg.Message {
 // encoded response. Malformed queries yield a FORMERR with a zeroed
 // question section when even the header is unreadable.
 func (s *Server) HandleWire(query []byte) ([]byte, error) {
+	return s.AppendHandleWire(nil, query)
+}
+
+// AppendHandleWire decodes a wire-format query, resolves it, and appends the
+// encoded response to dst, returning the extended slice. This is the
+// buffer-reusing contract the UDP front door serves through: dst is a
+// caller-owned scratch buffer threaded through every packet, so the
+// steady-state transport path performs no per-response allocation. query is
+// only read during the call; implementations of the same contract must not
+// retain it (the transport reuses the receive buffer immediately).
+func (s *Server) AppendHandleWire(dst, query []byte) ([]byte, error) {
 	msg, err := dnsmsg.Decode(query)
 	if err != nil || len(msg.Questions) != 1 {
 		resp := &dnsmsg.Message{Header: dnsmsg.Header{Response: true, RCode: dnsmsg.RCodeFormErr}}
@@ -149,9 +160,9 @@ func (s *Server) HandleWire(query []byte) ([]byte, error) {
 			resp.Header.ID = msg.Header.ID
 			resp.Questions = msg.Questions
 		}
-		return resp.Encode()
+		return resp.AppendEncode(dst)
 	}
 	resp := s.Resolve(msg.Questions[0].Name, msg.Questions[0].Type)
 	resp.Header.ID = msg.Header.ID
-	return resp.Encode()
+	return resp.AppendEncode(dst)
 }

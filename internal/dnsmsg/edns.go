@@ -1,0 +1,109 @@
+package dnsmsg
+
+import "encoding/binary"
+
+// TypeOPT is the EDNS0 pseudo-RR type (RFC 6891). The codec does not build
+// or interpret OPT records — the simulator's own messages never carry them —
+// but wire-level scanners need to recognise the type when real tooling
+// (dig, kdig) sends EDNS queries at the UDP front door.
+const TypeOPT Type = 41
+
+// headerLen is the fixed DNS message header size.
+const headerLen = 12
+
+// skipName advances past a possibly-compressed domain name starting at off
+// and returns the offset just past it, or -1 when the wire is truncated or
+// malformed. A compression pointer terminates the name (it is always the
+// final two octets, RFC 1035 §4.1.4), so no jump is followed.
+func skipName(msg []byte, off int) int {
+	for off < len(msg) {
+		b := msg[off]
+		switch {
+		case b == 0:
+			return off + 1
+		case b&0xC0 == 0xC0:
+			if off+2 > len(msg) {
+				return -1
+			}
+			return off + 2
+		case b&0xC0 != 0:
+			return -1
+		default:
+			off += 1 + int(b)
+		}
+	}
+	return -1
+}
+
+// skipRR advances past one resource record starting at off and returns the
+// offset just past its rdata, or -1 on truncated/malformed wire.
+func skipRR(msg []byte, off int) int {
+	off = skipName(msg, off)
+	if off < 0 || off+10 > len(msg) {
+		return -1
+	}
+	rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+	off += 10 + rdlen
+	if off > len(msg) {
+		return -1
+	}
+	return off
+}
+
+// QuestionSectionEnd returns the offset just past the question section of a
+// wire message, or -1 when the message is truncated or malformed. It works
+// on the raw wire without decoding and never allocates, so the UDP serve
+// path can use it per packet.
+func QuestionSectionEnd(msg []byte) int {
+	if len(msg) < headerLen {
+		return -1
+	}
+	qd := int(binary.BigEndian.Uint16(msg[4:6]))
+	off := headerLen
+	for i := 0; i < qd; i++ {
+		off = skipName(msg, off)
+		if off < 0 || off+4 > len(msg) {
+			return -1
+		}
+		off += 4
+	}
+	return off
+}
+
+// EDNSUDPSize scans msg's additional section for an EDNS0 OPT pseudo-RR and
+// returns its advertised UDP payload size (the OPT record's class field,
+// RFC 6891 §6.1.2). The second result is false when the message carries no
+// OPT record or is malformed. Like QuestionSectionEnd it reads the raw wire
+// without allocating, so the serve path can derive a truncation budget from
+// every query.
+func EDNSUDPSize(msg []byte) (uint16, bool) {
+	off := QuestionSectionEnd(msg)
+	if off < 0 {
+		return 0, false
+	}
+	an := int(binary.BigEndian.Uint16(msg[6:8]))
+	ns := int(binary.BigEndian.Uint16(msg[8:10]))
+	ar := int(binary.BigEndian.Uint16(msg[10:12]))
+	for i := 0; i < an+ns; i++ {
+		if off = skipRR(msg, off); off < 0 {
+			return 0, false
+		}
+	}
+	for i := 0; i < ar; i++ {
+		next := skipName(msg, off)
+		if next < 0 || next+10 > len(msg) {
+			return 0, false
+		}
+		typ := Type(binary.BigEndian.Uint16(msg[next:]))
+		class := binary.BigEndian.Uint16(msg[next+2:])
+		rdlen := int(binary.BigEndian.Uint16(msg[next+8:]))
+		off = next + 10 + rdlen
+		if off > len(msg) {
+			return 0, false
+		}
+		if typ == TypeOPT {
+			return class, true
+		}
+	}
+	return 0, false
+}

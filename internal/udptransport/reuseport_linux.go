@@ -1,0 +1,46 @@
+//go:build linux
+
+package udptransport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// reuseportAvailable gates the multi-listener path: Linux kernels steer
+// flows across SO_REUSEPORT sockets with a per-4-tuple hash, giving each
+// listener goroutine its own receive queue with no userspace fan-out.
+const reuseportAvailable = true
+
+// soReusePort is SO_REUSEPORT, absent from the frozen syscall package on
+// Linux (the option shipped in Linux 3.9, after the package's constant
+// tables were generated). The value is 15 on every Linux arch.
+const soReusePort = 0xf
+
+// listenReusePort binds a UDP socket on addr with SO_REUSEPORT set before
+// bind, so several listeners can share one port.
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return nil, fmt.Errorf("udptransport: unexpected conn type %T", pc)
+	}
+	return conn, nil
+}

@@ -1,0 +1,21 @@
+//go:build !linux
+
+package udptransport
+
+import (
+	"errors"
+	"net"
+)
+
+// reuseportAvailable is false off Linux: WithListeners(n>1) silently falls
+// back to a single socket (Server.Listeners reports the real count).
+// Darwin and the BSDs do have SO_REUSEPORT, but without the kernel's
+// flow-steering semantics several sockets would just race for datagrams;
+// the portable build keeps the simple, correct single-listener shape.
+const reuseportAvailable = false
+
+// listenReusePort is never called when reuseportAvailable is false; it
+// exists so the package compiles on every platform.
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	return nil, errors.New("udptransport: SO_REUSEPORT not supported on this platform")
+}

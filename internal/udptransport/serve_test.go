@@ -1,0 +1,355 @@
+package udptransport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/dnsmsg"
+)
+
+// recordingHandler counts how many queries actually reach the wrapped
+// handler.
+type recordingHandler struct {
+	inner Handler
+	calls atomic.Uint64
+}
+
+func (r *recordingHandler) HandleWire(query []byte) ([]byte, error) {
+	r.calls.Add(1)
+	return r.inner.HandleWire(query)
+}
+
+// expectedListeners is what Serve(WithListeners(n)) actually opens on this
+// platform.
+func expectedListeners(n int) int {
+	if reuseportAvailable {
+		return n
+	}
+	return 1
+}
+
+func TestConcurrentListenersAndClients(t *testing.T) {
+	// The multi-core front door under -race: several SO_REUSEPORT listener
+	// workers (where available) answering several concurrent clients, each
+	// with its own socket. Every response must match its query's ID and
+	// carry the right answer regardless of which listener served it.
+	srv, err := Serve(testAuthority(t), "", WithListeners(4), WithBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got, want := srv.Listeners(), expectedListeners(4); got != want {
+		t.Fatalf("Listeners() = %d, want %d", got, want)
+	}
+	const clients, queries = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client, err := NewClient(srv.Addr(), WithTimeout(2*time.Second), WithRetries(2))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for i := 0; i < queries; i++ {
+				qid := uint16(id*queries + i + 1)
+				q := dnsmsg.NewQuery(qid, "www.udp.test", dnsmsg.TypeA)
+				wire, err := q.Encode()
+				if err != nil {
+					errs <- err
+					return
+				}
+				respWire, err := client.HandleWire(wire)
+				if err != nil {
+					errs <- fmt.Errorf("client %d query %d: %w", id, i, err)
+					return
+				}
+				resp, err := dnsmsg.Decode(respWire)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Header.ID != qid {
+					errs <- fmt.Errorf("client %d: ID = %#x, want %#x", id, resp.Header.ID, qid)
+					return
+				}
+				if len(resp.Answers) != 1 || resp.Answers[0].RData != "198.18.0.7" {
+					errs <- fmt.Errorf("client %d: answers = %+v", id, resp.Answers)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestListenersSharePort(t *testing.T) {
+	srv, err := Serve(testAuthority(t), "", WithListeners(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i, c := range srv.conns {
+		if got := c.LocalAddr().String(); got != srv.Addr() {
+			t.Errorf("listener %d bound %s, want %s", i, got, srv.Addr())
+		}
+	}
+}
+
+func TestBatchOneUsesSinglePacketPath(t *testing.T) {
+	// Batch 1 must serve correctly through the portable single-packet
+	// syscall path on every platform (on Linux this is the "unbatched"
+	// side of the serve-throughput comparison).
+	srv, err := Serve(testAuthority(t), "", WithBatch(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Batch() != 1 {
+		t.Fatalf("Batch() = %d, want 1", srv.Batch())
+	}
+	client, err := NewClient(srv.Addr(), WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	wire, err := dnsmsg.NewQuery(9, "www.udp.test", dnsmsg.TypeA).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.HandleWire(wire); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedDatagramDroppedBeforeHandler(t *testing.T) {
+	// A datagram shorter than a DNS header must never reach the handler:
+	// the old code counted it malformed but handed it over anyway, earning
+	// garbage a FORMERR response. Now it is dropped silently.
+	seen := &recordingHandler{inner: testAuthority(t)}
+	srv, err := Serve(seen, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := NewClient(srv.Addr(), WithTimeout(100*time.Millisecond), WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.HandleWire([]byte{0, 9, 1, 2, 3}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("runt datagram should be dropped (timeout), got %v", err)
+	}
+	if n := seen.calls.Load(); n != 0 {
+		t.Errorf("handler saw %d calls for a runt datagram, want 0", n)
+	}
+	// The server keeps serving real queries afterwards.
+	wire, err := dnsmsg.NewQuery(3, "www.udp.test", dnsmsg.TypeA).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.HandleWire(wire); err != nil {
+		t.Fatalf("server died after runt: %v", err)
+	}
+}
+
+// bigResponder answers every query with n TXT records, producing responses
+// far beyond the classic 512-byte budget.
+type bigResponder struct{ records int }
+
+func (h bigResponder) HandleWire(query []byte) ([]byte, error) {
+	msg, err := dnsmsg.Decode(query)
+	if err != nil || len(msg.Questions) != 1 {
+		return nil, err
+	}
+	resp := dnsmsg.NewResponse(msg, dnsmsg.RCodeNoError)
+	resp.Header.ID = msg.Header.ID
+	for i := 0; i < h.records; i++ {
+		resp.Answers = append(resp.Answers, dnsmsg.RR{
+			Name: msg.Questions[0].Name, Type: dnsmsg.TypeTXT, Class: dnsmsg.ClassIN,
+			TTL: 60, RData: fmt.Sprintf("record-%03d-%s", i, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+		})
+	}
+	return resp.Encode()
+}
+
+// appendOPT adds an EDNS0 OPT pseudo-RR advertising the given UDP payload
+// size to an encoded query.
+func appendOPT(wire []byte, size uint16) []byte {
+	wire[11]++ // ARCOUNT
+	return append(wire,
+		0x00,       // root name
+		0x00, 0x29, // TYPE OPT
+		byte(size>>8), byte(size), // CLASS = payload size
+		0, 0, 0, 0, // TTL (extended rcode/flags)
+		0x00, 0x00, // RDLEN
+	)
+}
+
+func TestOversizeResponseTruncated(t *testing.T) {
+	srv, err := Serve(bigResponder{records: 40}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := NewClient(srv.Addr(), WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	wire, err := dnsmsg.NewQuery(0x77, "big.udp.test", dnsmsg.TypeTXT).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	respWire, err := client.HandleWire(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(respWire) > 512 {
+		t.Fatalf("non-EDNS response is %d bytes, want <= 512", len(respWire))
+	}
+	resp, err := dnsmsg.Decode(respWire)
+	if err != nil {
+		t.Fatalf("truncated response must stay decodable: %v", err)
+	}
+	if !resp.Header.Truncated {
+		t.Error("TC bit not set on truncated response")
+	}
+	if len(resp.Answers) != 0 || len(resp.Authority) != 0 || len(resp.Additional) != 0 {
+		t.Errorf("truncated response carries records: %d/%d/%d",
+			len(resp.Answers), len(resp.Authority), len(resp.Additional))
+	}
+	if len(resp.Questions) != 1 || resp.Questions[0].Name != "big.udp.test" {
+		t.Errorf("question not preserved: %+v", resp.Questions)
+	}
+}
+
+func TestEDNSBudgetRaisesTruncationPoint(t *testing.T) {
+	srv, err := Serve(bigResponder{records: 40}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := NewClient(srv.Addr(), WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// The full response is ~2KB; an EDNS bufsize of 4096 must let it
+	// through whole, like `dig +bufsize=4096`.
+	wire, err := dnsmsg.NewQuery(0x78, "big.udp.test", dnsmsg.TypeTXT).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	respWire, err := client.HandleWire(appendOPT(wire, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnsmsg.Decode(respWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Truncated {
+		t.Error("TC set despite sufficient EDNS budget")
+	}
+	if len(resp.Answers) != 40 {
+		t.Errorf("answers = %d, want 40", len(resp.Answers))
+	}
+
+	// A bufsize below the response size still truncates at that budget.
+	wire2, err := dnsmsg.NewQuery(0x79, "big.udp.test", dnsmsg.TypeTXT).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	respWire2, err := client.HandleWire(appendOPT(wire2, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(respWire2) > 1024 {
+		t.Fatalf("EDNS-1024 response is %d bytes, want <= 1024", len(respWire2))
+	}
+	resp2, err := dnsmsg.Decode(respWire2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Header.Truncated {
+		t.Error("TC not set when response exceeds the EDNS budget")
+	}
+}
+
+func TestPortPerAttemptUsesDistinctSourcePorts(t *testing.T) {
+	// A black-hole server that records each datagram's source port and
+	// never answers, so every client attempt times out and retries.
+	hole, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hole.Close()
+	ports := make(chan int, 8)
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			_, raddr, err := hole.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			ports <- raddr.Port
+		}
+	}()
+
+	collect := func(opts ...ClientOption) []int {
+		t.Helper()
+		opts = append([]ClientOption{WithTimeout(50 * time.Millisecond), WithRetries(2)}, opts...)
+		client, err := NewClient(hole.LocalAddr().String(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		wire, err := dnsmsg.NewQuery(5, "www.udp.test", dnsmsg.TypeA).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.HandleWire(wire); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("expected timeout, got %v", err)
+		}
+		var got []int
+		for i := 0; i < 3; i++ {
+			select {
+			case p := <-ports:
+				got = append(got, p)
+			case <-time.After(time.Second):
+				t.Fatalf("saw only %d attempts", len(got))
+			}
+		}
+		return got
+	}
+
+	same := collect()
+	for _, p := range same[1:] {
+		if p != same[0] {
+			t.Fatalf("default client changed source port across attempts: %v", same)
+		}
+	}
+	fresh := collect(WithPortPerAttempt())
+	seen := map[int]bool{}
+	for _, p := range fresh {
+		if seen[p] {
+			t.Fatalf("WithPortPerAttempt reused source port: %v", fresh)
+		}
+		seen[p] = true
+	}
+}

@@ -1,0 +1,9 @@
+//go:build linux && amd64
+
+package udptransport
+
+// sysSENDMMSG is the sendmmsg syscall number, absent from the frozen
+// syscall package on amd64 (the syscall shipped in Linux 3.0, after the
+// package's tables were generated). recvmmsg predates the freeze and comes
+// from syscall.SYS_RECVMMSG.
+const sysSENDMMSG = 307

@@ -1,0 +1,8 @@
+//go:build linux && arm64
+
+package udptransport
+
+// sysSENDMMSG is the sendmmsg syscall number on arm64 (matching the
+// syscall package's SYS_SENDMMSG there; defined locally so both arches
+// share one name with amd64, where the frozen tables lack it).
+const sysSENDMMSG = 269

@@ -1,8 +1,11 @@
 // Package udptransport carries DNS wire messages over real UDP sockets, so
 // the simulated resolver and authority can be separated across processes or
-// machines. The Server wraps anything that answers wire queries (the
-// authority server); the Client implements the resolver's Upstream interface
-// over the network.
+// machines. The Server is a multi-core front door: N listener sockets
+// (SO_REUSEPORT on Linux, single-socket elsewhere), each owned by a worker
+// goroutine that moves datagrams in batches (recvmmsg/sendmmsg on Linux,
+// one-packet syscalls elsewhere) through preallocated buffers — the
+// steady-state packet path performs zero heap allocations. The Client
+// implements the resolver's Upstream interface over the network.
 package udptransport
 
 import (
@@ -10,6 +13,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnsnoise/internal/dnsmsg"
@@ -23,41 +27,90 @@ var (
 	ErrTimeout = errors.New("udptransport: query timed out")
 )
 
-// maxPacket is the largest UDP payload accepted; generous for the
-// simulator's non-EDNS messages.
+// maxPacket is the largest UDP payload accepted or sent; generous for the
+// simulator's non-EDNS messages and the usual EDNS budgets (dig defaults
+// to 1232).
 const maxPacket = 4096
 
+// minUDPPayload is the classic RFC 1035 response budget for clients that
+// advertise no EDNS0 buffer size.
+const minUDPPayload = 512
+
 // dnsHeaderLen is the fixed DNS message header size; shorter datagrams
-// cannot possibly be valid queries.
+// cannot possibly be valid queries and are dropped before the handler.
 const dnsHeaderLen = 12
 
-// Handler answers a wire-format DNS query.
+// DefaultBatch is the per-listener datagram batch size when WithBatch is
+// not given: large enough to amortize syscall cost under load, small
+// enough that the per-listener buffer block (batch x maxPacket) stays in
+// cache-friendly territory.
+const DefaultBatch = 32
+
+// Handler answers a wire-format DNS query. Implementations must not retain
+// query past the call: the serve path reuses its receive buffers.
 type Handler interface {
 	HandleWire(query []byte) ([]byte, error)
 }
 
-// Server answers DNS queries from a UDP socket.
+// WireHandler is the allocation-conscious serve contract: the response is
+// appended to dst, a transport-owned scratch buffer reused across packets,
+// so steady-state handling allocates nothing in the transport. query must
+// not be retained past the call. Handlers that also implement WireHandler
+// (like authority.Server) are served through this path; plain Handlers are
+// adapted with one copy per response.
+type WireHandler interface {
+	AppendHandleWire(dst, query []byte) ([]byte, error)
+}
+
+// handlerAdapter bridges a plain Handler onto the WireHandler contract with
+// one copy per response.
+type handlerAdapter struct{ h Handler }
+
+func (a handlerAdapter) AppendHandleWire(dst, query []byte) ([]byte, error) {
+	resp, err := a.h.HandleWire(query)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, resp...), nil
+}
+
+// asWireHandler selects the zero-copy contract when the handler offers it.
+func asWireHandler(h Handler) WireHandler {
+	if wh, ok := h.(WireHandler); ok {
+		return wh
+	}
+	return handlerAdapter{h: h}
+}
+
+// Server answers DNS queries from one or more UDP sockets.
 type Server struct {
-	conn    *net.UDPConn
-	handler Handler
-	metrics serverMetrics
-	qrec    *qlog.Recorder // nil unless WithServerQueryLog; owned by serveLoop
+	wire      WireHandler
+	conns     []*net.UDPConn
+	workers   []*listenerWorker
+	reg       *telemetry.Registry
+	log       *qlog.Log
+	listeners int
+	batch     int
 
 	mu     sync.Mutex
 	closed bool
-	done   chan struct{}
+	wg     sync.WaitGroup
 }
 
-// serverMetrics holds the server's packet counters. All fields are nil-safe
-// no-ops until WithServerMetrics registers them.
-type serverMetrics struct {
-	rxPackets *telemetry.Counter
-	rxBytes   *telemetry.Counter
-	txPackets *telemetry.Counter
-	txBytes   *telemetry.Counter
-	malformed *telemetry.Counter
-	dropped   *telemetry.Counter
-	truncated *telemetry.Counter
+// listenerStats is one listener's packet counters. Each worker writes only
+// its own shard; scrapes sum the shards through CounterFunc at read time,
+// the same sharding discipline as the resolver's per-server stats. The
+// fields are atomic so concurrent scrapes are race-free; uncontended
+// atomic adds cost the same as plain stores on the serve path.
+type listenerStats struct {
+	rxPackets atomic.Uint64
+	rxBytes   atomic.Uint64
+	txPackets atomic.Uint64
+	txBytes   atomic.Uint64
+	malformed atomic.Uint64
+	dropped   atomic.Uint64
+	truncated atomic.Uint64
+	_         [1]uint64 // round to a 64-byte line against false sharing
 }
 
 // ServerOption configures a Server.
@@ -65,33 +118,43 @@ type ServerOption func(*Server)
 
 // WithServerMetrics registers the server's packet counters with reg:
 // datagrams and bytes in/out, malformed queries (shorter than a DNS
-// header), dropped queries (handler failures, malformed included), and
-// responses exceeding the transport's packet budget.
+// header), dropped queries (handler failures, malformed included),
+// responses truncated to the client's payload budget, and the active
+// listener count. Counters are kept in per-listener shards and summed at
+// scrape time.
 func WithServerMetrics(reg *telemetry.Registry) ServerOption {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithServerQueryLog attaches a query-level event log: each listener
+// worker head-samples handled queries through its own recorder and records
+// name, qtype, rcode-derived outcome and handler latency. A nil log
+// disables everything. Flush the log only after Close has joined the
+// workers.
+func WithServerQueryLog(l *qlog.Log) ServerOption {
+	return func(s *Server) { s.log = l }
+}
+
+// WithListeners sets how many listener sockets to open (default 1). More
+// than one requires SO_REUSEPORT kernel steering; on platforms without it
+// the server silently falls back to a single socket (see Listeners).
+func WithListeners(n int) ServerOption {
 	return func(s *Server) {
-		if reg == nil {
-			return
-		}
-		s.metrics = serverMetrics{
-			rxPackets: reg.Counter("udp_rx_packets_total", "Datagrams received."),
-			rxBytes:   reg.Counter("udp_rx_bytes_total", "Bytes received."),
-			txPackets: reg.Counter("udp_tx_packets_total", "Response datagrams sent."),
-			txBytes:   reg.Counter("udp_tx_bytes_total", "Bytes sent."),
-			malformed: reg.Counter("udp_malformed_total", "Queries shorter than a DNS header."),
-			dropped:   reg.Counter("udp_dropped_total", "Queries dropped unanswered."),
-			truncated: reg.Counter("udp_truncated_total", "Responses exceeding the packet budget."),
+		if n > 0 {
+			s.listeners = n
 		}
 	}
 }
 
-// WithServerQueryLog attaches a query-level event log: the serve loop
-// head-samples handled queries and records name, qtype, rcode-derived
-// outcome and handler latency. The single serve-loop goroutine owns the
-// recorder, so the per-query cost is the sampling counter; a nil log
-// disables everything. Flush the log only after Close has joined the
-// loop.
-func WithServerQueryLog(l *qlog.Log) ServerOption {
-	return func(s *Server) { s.qrec = l.NewRecorder(0) }
+// WithBatch sets the per-listener datagram batch size (default
+// DefaultBatch). On Linux a batch moves through one recvmmsg/sendmmsg
+// syscall pair; 1 forces single-packet syscalls everywhere.
+func WithBatch(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.batch = n
+		}
+	}
 }
 
 // Serve binds addr (e.g. "127.0.0.1:0" for an ephemeral port; "" defaults
@@ -103,30 +166,111 @@ func Serve(handler Handler, addr string, opts ...ServerOption) (*Server, error) 
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
-	laddr, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
+	if _, err := net.ResolveUDPAddr("udp", addr); err != nil {
 		return nil, fmt.Errorf("udptransport: resolve %q: %w", addr, err)
 	}
-	conn, err := net.ListenUDP("udp", laddr)
-	if err != nil {
-		return nil, fmt.Errorf("udptransport: listen: %w", err)
-	}
-	s := &Server{
-		conn:    conn,
-		handler: handler,
-		done:    make(chan struct{}),
-	}
+	s := &Server{listeners: 1, batch: DefaultBatch}
 	for _, o := range opts {
 		o(s)
 	}
-	go s.serveLoop()
+	s.wire = asWireHandler(handler)
+	conns, err := listenAll(addr, s.listeners)
+	if err != nil {
+		return nil, err
+	}
+	s.conns = conns
+	for i, conn := range conns {
+		s.workers = append(s.workers, newListenerWorker(s, conn, i))
+	}
+	s.registerMetrics()
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go w.loop()
+	}
 	return s, nil
 }
 
-// Addr returns the bound address, suitable for NewClient.
-func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+// listenAll opens n sockets on addr. The first bind resolves an ephemeral
+// port; the rest bind the concrete address with SO_REUSEPORT so the kernel
+// steers flows across them. Platforms without reuseport get one socket.
+func listenAll(addr string, n int) ([]*net.UDPConn, error) {
+	if n <= 1 || !reuseportAvailable {
+		laddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("udptransport: resolve %q: %w", addr, err)
+		}
+		conn, err := net.ListenUDP("udp", laddr)
+		if err != nil {
+			return nil, fmt.Errorf("udptransport: listen: %w", err)
+		}
+		return []*net.UDPConn{conn}, nil
+	}
+	conns := make([]*net.UDPConn, 0, n)
+	first, err := listenReusePort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: listen: %w", err)
+	}
+	conns = append(conns, first)
+	bound := first.LocalAddr().String()
+	for i := 1; i < n; i++ {
+		c, err := listenReusePort(bound)
+		if err != nil {
+			for _, open := range conns {
+				open.Close()
+			}
+			return nil, fmt.Errorf("udptransport: listener %d: %w", i, err)
+		}
+		conns = append(conns, c)
+	}
+	return conns, nil
+}
 
-// Close stops the server and waits for the serve loop to exit.
+// registerMetrics wires the scrape-time shard sums. Called after every
+// worker exists and before any starts, so the workers slice is immutable
+// when the collection functions run.
+func (s *Server) registerMetrics() {
+	if s.reg == nil {
+		return
+	}
+	workers := s.workers
+	sum := func(read func(*listenerStats) uint64) func() uint64 {
+		return func() uint64 {
+			var total uint64
+			for _, w := range workers {
+				total += read(&w.stats)
+			}
+			return total
+		}
+	}
+	s.reg.CounterFunc("udp_rx_packets_total", "Datagrams received.",
+		sum(func(st *listenerStats) uint64 { return st.rxPackets.Load() }))
+	s.reg.CounterFunc("udp_rx_bytes_total", "Bytes received.",
+		sum(func(st *listenerStats) uint64 { return st.rxBytes.Load() }))
+	s.reg.CounterFunc("udp_tx_packets_total", "Response datagrams sent.",
+		sum(func(st *listenerStats) uint64 { return st.txPackets.Load() }))
+	s.reg.CounterFunc("udp_tx_bytes_total", "Bytes sent.",
+		sum(func(st *listenerStats) uint64 { return st.txBytes.Load() }))
+	s.reg.CounterFunc("udp_malformed_total", "Queries shorter than a DNS header.",
+		sum(func(st *listenerStats) uint64 { return st.malformed.Load() }))
+	s.reg.CounterFunc("udp_dropped_total", "Queries dropped unanswered.",
+		sum(func(st *listenerStats) uint64 { return st.dropped.Load() }))
+	s.reg.CounterFunc("udp_truncated_total", "Responses truncated to the client's payload budget.",
+		sum(func(st *listenerStats) uint64 { return st.truncated.Load() }))
+	s.reg.Gauge("udp_listeners", "Active listener sockets.").Set(float64(len(s.conns)))
+}
+
+// Addr returns the bound address, suitable for NewClient. With several
+// listeners they all share it (SO_REUSEPORT).
+func (s *Server) Addr() string { return s.conns[0].LocalAddr().String() }
+
+// Listeners reports how many listener sockets are actually serving — the
+// requested count, or 1 where SO_REUSEPORT is unavailable.
+func (s *Server) Listeners() int { return len(s.conns) }
+
+// Batch reports the per-listener datagram batch size in effect.
+func (s *Server) Batch() int { return s.batch }
+
+// Close stops the server and waits for every listener worker to exit.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -135,58 +279,161 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	err := s.conn.Close()
-	<-s.done
+	var err error
+	for _, c := range s.conns {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	s.wg.Wait()
 	return err
 }
 
-func (s *Server) serveLoop() {
-	defer close(s.done)
-	m := &s.metrics
-	buf := make([]byte, maxPacket)
+// pktBuf is one packet slot in a listener's ring: the received datagram
+// (a window into the worker's preallocated receive block) and the reusable
+// response buffer the handler appends into.
+type pktBuf struct {
+	in   []byte // received datagram; valid until the next recv
+	out  []byte // response wire; capacity reused across packets
+	send bool   // out holds a response to transmit
+}
+
+// listenerWorker owns one socket: a goroutine looping recv -> process each
+// packet -> send. All per-packet state is preallocated at construction, so
+// the steady-state loop is allocation-free (guarded by AllocsPerRun tests).
+type listenerWorker struct {
+	srv   *Server
+	conn  *net.UDPConn
+	id    int
+	slots []pktBuf
+	io    packetIO
+	stats listenerStats
+	qrec  *qlog.Recorder
+}
+
+// packetIO moves batches of datagrams between a socket and the worker's
+// slots. recv blocks until at least one datagram arrives (or the socket
+// closes) and returns how many slots it filled, setting each slot's in;
+// send transmits every slot in [0, n) with send set, returning the packets
+// and bytes actually put on the wire. Implementations preallocate all
+// per-slot state: neither call allocates.
+type packetIO interface {
+	recv() (int, error)
+	send(n int) (pkts, bytes uint64, err error)
+}
+
+func newListenerWorker(s *Server, conn *net.UDPConn, id int) *listenerWorker {
+	batch := s.batch
+	if batch < 1 {
+		batch = 1
+	}
+	w := &listenerWorker{
+		srv:   s,
+		conn:  conn,
+		id:    id,
+		slots: make([]pktBuf, batch),
+	}
+	rx := make([]byte, batch*maxPacket)
+	w.io = newPacketIO(conn, w.slots, rx)
+	w.qrec = s.log.NewRecorder(id) // nil-safe: nil log -> nil recorder
+	return w
+}
+
+func (w *listenerWorker) loop() {
+	defer w.srv.wg.Done()
 	for {
-		n, raddr, err := s.conn.ReadFromUDP(buf)
+		n, err := w.io.recv()
 		if err != nil {
 			return // closed (or fatal socket error): stop serving
 		}
-		m.rxPackets.Inc()
-		m.rxBytes.Add(uint64(n))
-		if n < dnsHeaderLen {
-			m.malformed.Inc()
+		for i := 0; i < n; i++ {
+			w.process(&w.slots[i])
 		}
-		query := make([]byte, n)
-		copy(query, buf[:n])
-		logged := s.qrec.Sample()
-		var handleStart time.Time
-		if logged {
-			handleStart = time.Now()
-		}
-		resp, err := s.handler.HandleWire(query)
-		if logged {
-			s.logQuery(query, resp, err, time.Since(handleStart))
-		}
-		if err != nil || len(resp) == 0 {
-			// Unanswerable garbage: drop it, like a real server under
-			// junk traffic. The client's timeout handles the rest.
-			m.dropped.Inc()
-			continue
-		}
-		if len(resp) > maxPacket {
-			m.truncated.Inc()
-		}
-		// Best effort; a lost response packet is the client's problem.
-		if _, err := s.conn.WriteToUDP(resp, raddr); err == nil {
-			m.txPackets.Inc()
-			m.txBytes.Add(uint64(len(resp)))
+		pkts, bytes, err := w.io.send(n)
+		w.stats.txPackets.Add(pkts)
+		w.stats.txBytes.Add(bytes)
+		if err != nil {
+			return
 		}
 	}
 }
 
-// logQuery emits one event for a head-sampled query: the question
-// decoded from the query wire, the outcome derived from the response
-// rcode, and the handler's wall time. Decoding happens only on sampled
-// queries, off the unsampled fast path.
-func (s *Server) logQuery(query, resp []byte, herr error, elapsed time.Duration) {
+// process handles one received datagram in b: counts it, drops malformed
+// runts before the handler, appends the handler's response into the slot's
+// reusable buffer, and applies the client's payload budget (EDNS0-aware
+// truncation). This is the zero-allocation packet path — everything it
+// touches is preallocated slot state.
+func (w *listenerWorker) process(b *pktBuf) {
+	b.send = false
+	w.stats.rxPackets.Add(1)
+	w.stats.rxBytes.Add(uint64(len(b.in)))
+	if len(b.in) < dnsHeaderLen {
+		// Shorter than a DNS header: not conceivably a query. Drop it
+		// before the handler ever sees it.
+		w.stats.malformed.Add(1)
+		w.stats.dropped.Add(1)
+		return
+	}
+	logged := w.qrec.Sample()
+	var handleStart time.Time
+	if logged {
+		handleStart = time.Now()
+	}
+	out, err := w.srv.wire.AppendHandleWire(b.out[:0], b.in)
+	if logged {
+		w.logQuery(b.in, out, err, time.Since(handleStart))
+	}
+	if err != nil || len(out) == 0 {
+		// Unanswerable garbage: drop it, like a real server under junk
+		// traffic. The client's timeout handles the rest.
+		w.stats.dropped.Add(1)
+		return
+	}
+	if budget := payloadBudget(b.in); len(out) > budget {
+		out = truncateResponse(out)
+		w.stats.truncated.Add(1)
+	}
+	b.out = out // keep any capacity growth for the next packet
+	b.send = true
+}
+
+// payloadBudget is the largest response payload the querying client can
+// accept: the classic 512 bytes, raised by an EDNS0 OPT record up to the
+// transport's own packet cap. This is what makes `dig +bufsize=N` work.
+func payloadBudget(query []byte) int {
+	budget := minUDPPayload
+	if sz, ok := dnsmsg.EDNSUDPSize(query); ok && int(sz) > budget {
+		budget = int(sz)
+		if budget > maxPacket {
+			budget = maxPacket
+		}
+	}
+	return budget
+}
+
+// truncateResponse shrinks resp to header+question with the TC bit set and
+// the record counts zeroed — the RFC 1035 §4.1.1 signal for "retry over
+// TCP". A header+question prefix is at most 12+255+4 bytes, which fits any
+// budget the transport can produce, so the result always fits. Operates in
+// place on the wire; never allocates.
+func truncateResponse(resp []byte) []byte {
+	end := dnsmsg.QuestionSectionEnd(resp)
+	if end < 0 || end > len(resp) {
+		end = dnsHeaderLen
+		resp[4], resp[5] = 0, 0 // QDCOUNT: question dropped too
+	}
+	resp[2] |= 0x02 // TC
+	for i := 6; i < dnsHeaderLen; i++ {
+		resp[i] = 0 // ANCOUNT, NSCOUNT, ARCOUNT
+	}
+	return resp[:end]
+}
+
+// logQuery emits one event for a head-sampled query: the question decoded
+// from the query wire, the outcome derived from the response rcode, and
+// the handler's wall time. Decoding happens only on sampled queries, off
+// the unsampled fast path.
+func (w *listenerWorker) logQuery(query, resp []byte, herr error, elapsed time.Duration) {
 	ev := qlog.Event{Time: time.Now(), LatencyNs: uint64(elapsed)}
 	if msg, err := dnsmsg.Decode(query); err == nil && len(msg.Questions) > 0 {
 		ev.Name = msg.Questions[0].Name
@@ -207,25 +454,27 @@ func (s *Server) logQuery(query, resp []byte, herr error, elapsed time.Duration)
 			ev.Outcome = qlog.OutcomeError
 		}
 	}
-	s.qrec.Emit(ev)
-	// Drain eagerly: the server handles one datagram at a time and its
+	w.qrec.Emit(ev)
+	// Drain eagerly: the worker handles a small batch at a time and its
 	// /debug/qlog view should reflect a query as soon as it is answered,
 	// not after a 256-event staging ring fills. The ring batching exists
 	// for the simulation hot path; at packet-I/O rates one uncontended
 	// mutex per sampled query is noise.
-	s.qrec.Drain()
+	w.qrec.Drain()
 }
 
 // Client sends DNS queries to a UDP server and implements the resolver's
 // Upstream contract (HandleWire). It is safe for sequential use; a mutex
 // serializes callers.
 type Client struct {
-	raddr   *net.UDPAddr
-	timeout time.Duration
-	retries int
+	raddr          *net.UDPAddr
+	timeout        time.Duration
+	retries        int
+	portPerAttempt bool
 
 	mu   sync.Mutex
 	conn *net.UDPConn
+	buf  []byte // receive buffer, guarded by mu like conn
 }
 
 // ClientOption configures a Client.
@@ -249,17 +498,40 @@ func WithRetries(n int) ClientOption {
 	}
 }
 
+// WithPortPerAttempt gives every retry attempt a fresh socket, and with it
+// a fresh ephemeral source port: a response to an earlier attempt that
+// straggles in late dies with the socket that sent the query instead of
+// collecting on the shared one. The per-query ID check still applies;
+// this closes the window where a stale same-ID datagram could be read.
+// Default off: one connected socket is reused across attempts.
+func WithPortPerAttempt() ClientOption {
+	return func(c *Client) { c.portPerAttempt = true }
+}
+
 // NewClient prepares a client for the server at addr.
 func NewClient(addr string, opts ...ClientOption) (*Client, error) {
 	raddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("udptransport: resolve %q: %w", addr, err)
 	}
-	c := &Client{raddr: raddr, timeout: 2 * time.Second, retries: 1}
+	c := &Client{raddr: raddr, timeout: 2 * time.Second, retries: 1, buf: make([]byte, maxPacket)}
 	for _, o := range opts {
 		o(c)
 	}
 	return c, nil
+}
+
+// dialLocked ensures c.conn exists. Callers hold c.mu.
+func (c *Client) dialLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialUDP("udp", nil, c.raddr)
+	if err != nil {
+		return fmt.Errorf("udptransport: dial: %w", err)
+	}
+	c.conn = conn
+	return nil
 }
 
 // HandleWire sends the query and returns the matching response, satisfying
@@ -273,15 +545,14 @@ func (c *Client) HandleWire(query []byte) ([]byte, error) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
-		conn, err := net.DialUDP("udp", nil, c.raddr)
-		if err != nil {
-			return nil, fmt.Errorf("udptransport: dial: %w", err)
-		}
-		c.conn = conn
-	}
-	buf := make([]byte, maxPacket)
 	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 && c.portPerAttempt && c.conn != nil {
+			c.conn.Close()
+			c.conn = nil
+		}
+		if err := c.dialLocked(); err != nil {
+			return nil, err
+		}
 		if _, err := c.conn.Write(query); err != nil {
 			return nil, fmt.Errorf("udptransport: send: %w", err)
 		}
@@ -290,7 +561,7 @@ func (c *Client) HandleWire(query []byte) ([]byte, error) {
 			return nil, fmt.Errorf("udptransport: deadline: %w", err)
 		}
 		for {
-			n, err := c.conn.Read(buf)
+			n, err := c.conn.Read(c.buf)
 			if err != nil {
 				if ne, ok := err.(net.Error); ok && ne.Timeout() {
 					break // next attempt
@@ -300,12 +571,12 @@ func (c *Client) HandleWire(query []byte) ([]byte, error) {
 			if n < 2 {
 				continue
 			}
-			respID := uint16(buf[0])<<8 | uint16(buf[1])
+			respID := uint16(c.buf[0])<<8 | uint16(c.buf[1])
 			if respID != queryID {
 				continue // stale response from an earlier attempt
 			}
 			resp := make([]byte, n)
-			copy(resp, buf[:n])
+			copy(resp, c.buf[:n])
 			return resp, nil
 		}
 	}
