@@ -32,14 +32,16 @@ bench:
 # Fast hot-path health check, cheap enough for CI: the resolver and cache
 # micro-benchmarks at -benchtime=100x (smoke, not measurement) plus the
 # allocation guards — testing.AllocsPerRun asserting 0 allocs/op on the
-# cache-hit resolve path, LRU Get/Put refresh, Normalize fast paths, and
-# the UDP serve packet path — and a short serve-throughput flood with the
-# end-to-end packet-allocation gate.
+# cache-hit resolve path, LRU Get/Put refresh, Normalize fast paths, the
+# UDP serve packet path, and live scoring — a short serve-throughput
+# flood with the end-to-end packet-allocation gate (plain and scored),
+# and the streaming-miner intake-overhead pair with its calibrated gate.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkResolveCacheHit|BenchmarkResolveCacheMiss|BenchmarkPutGet|BenchmarkEvictionChurn' \
 		-benchtime=100x -benchmem ./internal/resolver/ ./internal/cache/
-	$(GO) test -run 'ZeroAlloc' -v ./internal/resolver/ ./internal/cache/ ./internal/dnsname/ ./internal/udptransport/
+	$(GO) test -run 'ZeroAlloc' -v ./internal/resolver/ ./internal/cache/ ./internal/dnsname/ ./internal/udptransport/ ./internal/livescore/
 	$(GO) run ./cmd/dnsnoise-bench -only serve -serve-duration 200ms -serve-clients 4 -max-packet-allocs 0 -out /dev/null
+	$(GO) run ./cmd/dnsnoise-bench -only miner -queries 20000 -out /dev/null
 
 clean:
 	$(GO) clean ./...

@@ -108,14 +108,22 @@ type report struct {
 	// QlogOverhead prices the query-level event log (internal/qlog) on
 	// the same paired plain-vs-instrumented method as Overhead.
 	QlogOverhead *overheadResult `json:"qlog_overhead,omitempty"`
+	// MinerOverhead prices the streaming miner's observe-side intake on
+	// top of the batch collector taps (see benchMinerOverhead); its
+	// control pair is collector-vs-collector, so the gate is calibrated
+	// against tap-path jitter.
+	MinerOverhead *overheadResult `json:"miner_overhead,omitempty"`
 	// ServeThroughput is the UDP front-door matrix: qps and latency
 	// percentiles across 1-vs-N listeners and single-vs-batched syscalls.
 	ServeThroughput []serveResult `json:"serve_throughput,omitempty"`
 	// ServePacketAlloc is the end-to-end serve-path allocation reading
-	// behind the -max-packet-allocs gate.
-	ServePacketAlloc *servePacketAlloc `json:"serve_packet_alloc,omitempty"`
-	Note             string            `json:"note,omitempty"`
-	Extra            []benchResult     `json:"extra,omitempty"`
+	// behind the -max-packet-allocs gate; ServePacketAllocScored is the
+	// same flood with a livescore scorer attached, so the gate also
+	// covers the scoring serve path.
+	ServePacketAlloc       *servePacketAlloc `json:"serve_packet_alloc,omitempty"`
+	ServePacketAllocScored *servePacketAlloc `json:"serve_packet_alloc_scored,omitempty"`
+	Note                   string            `json:"note,omitempty"`
+	Extra                  []benchResult     `json:"extra,omitempty"`
 }
 
 func main() {
@@ -418,17 +426,21 @@ const (
 // near-identical heap layout and machine state — then alternates timed
 // segments between them for ovRounds and returns each side's minimum
 // ns/op and their ratio. The minimum is the noise-robust estimator:
-// contention and GC only ever add time. other builds the instrumented
-// side; nil makes a plain-vs-plain control pair.
-func ovPairRatio(servers int, qs []resolver.Query, flip bool, other func() (*resolver.Cluster, error)) (plainNs, otherNs float64, err error) {
+// contention and GC only ever add time. base builds the plain side (nil
+// means a bare cluster); other builds the instrumented side, and nil
+// makes a base-vs-base control pair.
+func ovPairRatio(servers int, qs []resolver.Query, flip bool, base, other func() (*resolver.Cluster, error)) (plainNs, otherNs float64, err error) {
+	if base == nil {
+		base = func() (*resolver.Cluster, error) { return newCluster(servers) }
+	}
 	build := func(first bool) (*resolver.Cluster, error) {
 		if first != flip { // plain side
-			return newCluster(servers)
+			return base()
 		}
 		if other != nil {
 			return other()
 		}
-		return newCluster(servers) // control pair: both plain
+		return base() // control pair: both plain
 	}
 	a, err := build(true)
 	if err != nil {
@@ -492,77 +504,14 @@ func ovPairRatio(servers int, qs []resolver.Query, flip bool, other func() (*res
 	return minA, minB, nil
 }
 
-// benchOverhead measures what the telemetry instrumentation costs on the
-// resolver fast path: the same sequential day resolved with a nil
-// registry versus a live one. It compares pair-locally (ovPairRatio) and
-// takes the median ratio over ovPairs instrumented pairs, alongside a
-// plain-vs-plain control pair whose deviation from 1.0 — together with
-// the instrumented ratios' half-spread — bounds what this run can
-// actually resolve (NoisePct). The last pair's registry is returned for
-// the report's metrics snapshot.
-func benchOverhead(servers int, qs []resolver.Query) (overheadResult, *telemetry.Registry, error) {
-	var (
-		ratios       []float64
-		plainMin     float64
-		instrMin     float64
-		reg          *telemetry.Registry
-		controlRatio float64
-	)
-	for pair := 0; pair <= ovPairs; pair++ {
-		control := pair == ovPairs
-		var (
-			pairReg *telemetry.Registry
-			other   func() (*resolver.Cluster, error)
-		)
-		if !control {
-			pairReg = telemetry.NewRegistry()
-			reg := pairReg
-			other = func() (*resolver.Cluster, error) {
-				return newCluster(servers, resolver.WithTelemetry(reg))
-			}
-		}
-		plainNs, otherNs, err := ovPairRatio(servers, qs, pair%2 == 1, other)
-		if err != nil {
-			return overheadResult{}, nil, err
-		}
-		if control {
-			controlRatio = otherNs / plainNs
-			continue
-		}
-		ratios = append(ratios, otherNs/plainNs)
-		if plainMin == 0 || plainNs < plainMin {
-			plainMin = plainNs
-		}
-		if instrMin == 0 || otherNs < instrMin {
-			instrMin = otherNs
-		}
-		reg = pairReg
-	}
-	sort.Float64s(ratios)
-	spread := 100 * (ratios[len(ratios)-1] - ratios[0]) / 2
-	noise := 100 * absFloat(controlRatio-1)
-	if spread > noise {
-		noise = spread
-	}
-	return overheadResult{
-		PlainNsPerOp:        plainMin,
-		InstrumentedNsPerOp: instrMin,
-		OverheadPct:         100 * (median(ratios) - 1),
-		NoisePct:            noise,
-		Pairs:               ovPairs,
-		RoundsPerPair:       ovRounds,
-		QueriesPerPass:      len(qs),
-	}, reg, nil
-}
-
-// benchQlogOverhead is the qlog-overhead scenario: the same paired method
-// as benchOverhead, but the instrumented side carries a live query log in
-// its heaviest in-process shape — head-sampled events fanning out to a
-// memory ring and an exemplar store, the configuration a CLI runs with
-// -metrics-addr live. The plain side resolves with qlog fully disabled
-// (nil log), so the ratio prices the entire feature: the per-query
-// sampling counter plus the amortized sampled-path event build and drain.
-func benchQlogOverhead(servers int, qs []resolver.Query) (overheadResult, error) {
+// benchPairedOverhead is the shared paired-comparison method behind every
+// overhead scenario: ovPairs instrumented pairs — base() vs mkOther(pair)
+// — compared pair-locally by ovPairRatio with the median ratio as the
+// overhead estimate, plus one base-vs-base control pair whose deviation
+// from 1.0, together with the instrumented ratios' half-spread, bounds
+// what this run can actually resolve (NoisePct).
+func benchPairedOverhead(servers int, qs []resolver.Query, base func() (*resolver.Cluster, error),
+	mkOther func(pair int) func() (*resolver.Cluster, error)) (overheadResult, error) {
 	var (
 		ratios       []float64
 		plainMin     float64
@@ -573,14 +522,9 @@ func benchQlogOverhead(servers int, qs []resolver.Query) (overheadResult, error)
 		control := pair == ovPairs
 		var other func() (*resolver.Cluster, error)
 		if !control {
-			l := qlog.New(qlog.Config{})
-			l.AddSink(qlog.NewMemorySink(1024))
-			l.AddSink(qlog.NewExemplarSink())
-			other = func() (*resolver.Cluster, error) {
-				return newCluster(servers, resolver.WithQueryLog(l))
-			}
+			other = mkOther(pair)
 		}
-		plainNs, otherNs, err := ovPairRatio(servers, qs, pair%2 == 1, other)
+		plainNs, otherNs, err := ovPairRatio(servers, qs, pair%2 == 1, base, other)
 		if err != nil {
 			return overheadResult{}, err
 		}
@@ -613,6 +557,43 @@ func benchQlogOverhead(servers int, qs []resolver.Query) (overheadResult, error)
 	}, nil
 }
 
+// benchOverhead measures what the telemetry instrumentation costs on the
+// resolver fast path: the same sequential day resolved with a nil
+// registry versus a live one. The last pair's registry is returned for
+// the report's metrics snapshot.
+func benchOverhead(servers int, qs []resolver.Query) (overheadResult, *telemetry.Registry, error) {
+	var reg *telemetry.Registry
+	res, err := benchPairedOverhead(servers, qs, nil, func(int) func() (*resolver.Cluster, error) {
+		pairReg := telemetry.NewRegistry()
+		reg = pairReg
+		return func() (*resolver.Cluster, error) {
+			return newCluster(servers, resolver.WithTelemetry(pairReg))
+		}
+	})
+	if err != nil {
+		return overheadResult{}, nil, err
+	}
+	return res, reg, nil
+}
+
+// benchQlogOverhead is the qlog-overhead scenario: the same paired method
+// as benchOverhead, but the instrumented side carries a live query log in
+// its heaviest in-process shape — head-sampled events fanning out to a
+// memory ring and an exemplar store, the configuration a CLI runs with
+// -metrics-addr live. The plain side resolves with qlog fully disabled
+// (nil log), so the ratio prices the entire feature: the per-query
+// sampling counter plus the amortized sampled-path event build and drain.
+func benchQlogOverhead(servers int, qs []resolver.Query) (overheadResult, error) {
+	return benchPairedOverhead(servers, qs, nil, func(int) func() (*resolver.Cluster, error) {
+		l := qlog.New(qlog.Config{})
+		l.AddSink(qlog.NewMemorySink(1024))
+		l.AddSink(qlog.NewExemplarSink())
+		return func() (*resolver.Cluster, error) {
+			return newCluster(servers, resolver.WithQueryLog(l))
+		}
+	})
+}
+
 func absFloat(x float64) float64 {
 	if x < 0 {
 		return -x
@@ -642,6 +623,7 @@ func run(args []string) error {
 		queries  = fs.Int("queries", 100_000, "pre-generated workload size")
 		maxOv    = fs.Float64("max-overhead", 2.0, "fail when telemetry overhead exceeds this percent (0 disables the gate)")
 		maxQlOv  = fs.Float64("max-qlog-overhead", 2.0, "fail when qlog overhead exceeds this percent (0 disables the gate)")
+		maxMnOv  = fs.Float64("max-miner-overhead", 150.0, "fail when streaming-miner intake overhead exceeds this percent (0 disables the gate)")
 		baseline = fs.String("baseline", "", "previous BENCH_resolver.json to embed as a before/after comparison")
 		maxHitAl = fs.Int64("max-hit-allocs", 0, "fail when the cache-hit path exceeds this many allocs/op (-1 disables the gate)")
 		only     = fs.String("only", "", "run a single scenario ('serve') instead of the full suite")
@@ -666,8 +648,10 @@ func run(args []string) error {
 	case "":
 	case "serve":
 		return runServeOnly(args, *out, *srvCli, *srvDur, *srvBatch, *maxPktAl)
+	case "miner":
+		return runMinerOnly(args, *out, *servers, *queries, *maxMnOv)
 	default:
-		return fmt.Errorf("-only %q: unknown scenario (want 'serve')", *only)
+		return fmt.Errorf("-only %q: unknown scenario (want 'serve' or 'miner')", *only)
 	}
 	qs := benchQueries(*queries)
 	tracer := telemetry.NewTracer()
@@ -723,6 +707,13 @@ func run(args []string) error {
 	}
 	qlSpan.End()
 
+	mnSpan := tracer.Start("miner-overhead")
+	mnOverhead, err := benchMinerOverhead(*servers, qs)
+	if err != nil {
+		return fmt.Errorf("miner overhead benchmark: %w", err)
+	}
+	mnSpan.End()
+
 	srcSpan := tracer.Start("sources")
 	extra, err := benchSources()
 	if err != nil {
@@ -743,9 +734,13 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("serve benchmark: %w", err)
 	}
-	pktAlloc, err := benchServePacketAlloc()
+	pktAlloc, err := benchServePacketAlloc(false)
 	if err != nil {
 		return fmt.Errorf("serve alloc benchmark: %w", err)
+	}
+	pktAllocScored, err := benchServePacketAlloc(true)
+	if err != nil {
+		return fmt.Errorf("scored serve alloc benchmark: %w", err)
 	}
 	serveSpan.End()
 
@@ -760,8 +755,10 @@ func run(args []string) error {
 		Extra:      extra,
 	}
 	rep.QlogOverhead = &qlOverhead
+	rep.MinerOverhead = &mnOverhead
 	rep.ServeThroughput = serveMatrix
 	rep.ServePacketAlloc = &pktAlloc
+	rep.ServePacketAllocScored = &pktAllocScored
 	if *baseline != "" {
 		cmp, err := loadBaseline(*baseline)
 		if err != nil {
@@ -816,7 +813,10 @@ func run(args []string) error {
 		fmt.Printf("qlog:       %+.2f%% overhead, ±%.2f%% noise (%.1f -> %.1f ns/op, %d pairs)\n",
 			qlOverhead.OverheadPct, qlOverhead.NoisePct,
 			qlOverhead.PlainNsPerOp, qlOverhead.InstrumentedNsPerOp, qlOverhead.Pairs)
-		printServe(rep.ServeThroughput, rep.ServePacketAlloc)
+		fmt.Printf("miner:      %+.2f%% overhead, ±%.2f%% noise (%.1f -> %.1f ns/op, %d pairs)\n",
+			mnOverhead.OverheadPct, mnOverhead.NoisePct,
+			mnOverhead.PlainNsPerOp, mnOverhead.InstrumentedNsPerOp, mnOverhead.Pairs)
+		printServe(rep.ServeThroughput, rep.ServePacketAlloc, rep.ServePacketAllocScored)
 		for _, r := range rep.Extra {
 			fmt.Printf("%-32s %8.1f ns/op (%.0f events/s)\n", r.Name+":", r.NsPerOp, r.QueriesPerSec)
 		}
@@ -832,7 +832,51 @@ func run(args []string) error {
 	if err := checkOverheadGate("qlog", "-max-qlog-overhead", qlOverhead, *maxQlOv); err != nil {
 		return err
 	}
-	return checkPacketAllocGate(pktAlloc, *maxPktAl)
+	if err := checkOverheadGate("miner", "-max-miner-overhead", mnOverhead, *maxMnOv); err != nil {
+		return err
+	}
+	if err := checkPacketAllocGate("serve packet path", pktAlloc, *maxPktAl); err != nil {
+		return err
+	}
+	return checkPacketAllocGate("scored serve packet path", pktAllocScored, *maxPktAl)
+}
+
+// runMinerOnly is the -only miner mode: just the streaming-miner intake
+// overhead pair and its gate, sized for CI smoke via -queries.
+func runMinerOnly(args []string, out string, servers, queries int, maxMnOv float64) error {
+	tracer := telemetry.NewTracer()
+	span := tracer.Start("miner-overhead")
+	ov, err := benchMinerOverhead(servers, benchQueries(queries))
+	if err != nil {
+		return fmt.Errorf("miner overhead benchmark: %w", err)
+	}
+	span.End()
+
+	rep := report{RunReport: *telemetry.NewRunReport("dnsnoise-bench", args)}
+	rep.Servers = servers
+	rep.Queries = queries
+	rep.MinerOverhead = &ov
+	rep.Start = tracer.Roots()[0].Start
+	rep.Finish(nil, tracer)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("miner:      %+.2f%% overhead, ±%.2f%% noise (%.1f -> %.1f ns/op, %d pairs)\n",
+			ov.OverheadPct, ov.NoisePct, ov.PlainNsPerOp, ov.InstrumentedNsPerOp, ov.Pairs)
+		fmt.Printf("wrote %s\n", out)
+	}
+	return checkOverheadGate("miner", "-max-miner-overhead", ov, maxMnOv)
 }
 
 // runServeOnly is the -only serve mode: just the front-door matrix and the
@@ -853,15 +897,20 @@ func runServeOnly(args []string, out string, clients int, dur time.Duration, bat
 	if err != nil {
 		return fmt.Errorf("serve benchmark: %w", err)
 	}
-	pktAlloc, err := benchServePacketAlloc()
+	pktAlloc, err := benchServePacketAlloc(false)
 	if err != nil {
 		return fmt.Errorf("serve alloc benchmark: %w", err)
+	}
+	pktAllocScored, err := benchServePacketAlloc(true)
+	if err != nil {
+		return fmt.Errorf("scored serve alloc benchmark: %w", err)
 	}
 	serveSpan.End()
 
 	rep := report{RunReport: *telemetry.NewRunReport("dnsnoise-bench", args)}
 	rep.ServeThroughput = matrix
 	rep.ServePacketAlloc = &pktAlloc
+	rep.ServePacketAllocScored = &pktAllocScored
 	rep.Start = tracer.Roots()[0].Start
 	rep.Finish(nil, tracer)
 	if runtime.NumCPU() == 1 {
@@ -881,15 +930,18 @@ func runServeOnly(args []string, out string, clients int, dur time.Duration, bat
 		if err := os.WriteFile(out, data, 0o644); err != nil {
 			return err
 		}
-		printServe(matrix, &pktAlloc)
+		printServe(matrix, &pktAlloc, &pktAllocScored)
 		fmt.Printf("wrote %s\n", out)
 	}
-	return checkPacketAllocGate(pktAlloc, maxPktAl)
+	if err := checkPacketAllocGate("serve packet path", pktAlloc, maxPktAl); err != nil {
+		return err
+	}
+	return checkPacketAllocGate("scored serve packet path", pktAllocScored, maxPktAl)
 }
 
-// printServe renders the serve matrix and the packet-alloc reading on the
+// printServe renders the serve matrix and the packet-alloc readings on the
 // same stdout summary the other scenarios use.
-func printServe(matrix []serveResult, alloc *servePacketAlloc) {
+func printServe(matrix []serveResult, alloc, scored *servePacketAlloc) {
 	for _, r := range matrix {
 		fmt.Printf("serve %dL/%db:  %8.0f qps, p50 %6.0f us, p99 %6.0f us, drop %.2f%% (%d clients)\n",
 			r.Listeners, r.Batch, r.QPS, r.P50Us, r.P99Us, 100*r.DropRate, r.Clients)
@@ -897,6 +949,10 @@ func printServe(matrix []serveResult, alloc *servePacketAlloc) {
 	if alloc != nil {
 		fmt.Printf("serve alloc: %.3f allocs/op, %.1f B/op end to end (%d packets)\n",
 			alloc.AllocsPerOp, alloc.BytesPerOp, alloc.Packets)
+	}
+	if scored != nil {
+		fmt.Printf("scored alloc: %.3f allocs/op, %.1f B/op end to end (%d packets)\n",
+			scored.AllocsPerOp, scored.BytesPerOp, scored.Packets)
 	}
 }
 

@@ -16,7 +16,9 @@ import (
 	"sync"
 	"time"
 
+	"dnsnoise/internal/core"
 	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/livescore"
 	"dnsnoise/internal/udptransport"
 	"dnsnoise/internal/workload"
 )
@@ -236,9 +238,30 @@ func (echoWire) AppendHandleWire(dst, query []byte) ([]byte, error) {
 // single connected socket and reports process-wide Mallocs per packet.
 // The client loop is itself allocation-free (preallocated buffers, no
 // per-attempt state), so a nonzero reading implicates the serve path.
-func benchServePacketAlloc() (servePacketAlloc, error) {
+// With scored set, every packet additionally runs through a livescore
+// scorer backed by a primed streaming pipeline — the -score serve path —
+// whose verdict lookup and name staging must stay allocation-free too.
+// The engine runs intake-only (no wall-clock re-score): its drain
+// goroutine's few string materializations amortize to zero over the
+// flood, exactly as they do on a real server between re-scores.
+func benchServePacketAlloc(scored bool) (servePacketAlloc, error) {
 	res := servePacketAlloc{Packets: serveAllocPackets}
-	srv, err := udptransport.Serve(echoWire{}, "127.0.0.1:0")
+	opts := []udptransport.ServerOption{}
+	if scored {
+		pipe, err := benchPipeline(1)
+		if err != nil {
+			return res, err
+		}
+		// Prime the zone above the flooded name so every packet takes the
+		// disposable-hit path, the most work the lookup ever does.
+		pipe.Prime([]core.Finding{{Zone: "bench.test", Depth: 3, Confidence: 0.99}})
+		eng := livescore.NewEngine(pipe)
+		eng.Start(0)
+		defer eng.Close()
+		opts = append(opts, udptransport.WithScorer(
+			func(int) udptransport.Scorer { return eng.NewScorer() }))
+	}
+	srv, err := udptransport.Serve(echoWire{}, "127.0.0.1:0", opts...)
 	if err != nil {
 		return res, err
 	}
@@ -285,13 +308,13 @@ func benchServePacketAlloc() (servePacketAlloc, error) {
 // to the nearest whole allocation first: a handful of stray runtime
 // allocations across tens of thousands of packets is measurement floor,
 // a systematic per-packet allocation is not.
-func checkPacketAllocGate(alloc servePacketAlloc, max int64) error {
+func checkPacketAllocGate(what string, alloc servePacketAlloc, max int64) error {
 	if max < 0 {
 		return nil
 	}
 	if rounded := math.Round(alloc.AllocsPerOp); rounded > float64(max) {
-		return fmt.Errorf("serve packet path allocates %.3f allocs/op (%.1f B/op), -max-packet-allocs is %d",
-			alloc.AllocsPerOp, alloc.BytesPerOp, max)
+		return fmt.Errorf("%s allocates %.3f allocs/op (%.1f B/op), -max-packet-allocs is %d",
+			what, alloc.AllocsPerOp, alloc.BytesPerOp, max)
 	}
 	return nil
 }

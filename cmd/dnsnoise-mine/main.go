@@ -85,8 +85,10 @@ func run(args []string, stdout io.Writer) error {
 		theta     = fs.Float64("theta", 0.9, "classification threshold")
 		top       = fs.Int("top", 25, "findings to print")
 		parallel  = fs.Bool("parallel", false, "resolve through per-server resolver workers (one goroutine per simulated server)")
-		explain   = fs.String("explain", "", "write one provenance record per classifier decision as JSON lines to this path (.gz compresses)")
+		explain   = fs.String("explain", "", "write one provenance record per classifier decision as JSON lines to this path (.gz compresses; with -window the records come from the streaming pass, stamped with window and hysteresis state)")
 		verifyExp = fs.String("verify-explain", "", "verify an -explain file (replay every decision path) and exit")
+		window    = fs.Duration("window", 0, "after the batch mine, replay the stream through the incremental miner, re-scoring every this much simulated time (0 disables the streaming pass)")
+		hyster    = fs.Int("hysteresis", 2, "consecutive streaming windows required to flip a zone's verdict (with -window)")
 	)
 	var tcfg telemetry.CLIConfig
 	tcfg.RegisterFlags(fs)
@@ -103,6 +105,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *tracePath != "" && *live {
 		return fmt.Errorf("-trace and -live are mutually exclusive")
+	}
+	if *window > 0 {
+		for _, p := range strings.Split(*tracePath, ",") {
+			if p == "-" {
+				return fmt.Errorf("-window needs to replay the stream a second time; stdin traces cannot be re-read")
+			}
+		}
 	}
 
 	sess, err := tcfg.Start("dnsnoise-mine", args)
@@ -213,7 +222,9 @@ func run(args []string, stdout io.Writer) error {
 		ew         *core.ExplainWriter
 		explainErr error
 	)
-	if *explain != "" {
+	if *explain != "" && *window == 0 {
+		// With -window the streaming pass owns the explain file instead,
+		// stamping each record with its window and hysteresis state.
 		ew, err = core.CreateExplain(*explain)
 		if err != nil {
 			return fmt.Errorf("explain: %w", err)
@@ -274,6 +285,19 @@ func run(args []string, stdout io.Writer) error {
 			break
 		}
 		fmt.Fprintf(stdout, "%-44s %5d %10.3f %7d\n", f.Zone, f.Depth, f.Confidence, len(f.Names))
+	}
+	if *window > 0 {
+		pass := &streamingPass{
+			tracePath: *tracePath, live: *live, profileNm: *profileNm, days: *days,
+			events: *events, clients: *clients, seed: *seed, ndZones: *ndZones,
+			dispZn: *dispZn, maxHosts: *maxHosts, servers: *servers, cacheSz: *cacheSz,
+			parallel: *parallel,
+			clf:      clf, theta: *theta, window: *window, hysteresis: *hyster,
+			explain: *explain, batchFindings: findings,
+		}
+		if err := pass.run(stdout); err != nil {
+			return err
+		}
 	}
 	if err := qs.Close(); err != nil {
 		return fmt.Errorf("qlog: %w", err)

@@ -280,6 +280,64 @@ func TestQlogExplainDoNotPerturbOutput(t *testing.T) {
 	}
 }
 
+// TestStreamingWindowPass runs the same trace with and without -window:
+// the batch report must survive byte-identical as a prefix, the streaming
+// pass must confirm its day-boundary verdicts match the batch miner, and
+// the explain file (owned by the streaming pass when -window is on) must
+// verify and carry window stamps with hysteresis state.
+func TestStreamingWindowPass(t *testing.T) {
+	trace := writeTestTrace(t)
+	var batch strings.Builder
+	if err := run(mineFlags(trace), &batch); err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+
+	explainPath := filepath.Join(t.TempDir(), "explain.jsonl")
+	var streamed strings.Builder
+	args := append(mineFlags(trace), "-window", "6h", "-hysteresis", "2", "-explain", explainPath)
+	if err := run(args, &streamed); err != nil {
+		t.Fatalf("streaming run: %v", err)
+	}
+	if !strings.HasPrefix(streamed.String(), batch.String()) {
+		t.Errorf("-window perturbed the batch report:\n--- batch ---\n%s\n--- streamed ---\n%s",
+			batch.String(), streamed.String())
+	}
+	if !strings.Contains(streamed.String(), "day-boundary verdicts identical to batch miner") {
+		t.Errorf("streaming pass did not confirm batch equivalence:\n%s", streamed.String())
+	}
+
+	recs, err := core.OpenExplain(explainPath)
+	if err != nil {
+		t.Fatalf("read explain: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("streaming explain file holds no records")
+	}
+	if err := core.VerifyExplain(recs); err != nil {
+		t.Fatalf("VerifyExplain on streamed records: %v", err)
+	}
+	windows := map[uint32]bool{}
+	for _, rec := range recs {
+		if rec.Window == 0 || rec.Day == "" || rec.Hysteresis == "" {
+			t.Fatalf("streamed explain record missing window stamp: %+v", rec)
+		}
+		windows[rec.Window] = true
+	}
+	if len(windows) < 2 {
+		t.Errorf("explain records span %d windows, want intra-day re-scores too", len(windows))
+	}
+}
+
+// TestStreamingWindowRejectsStdinTrace: the second pass has to re-read
+// the trace, which stdin cannot do.
+func TestStreamingWindowRejectsStdinTrace(t *testing.T) {
+	var out strings.Builder
+	err := run(append(mineFlags("-"), "-window", "6h"), &out)
+	if err == nil || !strings.Contains(err.Error(), "stdin") {
+		t.Fatalf("err = %v, want stdin rejection", err)
+	}
+}
+
 // TestVerifyExplainRejectsTamperedFile checks the CLI catches a record
 // whose label disagrees with its recorded confidence/theta.
 func TestVerifyExplainRejectsTamperedFile(t *testing.T) {

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"time"
+
+	"dnsnoise/internal/core"
+	"dnsnoise/internal/ingest"
+	"dnsnoise/internal/mlearn"
+	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/workload"
+)
+
+// streamingPass carries everything the -window second pass needs to
+// rebuild the exact same query stream the batch phase consumed and drive
+// it through the incremental miner.
+type streamingPass struct {
+	tracePath string
+	live      bool
+	profileNm string
+	days      int
+	events    int
+	clients   int
+	seed      int64
+	ndZones   int
+	dispZn    int
+	maxHosts  int
+	servers   int
+	cacheSz   int
+	parallel  bool
+
+	clf        *mlearn.DecisionTree
+	theta      float64
+	window     time.Duration
+	hysteresis int
+	explain    string
+
+	batchFindings []core.Finding
+}
+
+// run replays the stream through a StreamingPipeline: intake via the
+// ingest sink seam, a re-score every p.window of simulated time, and an
+// EndDay at every rotation. The batch phase already printed its report
+// from the same events; this pass shows what the incremental miner would
+// have said along the way, and — for single-day streams — checks the
+// day-boundary verdicts reproduce the batch findings exactly.
+//
+// Everything is rebuilt from the original flags (registry, authority,
+// cluster, generator), so the regenerated stream is bit-identical to the
+// first pass; stdin traces cannot be re-read and are rejected up front.
+func (p *streamingPass) run(stdout io.Writer) error {
+	reg := workload.NewRegistry(workload.RegistryConfig{
+		Seed:               p.seed,
+		NonDisposableZones: p.ndZones,
+		DisposableZones:    p.dispZn,
+		HostsPerZoneMax:    p.maxHosts,
+	})
+	auth, err := reg.BuildAuthority(nil, nil)
+	if err != nil {
+		return fmt.Errorf("streaming: rebuild authority: %w", err)
+	}
+	cluster, err := resolver.NewCluster(auth,
+		resolver.WithServers(p.servers), resolver.WithCacheSize(p.cacheSz))
+	if err != nil {
+		return err
+	}
+	gen := workload.NewGenerator(reg, workload.GeneratorConfig{
+		Seed:             p.seed + 2,
+		Clients:          p.clients,
+		BaseEventsPerDay: p.events,
+	})
+
+	var (
+		src  ingest.QuerySource
+		opts []ingest.Option
+	)
+	if p.live {
+		profiles, err := workload.SelectProfiles(p.profileNm, p.days)
+		if err != nil {
+			return err
+		}
+		src = ingest.NewGeneratorSource(gen, profiles...)
+	} else {
+		profileFor, err := workload.ProfileResolver(p.profileNm)
+		if err != nil {
+			return err
+		}
+		src = ingest.NewTraceSource(strings.Split(p.tracePath, ",")...)
+		opts = append(opts, ingest.OnDayStart(ingest.ReplayProfiles(gen, profileFor)))
+	}
+	defer src.Close()
+
+	sp, err := core.NewStreamingPipeline(p.clf,
+		core.MinerConfig{Theta: p.theta},
+		core.StreamingConfig{Hysteresis: p.hysteresis, NumServers: p.servers}, nil)
+	if err != nil {
+		return err
+	}
+	var (
+		drifts     int
+		dayResults []core.RescoreResult
+	)
+	sp.OnDrift(func(core.DriftEvent) { drifts++ })
+	var (
+		ew         *core.ExplainWriter
+		explainErr error
+	)
+	if p.explain != "" {
+		ew, err = core.CreateExplain(p.explain)
+		if err != nil {
+			return fmt.Errorf("streaming explain: %w", err)
+		}
+		defer ew.Close()
+		sp.SetExplain(func(rec core.ExplainRecord) {
+			if err := ew.Record(rec); err != nil && explainErr == nil {
+				explainErr = err
+			}
+		})
+	}
+	// The StreamingHooks cadence, unbundled so each day's RescoreResult is
+	// kept for the equivalence check: sink intake, a re-score per elapsed
+	// -window of simulated time, EndDay at rotation.
+	opts = append(opts,
+		ingest.WithSinks(sp),
+		ingest.WithWindowTicks(p.window, func(tk ingest.Tick) error {
+			_, err := sp.Rescore(tk.Day)
+			return err
+		}),
+		ingest.OnWindow(func(w ingest.Window) error {
+			res, err := sp.EndDay(w.Date)
+			if err == nil {
+				dayResults = append(dayResults, res)
+			}
+			return err
+		}),
+	)
+	if p.parallel {
+		opts = append(opts, ingest.WithParallel())
+	}
+	if err := ingest.NewRunner(cluster, opts...).Run(src); err != nil {
+		return fmt.Errorf("streaming replay: %w", err)
+	}
+	if explainErr != nil {
+		return fmt.Errorf("streaming explain: %w", explainErr)
+	}
+	if ew != nil {
+		if err := ew.Close(); err != nil {
+			return fmt.Errorf("streaming explain: %w", err)
+		}
+	}
+
+	fmt.Fprintf(stdout, "\nstreaming: %d re-score windows over %d days (every %s, hysteresis %d), %d drift events, %d disposable pairs live\n",
+		sp.Windows(), len(dayResults), p.window, p.hysteresis, drifts, len(sp.CurrentDisposable()))
+	if len(dayResults) == 1 {
+		// A single-day stream mines one day window, directly comparable to
+		// the batch phase's single merged window.
+		if reflect.DeepEqual(dayResults[0].Findings, p.batchFindings) {
+			fmt.Fprintf(stdout, "streaming: day-boundary verdicts identical to batch miner (%d findings)\n",
+				len(dayResults[0].Findings))
+		} else {
+			return fmt.Errorf("streaming: day-boundary verdicts diverge from batch (%d vs %d findings)",
+				len(dayResults[0].Findings), len(p.batchFindings))
+		}
+	}
+	return nil
+}

@@ -43,7 +43,13 @@ func run(args []string) error {
 		zonefile = fs.String("zonefile", "", "optional extra zone file to serve ($ORIGIN required)")
 		nlisten  = fs.Int("listeners", 1, "SO_REUSEPORT listener sockets sharing the port (Linux; elsewhere falls back to 1)")
 		batch    = fs.Int("batch", udptransport.DefaultBatch, "datagrams moved per syscall via recvmmsg/sendmmsg (1 = single-packet syscalls)")
+		tcp      = fs.Bool("tcp", false, "also answer over TCP on the same port (RFC 1035 framing, for TC=1 retries)")
 	)
+	var score scoreConfig
+	fs.BoolVar(&score.enabled, "score", false, "live-score every query against the streaming miner (trains on one in-process day at startup)")
+	fs.Float64Var(&score.theta, "theta", 0.9, "classification threshold for -score")
+	fs.DurationVar(&score.window, "window", 30*time.Second, "wall-clock re-score interval for -score (0 = intake only, never re-score)")
+	fs.IntVar(&score.hysteresis, "hysteresis", 2, "consecutive re-score windows required to flip a zone's verdict")
 	var tcfg telemetry.CLIConfig
 	tcfg.RegisterFlags(fs)
 	var qcfg qlog.CLIConfig
@@ -90,11 +96,26 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "serving extra zone %s\n", zone.Origin())
 	}
 
-	srv, err := udptransport.Serve(auth, *addr,
+	serveOpts := []udptransport.ServerOption{
 		udptransport.WithServerMetrics(sess.Registry),
 		udptransport.WithServerQueryLog(qs.Log()),
 		udptransport.WithListeners(*nlisten),
-		udptransport.WithBatch(*batch))
+		udptransport.WithBatch(*batch),
+	}
+	if *tcp {
+		serveOpts = append(serveOpts, udptransport.WithTCP())
+	}
+	if score.enabled {
+		eng, err := buildScoring(reg, auth, *seed, score, sess.Registry)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		serveOpts = append(serveOpts, udptransport.WithScorer(
+			func(listener int) udptransport.Scorer { return eng.NewScorer() }))
+	}
+
+	srv, err := udptransport.Serve(auth, *addr, serveOpts...)
 	if err != nil {
 		return err
 	}

@@ -48,10 +48,19 @@ type ExplainRecord struct {
 	Theta      float64 `json:"theta"`
 	Disposable bool    `json:"disposable"`
 	// Path is the decision-tree route taken (empty when the classifier
-	// cannot explain paths, e.g. naive Bayes).
+	// cannot explain paths, e.g. naive Bayes). When the miner ran with a
+	// FeatureMask, each step's Feature index is translated back to the
+	// full-vector index, so verification against Features stays sound.
 	Path []mlearn.PathStep `json:"path,omitempty"`
 	// SampleNames holds up to maxSampleNames of the group's names.
 	SampleNames []string `json:"sample_names,omitempty"`
+	// Streaming provenance (absent on batch runs): Window is the 1-based
+	// re-score window that produced the decision, Day its UTC date, and
+	// Hysteresis the (verdict, streak) state the zone held when the window
+	// was scored — e.g. "current=benign streak=1/2".
+	Window     uint32 `json:"window,omitempty"`
+	Day        string `json:"day,omitempty"`
+	Hysteresis string `json:"hysteresis,omitempty"`
 }
 
 // SetExplain installs the provenance callback, invoked once per
@@ -61,10 +70,11 @@ type ExplainRecord struct {
 func (m *Miner) SetExplain(fn func(ExplainRecord)) { m.explain = fn }
 
 // explainRecord assembles the provenance for one decision. vec is the
-// classifier input; names must be read before decoloring mutates nothing
-// (Names themselves survive, but we copy the sample to decouple the
-// record from the tree's slices).
-func (m *Miner) explainRecord(zone string, depth int, names, labels []string, vec []float64, p float64, disposable bool) ExplainRecord {
+// full feature vector, input the (possibly masked) classifier input;
+// names must be read before decoloring mutates nothing (Names themselves
+// survive, but we copy the sample to decouple the record from the tree's
+// slices).
+func (m *Miner) explainRecord(zone string, depth int, names, labels []string, vec, input []float64, p float64, disposable bool) ExplainRecord {
 	rec := ExplainRecord{
 		Zone:       zone,
 		Depth:      depth,
@@ -86,7 +96,17 @@ func (m *Miner) explainRecord(zone string, depth int, names, labels []string, ve
 		rec.Features[name] = vec[i]
 	}
 	if ex, ok := m.classifier.(mlearn.PathExplainer); ok {
-		if _, path, err := ex.ExplainPath(vec); err == nil {
+		if _, path, err := ex.ExplainPath(input); err == nil {
+			if m.cfg.FeatureMask != nil {
+				// The classifier saw the masked vector; translate its step
+				// indexes back to full-vector positions so VerifyExplain can
+				// match them against the Features map.
+				for i := range path {
+					if path[i].Feature >= 0 && path[i].Feature < len(m.cfg.FeatureMask) {
+						path[i].Feature = m.cfg.FeatureMask[path[i].Feature]
+					}
+				}
+			}
 			rec.Path = path
 		}
 	}

@@ -53,6 +53,11 @@ type MinerConfig struct {
 	// training floor was 15 disposable domains per zone; classification
 	// uses a lower floor since daily group sizes vary). Default 4.
 	MinGroupSize int
+	// FeatureMask restricts the classifier input to the listed feature
+	// indexes, for classifiers trained on a masked set (the serve path's
+	// tree-structure-only scorer has no CHR data for live names). Nil uses
+	// the full 8-dimensional vector.
+	FeatureMask []int
 }
 
 func (c *MinerConfig) setDefaults() {
@@ -73,6 +78,12 @@ type Miner struct {
 	// classifier decision (see explain.go).
 	explain func(ExplainRecord)
 
+	// entropy, when set via SetEntropyCache, memoizes label entropies
+	// across Mine calls — the streaming re-score path. The cached variant
+	// is bit-identical to the batch computation, so sharing a miner
+	// between modes cannot change its output.
+	entropy *features.EntropyCache
+
 	// Telemetry counters; nil (no-op) unless SetMetrics was called. The
 	// counters are atomic, so ProcessDays' concurrent miners share them.
 	mDecisions  *telemetry.Counter
@@ -90,6 +101,10 @@ func (m *Miner) SetMetrics(reg *telemetry.Registry) {
 	m.mDisposable = reg.Counter("miner_disposable_groups_total",
 		"Groups classified disposable (Algorithm 1 line 5 positives).")
 }
+
+// SetEntropyCache installs a memoized label-entropy cache used by every
+// subsequent Mine. Pass nil to return to uncached batch extraction.
+func (m *Miner) SetEntropyCache(c *features.EntropyCache) { m.entropy = c }
 
 // NewMiner wraps a trained classifier.
 func NewMiner(classifier mlearn.Classifier, cfg MinerConfig) (*Miner, error) {
@@ -143,15 +158,19 @@ func (m *Miner) mineZone(tree *dntree.Tree, byName map[string][]*chrstat.RRStat,
 		if len(g.Names) < m.cfg.MinGroupSize {
 			continue
 		}
-		vec := features.FromGroup(g, byName)
+		vec := features.FromGroupCached(g, byName, m.entropy)
 		slice := vec.Slice()
-		disposable, p, err := mlearn.Predict(m.classifier, slice, m.cfg.Theta)
+		input := slice
+		if m.cfg.FeatureMask != nil {
+			input = features.Mask(slice, m.cfg.FeatureMask)
+		}
+		disposable, p, err := mlearn.Predict(m.classifier, input, m.cfg.Theta)
 		if err != nil {
 			return fmt.Errorf("classify %s depth %d: %w", zone, g.Depth, err)
 		}
 		m.mDecisions.Inc()
 		if m.explain != nil {
-			m.explain(m.explainRecord(zone, g.Depth, g.Names, g.Labels, slice, p, disposable))
+			m.explain(m.explainRecord(zone, g.Depth, g.Names, g.Labels, slice, input, p, disposable))
 		}
 		if !disposable {
 			continue

@@ -1,0 +1,565 @@
+// The streaming miner: the day-batch pipeline of pipeline.go restructured
+// into an incremental sliding-window process. Observations flow in through
+// the same ingest sink seam the batch pipeline taps, but instead of
+// waiting for a completed day collector, the StreamingPipeline
+//
+//   - folds newly observed names into one long-lived domain name tree
+//     (dntree.InsertAt, window-stamped, with optional sliding-window
+//     expiry) through lock-striped dedup buffers, so the observe path
+//     costs a stripe lock and a map probe;
+//   - re-scores every candidate zone each window by running Algorithm 1
+//     over the live tree with memoized label entropies, then recoloring
+//     the mined names so the tree survives to the next window;
+//   - debounces verdict flips with hysteresis — a zone's public verdict
+//     changes only after K consecutive windows propose the same flip —
+//     and emits a DriftEvent at each accepted flip;
+//   - publishes the current verdict set as an immutable VerdictSnapshot
+//     behind an atomic pointer, cheap enough to probe per packet on the
+//     serve path.
+//
+// The equivalence contract: with expiry disabled (KeepWindows == 0), the
+// re-score at a day boundary sees exactly the tree and collector state the
+// batch miner would build from the same trace, so EndDay's findings are
+// DeepEqual to Pipeline.ProcessDay's — the paper's measurements survive
+// the refactor. Tests pin this sequentially and under -parallel.
+
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsnoise/internal/chrstat"
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/dnsname"
+	"dnsnoise/internal/dntree"
+	"dnsnoise/internal/features"
+	"dnsnoise/internal/mlearn"
+	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/telemetry"
+)
+
+// DefaultHysteresis is the default K: a verdict flips only after this many
+// consecutive windows agree on the flip.
+const DefaultHysteresis = 2
+
+// StreamingConfig tunes the incremental pipeline around a MinerConfig.
+type StreamingConfig struct {
+	// Hysteresis is K, the consecutive-window agreement required before a
+	// zone's verdict flips (default DefaultHysteresis; 1 flips instantly).
+	Hysteresis int
+	// KeepWindows is the sliding horizon: names not re-observed within
+	// this many windows are decolored and pruned. 0 disables expiry — the
+	// day-equivalence mode, where the tree accumulates until EndDay.
+	KeepWindows int
+	// NumServers shards the internal CHR collector (match the resolver
+	// cluster; default 1). The serve path, which feeds names without
+	// observations, can leave it zero.
+	NumServers int
+}
+
+func (c *StreamingConfig) setDefaults() {
+	if c.Hysteresis == 0 {
+		c.Hysteresis = DefaultHysteresis
+	}
+	if c.NumServers == 0 {
+		c.NumServers = 1
+	}
+}
+
+// ZoneDepth identifies one candidate group: the (z, k) pair of
+// Algorithm 1's output.
+type ZoneDepth struct {
+	Zone  string
+	Depth int
+}
+
+// DriftEvent records one accepted verdict flip.
+type DriftEvent struct {
+	// Window is the 1-based re-score window that accepted the flip.
+	Window uint32
+	// Date is the day the window belongs to.
+	Date  time.Time
+	Zone  string
+	Depth int
+	// Disposable is the new verdict.
+	Disposable bool
+	// Confidence is the classifier's latest disposable-class probability
+	// for the group.
+	Confidence float64
+}
+
+// verdictState is one zone-depth pair's hysteresis state. Pairs at the
+// baseline (benign, no pending streak) are not stored at all.
+type verdictState struct {
+	current    bool    // the public verdict
+	streak     int     // consecutive windows proposing !current
+	confidence float64 // latest positive confidence seen
+}
+
+// VerdictSnapshot is an immutable view of the current verdict set,
+// published atomically after every re-score. Depths are encoded as a
+// per-zone bitmask so the serve path can probe a name's ancestor chain
+// with plain map lookups and no allocation.
+type VerdictSnapshot struct {
+	window uint32
+	zones  map[string]uint64 // zone -> bitmask of disposable depths (1..63)
+	pairs  int
+}
+
+// Window returns the 1-based window ordinal that published the snapshot.
+func (s *VerdictSnapshot) Window() uint32 {
+	if s == nil {
+		return 0
+	}
+	return s.window
+}
+
+// Pairs returns how many (zone, depth) pairs the snapshot flags.
+func (s *VerdictSnapshot) Pairs() int {
+	if s == nil {
+		return 0
+	}
+	return s.pairs
+}
+
+// Lookup probes one zone (as raw bytes, so wire-parsed names need no
+// string allocation) and returns its disposable-depth bitmask. Check a
+// full name's depth with DepthBit.
+func (s *VerdictSnapshot) Lookup(zone []byte) (uint64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	mask, ok := s.zones[string(zone)] // compiler elides the conversion
+	return mask, ok
+}
+
+// LookupString is Lookup for callers that already hold a string.
+func (s *VerdictSnapshot) LookupString(zone string) (uint64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	mask, ok := s.zones[zone]
+	return mask, ok
+}
+
+// DepthBit returns the bitmask bit for a full name's depth, and whether
+// the depth is encodable (1..63).
+func DepthBit(depth int) (uint64, bool) {
+	if depth <= 0 || depth >= 64 {
+		return 0, false
+	}
+	return 1 << uint(depth), true
+}
+
+// RescoreResult is one window's re-score outcome.
+type RescoreResult struct {
+	// Window is the 1-based ordinal of the completed window.
+	Window uint32
+	// Date is the day the window belongs to.
+	Date time.Time
+	// Inserted counts names newly drained into the tree this window;
+	// Expired counts names decolored by the sliding horizon.
+	Inserted int
+	Expired  int
+	// Findings are the window's raw Algorithm 1 positives — at a day
+	// boundary with expiry disabled, DeepEqual to the batch miner's.
+	Findings []Finding
+	// Drifts are the verdict flips the window's hysteresis accepted.
+	Drifts []DriftEvent
+}
+
+// pendingStripeCount is the lock-stripe fan-out of the observe-side name
+// intake (power of two, mask-selected).
+const pendingStripeCount = 16
+
+type pendingStripe struct {
+	mu    sync.Mutex
+	seen  map[string]struct{}
+	names []string
+}
+
+// StreamingPipeline is the incremental miner. Observe* methods are safe
+// for concurrent use (the parallel resolver workers call them);
+// Rescore/EndDay/Prime must run with the observe side quiesced — the
+// ingest runner calls them at stream barriers, the serve path from its
+// single miner goroutine.
+type StreamingPipeline struct {
+	miner    *Miner
+	suffixes *dnsname.Suffixes
+	cfg      StreamingConfig
+
+	tree      *dntree.Tree
+	entropy   *features.EntropyCache
+	collector *chrstat.ShardedCollector
+	pending   [pendingStripeCount]pendingStripe
+
+	windows atomic.Uint32 // completed re-scores (1-based window = windows+1)
+	day     string        // current day label, for explain stamps
+	states  map[ZoneDepth]*verdictState
+	snap    atomic.Pointer[VerdictSnapshot]
+
+	rank *Pipeline // cumulative day ranking, folded exactly like batch
+
+	onDrift func(DriftEvent)
+	explain func(ExplainRecord)
+
+	mRescores *telemetry.Counter
+	mDrifts   *telemetry.Counter
+	mNames    *telemetry.Counter
+}
+
+// NewStreamingPipeline builds the incremental pipeline around a trained
+// classifier. mcfg mirrors the batch miner's knobs (theta, group floor,
+// feature mask); pass the same values as the batch run when the
+// equivalence contract matters.
+func NewStreamingPipeline(classifier mlearn.Classifier, mcfg MinerConfig, scfg StreamingConfig, suffixes *dnsname.Suffixes) (*StreamingPipeline, error) {
+	miner, err := NewMiner(classifier, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	scfg.setDefaults()
+	if suffixes == nil {
+		suffixes = dnsname.DefaultSuffixes()
+	}
+	rank, err := NewPipeline(miner, suffixes)
+	if err != nil {
+		return nil, err
+	}
+	p := &StreamingPipeline{
+		miner:     miner,
+		suffixes:  suffixes,
+		cfg:       scfg,
+		tree:      dntree.New(suffixes),
+		entropy:   features.NewEntropyCache(),
+		collector: chrstat.NewShardedCollector(scfg.NumServers),
+		states:    make(map[ZoneDepth]*verdictState),
+		rank:      rank,
+	}
+	miner.SetEntropyCache(p.entropy)
+	for i := range p.pending {
+		p.pending[i].seen = make(map[string]struct{})
+	}
+	return p, nil
+}
+
+// Miner exposes the wrapped miner (for metric registration and config
+// inspection).
+func (p *StreamingPipeline) Miner() *Miner { return p.miner }
+
+// OnDrift installs the drift-event callback, invoked from the re-score
+// path (quiesced) in deterministic (zone, depth) order.
+func (p *StreamingPipeline) OnDrift(fn func(DriftEvent)) { p.onDrift = fn }
+
+// SetExplain installs the provenance callback. Each record is stamped
+// with the re-score window, its day, and the hysteresis state the pair
+// held when the decision was made — the streaming extension of the batch
+// -explain records.
+func (p *StreamingPipeline) SetExplain(fn func(ExplainRecord)) {
+	p.explain = fn
+	if fn == nil {
+		p.miner.SetExplain(nil)
+		return
+	}
+	p.miner.SetExplain(p.stampExplain)
+}
+
+// stampExplain decorates one miner provenance record with streaming
+// context. It runs inside Mine, which only executes on the quiesced
+// re-score path, so reading the pipeline's window state is safe.
+func (p *StreamingPipeline) stampExplain(rec ExplainRecord) {
+	rec.Window = p.windows.Load() + 1
+	rec.Day = p.day
+	verdict, streak := "benign", 0
+	if st, ok := p.states[ZoneDepth{Zone: rec.Zone, Depth: rec.Depth}]; ok {
+		if st.current {
+			verdict = "disposable"
+		}
+		streak = st.streak
+	}
+	rec.Hysteresis = fmt.Sprintf("current=%s streak=%d/%d", verdict, streak, p.cfg.Hysteresis)
+	p.explain(rec)
+}
+
+// SetMetrics registers the pipeline's streaming counters and gauges.
+func (p *StreamingPipeline) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	p.mRescores = reg.Counter("streaming_rescores_total",
+		"Window re-scores run by the streaming miner.")
+	p.mDrifts = reg.Counter("streaming_drift_events_total",
+		"Verdict flips accepted by hysteresis.")
+	p.mNames = reg.Counter("streaming_names_total",
+		"Distinct names drained into the live domain name tree.")
+	reg.GaugeFunc("streaming_disposable_pairs",
+		"Zone-depth pairs currently holding a disposable verdict.",
+		func() float64 { return float64(p.snap.Load().Pairs()) })
+}
+
+// ObserveBelow implements the ingest observation-sink seam: record the
+// observation into the sharded CHR collector and note the owner name for
+// the next window's tree drain. Safe for concurrent use.
+func (p *StreamingPipeline) ObserveBelow(ob resolver.Observation) {
+	p.collector.ObserveBelow(ob)
+	if ob.RCode == dnsmsg.RCodeNoError && ob.RR.Name != "" {
+		p.noteName(ob.RR.Name)
+	}
+}
+
+// ObserveAbove is the above-side half of the sink seam.
+func (p *StreamingPipeline) ObserveAbove(ob resolver.Observation) {
+	p.collector.ObserveAbove(ob)
+	if ob.RCode == dnsmsg.RCodeNoError && ob.RR.Name != "" {
+		p.noteName(ob.RR.Name)
+	}
+}
+
+// ObserveName notes a bare name with no cache observation behind it — the
+// serve path's intake, where only the query stream is visible. Safe for
+// concurrent use.
+func (p *StreamingPipeline) ObserveName(name string) { p.noteName(name) }
+
+func (p *StreamingPipeline) noteName(name string) {
+	s := &p.pending[stripeHash(name)&(pendingStripeCount-1)]
+	s.mu.Lock()
+	if _, dup := s.seen[name]; !dup {
+		s.seen[name] = struct{}{}
+		s.names = append(s.names, name)
+	}
+	s.mu.Unlock()
+}
+
+// stripeHash is FNV-1a, used only to pick a pending stripe.
+func stripeHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Rescore closes the current window: drain pending names into the tree,
+// expire the sliding horizon, run Algorithm 1 over the live tree, restore
+// the mined colors, fold the window's verdict proposals through
+// hysteresis, and publish a fresh snapshot. Must run with the observe
+// side quiesced.
+func (p *StreamingPipeline) Rescore(date time.Time) (RescoreResult, error) {
+	p.day = date.UTC().Format("2006-01-02")
+	res := RescoreResult{Window: p.windows.Load() + 1, Date: date}
+
+	// Drain the observe-side intake into the tree.
+	for i := range p.pending {
+		s := &p.pending[i]
+		s.mu.Lock()
+		for _, name := range s.names {
+			p.tree.InsertAt(name)
+		}
+		res.Inserted += len(s.names)
+		s.names = s.names[:0]
+		s.mu.Unlock()
+	}
+	p.mNames.Add(uint64(res.Inserted))
+
+	// Expire names that fell out of the sliding horizon.
+	if p.cfg.KeepWindows > 0 {
+		if oldest := int64(p.tree.Window()) + 1 - int64(p.cfg.KeepWindows); oldest > 0 {
+			expired := p.tree.ExpireBefore(uint32(oldest))
+			res.Expired = len(expired)
+			for _, name := range expired {
+				s := &p.pending[stripeHash(name)&(pendingStripeCount-1)]
+				s.mu.Lock()
+				delete(s.seen, name)
+				s.mu.Unlock()
+			}
+		}
+	}
+
+	// Re-score: mine the live tree, then recolor so it survives.
+	byName := p.collector.Merge().ByName()
+	findings, err := p.miner.Mine(p.tree, byName)
+	if err != nil {
+		return res, fmt.Errorf("window %d: %w", res.Window, err)
+	}
+	for _, f := range findings {
+		for _, name := range f.Names {
+			p.tree.Recolor(name)
+		}
+	}
+	res.Findings = findings
+	res.Drifts = p.updateHysteresis(findings, res.Window, date)
+	p.windows.Add(1)
+	p.tree.AdvanceWindow()
+	p.publishSnapshot()
+	p.mRescores.Inc()
+	for _, d := range res.Drifts {
+		if p.onDrift != nil {
+			p.onDrift(d)
+		}
+	}
+	p.mDrifts.Add(uint64(len(res.Drifts)))
+	return res, nil
+}
+
+// EndDay closes the day: a final window re-score (whose findings are the
+// day's verdicts — the batch-equivalence artifact), a fold into the
+// cumulative ranking exactly like Pipeline.ProcessDay, then a reset of
+// the tree, collector, and intake dedup for the next day. Hysteresis
+// state and the published snapshot survive across days.
+func (p *StreamingPipeline) EndDay(date time.Time) (RescoreResult, error) {
+	res, err := p.Rescore(date)
+	if err != nil {
+		return res, err
+	}
+	p.rank.fold(date, res.Findings)
+	p.tree.ResetStream()
+	p.collector = chrstat.NewShardedCollector(p.cfg.NumServers)
+	for i := range p.pending {
+		s := &p.pending[i]
+		s.mu.Lock()
+		s.seen = make(map[string]struct{})
+		s.names = s.names[:0]
+		s.mu.Unlock()
+	}
+	return res, nil
+}
+
+// updateHysteresis folds one window's positives into the per-pair verdict
+// states, returning the accepted flips in (zone, depth) order.
+func (p *StreamingPipeline) updateHysteresis(findings []Finding, window uint32, date time.Time) []DriftEvent {
+	positive := make(map[ZoneDepth]float64, len(findings))
+	for _, f := range findings {
+		positive[ZoneDepth{Zone: f.Zone, Depth: f.Depth}] = f.Confidence
+	}
+	keys := make([]ZoneDepth, 0, len(p.states)+len(positive))
+	for k := range p.states {
+		keys = append(keys, k)
+	}
+	for k := range positive {
+		if _, tracked := p.states[k]; !tracked {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Zone != keys[j].Zone {
+			return keys[i].Zone < keys[j].Zone
+		}
+		return keys[i].Depth < keys[j].Depth
+	})
+	var drifts []DriftEvent
+	for _, k := range keys {
+		conf, proposed := positive[k]
+		st, ok := p.states[k]
+		if !ok {
+			if !proposed {
+				continue
+			}
+			st = &verdictState{}
+			p.states[k] = st
+		}
+		if proposed {
+			st.confidence = conf
+		}
+		if proposed == st.current {
+			st.streak = 0
+		} else {
+			st.streak++
+			if st.streak >= p.cfg.Hysteresis {
+				st.current = proposed
+				st.streak = 0
+				drifts = append(drifts, DriftEvent{
+					Window:     window,
+					Date:       date,
+					Zone:       k.Zone,
+					Depth:      k.Depth,
+					Disposable: proposed,
+					Confidence: st.confidence,
+				})
+			}
+		}
+		if !st.current && st.streak == 0 {
+			delete(p.states, k) // back at baseline; recreate on demand
+		}
+	}
+	return drifts
+}
+
+// publishSnapshot rebuilds and atomically publishes the verdict set.
+func (p *StreamingPipeline) publishSnapshot() {
+	zones := make(map[string]uint64)
+	pairs := 0
+	for k, st := range p.states {
+		if !st.current {
+			continue
+		}
+		bit, ok := DepthBit(k.Depth)
+		if !ok {
+			continue
+		}
+		zones[k.Zone] |= bit
+		pairs++
+	}
+	p.snap.Store(&VerdictSnapshot{window: p.windows.Load(), zones: zones, pairs: pairs})
+}
+
+// Prime seeds the verdict states from a batch mine's findings (the serve
+// path's bootstrap: train, mine once offline, then go live) and publishes
+// the snapshot. Must run before the observe side starts.
+func (p *StreamingPipeline) Prime(findings []Finding) {
+	for _, f := range findings {
+		k := ZoneDepth{Zone: f.Zone, Depth: f.Depth}
+		st, ok := p.states[k]
+		if !ok {
+			st = &verdictState{}
+			p.states[k] = st
+		}
+		st.current = true
+		if f.Confidence > st.confidence {
+			st.confidence = f.Confidence
+		}
+	}
+	p.publishSnapshot()
+}
+
+// Snapshot returns the most recently published verdict snapshot (nil
+// before the first re-score or Prime; VerdictSnapshot methods are
+// nil-safe).
+func (p *StreamingPipeline) Snapshot() *VerdictSnapshot { return p.snap.Load() }
+
+// CurrentDisposable lists the pairs currently holding a disposable
+// verdict, sorted. Quiesced callers only.
+func (p *StreamingPipeline) CurrentDisposable() []ZoneDepth {
+	out := make([]ZoneDepth, 0, len(p.states))
+	for k, st := range p.states {
+		if st.current {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Zone != out[j].Zone {
+			return out[i].Zone < out[j].Zone
+		}
+		return out[i].Depth < out[j].Depth
+	})
+	return out
+}
+
+// Windows returns how many re-scores have completed.
+func (p *StreamingPipeline) Windows() uint32 { return p.windows.Load() }
+
+// Ranking returns the cumulative day ranking folded from EndDay verdicts,
+// identical in shape to the batch pipeline's.
+func (p *StreamingPipeline) Ranking() []ZoneRecord { return p.rank.Ranking() }
+
+// Summary delegates to the cumulative ranking's Figure 11 inventory.
+func (p *StreamingPipeline) Summary(minDays int) (zones, e2lds, persistent int) {
+	return p.rank.Summary(minDays)
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/cache"
+	"dnsnoise/internal/chrstat"
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/labelgen"
+	"dnsnoise/internal/mlearn"
+	"dnsnoise/internal/resolver"
+)
+
+// synthObservations fabricates one day's below/above observation stream
+// (same population shape as synthCollector, but returned as a replayable
+// slice so batch and streaming consumers see the identical trace).
+type obsEvent struct {
+	ob    resolver.Observation
+	above bool
+}
+
+func synthObservations(seed int64, nDisp, nNorm, namesPerZone int) []obsEvent {
+	rng := rand.New(rand.NewSource(seed))
+	var events []obsEvent
+	emit := func(name string, cat cache.Category, queries, misses int) {
+		rr := dnsmsg.RR{Name: name, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 60,
+			RData: fmt.Sprintf("198.18.0.%d", rng.Intn(255))}
+		ob := resolver.Observation{QName: name, RR: rr, RCode: dnsmsg.RCodeNoError, Category: cat}
+		for i := 0; i < queries; i++ {
+			events = append(events, obsEvent{ob: ob})
+		}
+		for i := 0; i < misses; i++ {
+			events = append(events, obsEvent{ob: ob, above: true})
+		}
+	}
+	for z := 0; z < nDisp; z++ {
+		zone := fmt.Sprintf("sig%d.%s.com", z, labelgen.HumanWord(rng, 6))
+		for i := 0; i < namesPerZone; i++ {
+			emit(labelgen.Token(rng, 20)+"."+zone, cache.CategoryDisposable, 1, 1)
+		}
+	}
+	for z := 0; z < nNorm; z++ {
+		zone := fmt.Sprintf("%s%d.com", labelgen.HumanWord(rng, 6), z)
+		for i := 0; i < namesPerZone; i++ {
+			emit(labelgen.HostName(rng)+"."+zone, cache.CategoryOther, 10+rng.Intn(40), 1+rng.Intn(2))
+		}
+	}
+	return events
+}
+
+func trainedClassifier(t *testing.T) *mlearn.DecisionTree {
+	t.Helper()
+	c, labels := synthCollector(10, 20, 20, 15)
+	byName := c.ByName()
+	tree := BuildTree(byName, nil)
+	examples := BuildTrainingSet(tree, byName, labels, TrainingConfig{})
+	clf, err := TrainClassifier(examples, TrainingConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+// TestStreamingDayEquivalence pins the tentpole contract: a streaming run
+// — observations drip-fed through the sink seam, with several intra-day
+// re-scores mutating and restoring the live tree — must produce
+// day-boundary verdicts DeepEqual to the batch miner over the same trace,
+// and fold an identical cumulative ranking.
+func TestStreamingDayEquivalence(t *testing.T) {
+	clf := trainedClassifier(t)
+	mcfg := MinerConfig{Theta: 0.5}
+
+	batchMiner, err := NewMiner(clf, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := NewPipeline(batchMiner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := NewStreamingPipeline(clf, mcfg, StreamingConfig{Hysteresis: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	day1 := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	for dayIdx, seed := range []int64{99, 77} {
+		date := day1.AddDate(0, 0, dayIdx)
+		events := synthObservations(seed, 15, 15, 15)
+
+		// Batch side: a completed day collector, mined in one shot.
+		col := chrstat.NewCollector()
+		for _, e := range events {
+			if e.above {
+				col.ObserveAbove(e.ob)
+			} else {
+				col.ObserveBelow(e.ob)
+			}
+		}
+		batchFindings, err := batch.ProcessDay(date, col.ByName())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Streaming side: same events through the sink seam, with
+		// mid-day re-scores exercising the mine/recolor cycle.
+		for i, e := range events {
+			if e.above {
+				stream.ObserveAbove(e.ob)
+			} else {
+				stream.ObserveBelow(e.ob)
+			}
+			if i > 0 && i%2000 == 0 {
+				if _, err := stream.Rescore(date); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		res, err := stream.EndDay(date)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Findings) == 0 {
+			t.Fatalf("day %d: streaming re-score found nothing", dayIdx)
+		}
+		if !reflect.DeepEqual(res.Findings, batchFindings) {
+			t.Fatalf("day %d: streaming day-boundary verdicts differ from batch\nstream: %+v\nbatch:  %+v",
+				dayIdx, res.Findings, batchFindings)
+		}
+	}
+	if got, want := stream.Ranking(), batch.Ranking(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("cumulative ranking differs:\nstream: %+v\nbatch:  %+v", got, want)
+	}
+}
+
+// TestStreamingHysteresisAndDrift drives the verdict state machine
+// directly: K=2 means one positive window proposes, the second flips, and
+// two empty windows flip back — each accepted flip emitting one drift
+// event in deterministic order.
+func TestStreamingHysteresisAndDrift(t *testing.T) {
+	clf := trainedClassifier(t)
+	stream, err := NewStreamingPipeline(clf, MinerConfig{Theta: 0.5}, StreamingConfig{Hysteresis: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drifts []DriftEvent
+	stream.OnDrift(func(d DriftEvent) { drifts = append(drifts, d) })
+
+	date := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	feed := func() {
+		for _, e := range synthObservations(42, 8, 8, 15) {
+			if e.above {
+				stream.ObserveAbove(e.ob)
+			} else {
+				stream.ObserveBelow(e.ob)
+			}
+		}
+	}
+
+	// Window 1: positives appear — proposals only, no flip yet.
+	feed()
+	res1, err := stream.Rescore(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Findings) == 0 {
+		t.Fatal("window 1 found nothing")
+	}
+	if len(res1.Drifts) != 0 {
+		t.Fatalf("window 1 drifted early: %+v", res1.Drifts)
+	}
+	if stream.Snapshot().Pairs() != 0 {
+		t.Fatal("snapshot flagged pairs before hysteresis agreed")
+	}
+
+	// Window 2: same positives — flips accepted.
+	feed()
+	res2, err := stream.Rescore(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Drifts) != len(res1.Findings) {
+		t.Fatalf("window 2 accepted %d flips, want %d", len(res2.Drifts), len(res1.Findings))
+	}
+	for i, d := range res2.Drifts {
+		if !d.Disposable || d.Window != 2 || d.Confidence <= 0 {
+			t.Fatalf("drift %d malformed: %+v", i, d)
+		}
+		if i > 0 && (d.Zone < res2.Drifts[i-1].Zone ||
+			(d.Zone == res2.Drifts[i-1].Zone && d.Depth <= res2.Drifts[i-1].Depth)) {
+			t.Fatal("drift events not in (zone, depth) order")
+		}
+	}
+	snap := stream.Snapshot()
+	if snap.Pairs() != len(res2.Drifts) {
+		t.Fatalf("snapshot pairs = %d, want %d", snap.Pairs(), len(res2.Drifts))
+	}
+	if got := len(stream.CurrentDisposable()); got != snap.Pairs() {
+		t.Fatalf("CurrentDisposable = %d pairs, snapshot %d", got, snap.Pairs())
+	}
+
+	// The snapshot answers ancestor probes: a flagged (zone, depth) pair
+	// matches a name of that depth under the zone.
+	zd := stream.CurrentDisposable()[0]
+	mask, ok := snap.LookupString(zd.Zone)
+	if !ok {
+		t.Fatalf("snapshot missing zone %s", zd.Zone)
+	}
+	bit, _ := DepthBit(zd.Depth)
+	if mask&bit == 0 {
+		t.Fatalf("zone %s mask %b missing depth %d", zd.Zone, mask, zd.Depth)
+	}
+	if _, ok := snap.Lookup([]byte("never.flagged.example")); ok {
+		t.Fatal("unknown zone matched")
+	}
+
+	// Window 3 is the day boundary: the tree is still populated when
+	// EndDay re-scores, so verdicts hold steady; the reset happens after.
+	res3, err := stream.EndDay(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.Drifts) != 0 {
+		t.Fatalf("day-boundary window drifted: %+v", res3.Drifts)
+	}
+	// Windows 4-5: the zones go quiet (fresh tree, no new observations) —
+	// only after two empty windows does every verdict flip back.
+	next := date.AddDate(0, 0, 1)
+	res4, err := stream.Rescore(next) // window 4: streak building
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res4.Drifts) != 0 {
+		t.Fatalf("quiet window flipped early: %+v", res4.Drifts)
+	}
+	res5, err := stream.Rescore(next) // window 5: flips accepted
+	if err != nil {
+		t.Fatal(err)
+	}
+	backFlips := 0
+	for _, d := range res5.Drifts {
+		if d.Disposable {
+			t.Fatalf("unexpected positive drift in quiet window: %+v", d)
+		}
+		backFlips++
+	}
+	if backFlips != snap.Pairs() {
+		t.Fatalf("quiet windows flipped back %d pairs, want %d", backFlips, snap.Pairs())
+	}
+	if stream.Snapshot().Pairs() != 0 {
+		t.Fatal("snapshot still flags pairs after back-flips")
+	}
+	if total := len(drifts); total != len(res2.Drifts)+backFlips {
+		t.Fatalf("OnDrift saw %d events, want %d", total, len(res2.Drifts)+backFlips)
+	}
+}
+
+// TestStreamingPrime seeds verdicts from a batch mine, the serve path's
+// bootstrap.
+func TestStreamingPrime(t *testing.T) {
+	clf := trainedClassifier(t)
+	stream, err := NewStreamingPipeline(clf, MinerConfig{Theta: 0.5}, StreamingConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := []Finding{
+		{Zone: "avqs.mcafee.com", Depth: 12, Confidence: 0.99},
+		{Zone: "d.test", Depth: 3, Confidence: 0.9},
+	}
+	stream.Prime(findings)
+	snap := stream.Snapshot()
+	if snap.Pairs() != 2 {
+		t.Fatalf("primed pairs = %d, want 2", snap.Pairs())
+	}
+	mask, ok := snap.Lookup([]byte("d.test"))
+	if bit, _ := DepthBit(3); !ok || mask&bit == 0 {
+		t.Fatalf("primed zone not probeable: mask=%b ok=%v", mask, ok)
+	}
+}
+
+// TestStreamingExplainStamps verifies the provenance extension: records
+// emitted during a re-score carry the window ordinal, day, and hysteresis
+// state.
+func TestStreamingExplainStamps(t *testing.T) {
+	clf := trainedClassifier(t)
+	stream, err := NewStreamingPipeline(clf, MinerConfig{Theta: 0.5}, StreamingConfig{Hysteresis: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []ExplainRecord
+	stream.SetExplain(func(rec ExplainRecord) { recs = append(recs, rec) })
+	for _, e := range synthObservations(42, 6, 6, 15) {
+		if e.above {
+			stream.ObserveAbove(e.ob)
+		} else {
+			stream.ObserveBelow(e.ob)
+		}
+	}
+	date := time.Date(2014, 3, 5, 0, 0, 0, 0, time.UTC)
+	if _, err := stream.Rescore(date); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no explain records emitted")
+	}
+	for _, rec := range recs {
+		if rec.Window != 1 {
+			t.Fatalf("record window = %d, want 1", rec.Window)
+		}
+		if rec.Day != "2014-03-05" {
+			t.Fatalf("record day = %q", rec.Day)
+		}
+		if rec.Hysteresis != "current=benign streak=0/3" {
+			t.Fatalf("record hysteresis = %q", rec.Hysteresis)
+		}
+	}
+	// The records still satisfy the batch verifier.
+	if err := VerifyExplain(recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamingSlidingExpiry checks KeepWindows: names not re-observed
+// within the horizon leave the tree.
+func TestStreamingSlidingExpiry(t *testing.T) {
+	clf := trainedClassifier(t)
+	stream, err := NewStreamingPipeline(clf, MinerConfig{Theta: 0.5}, StreamingConfig{Hysteresis: 1, KeepWindows: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	date := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	stream.ObserveName("once.seen.example.com")
+	res, err := stream.Rescore(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || res.Expired != 0 {
+		t.Fatalf("window 1: inserted=%d expired=%d", res.Inserted, res.Expired)
+	}
+	// Window 2: nothing re-observed; horizon is 2 so the name survives.
+	if res, err = stream.Rescore(date); err != nil || res.Expired != 0 {
+		t.Fatalf("window 2: expired=%d err=%v", res.Expired, err)
+	}
+	// Window 3: the name falls out of the horizon.
+	if res, err = stream.Rescore(date); err != nil || res.Expired != 1 {
+		t.Fatalf("window 3: expired=%d err=%v", res.Expired, err)
+	}
+	// Re-observation after expiry re-inserts (the dedup map was cleaned).
+	stream.ObserveName("once.seen.example.com")
+	if res, err = stream.Rescore(date); err != nil || res.Inserted != 1 {
+		t.Fatalf("window 4: inserted=%d err=%v", res.Inserted, err)
+	}
+}

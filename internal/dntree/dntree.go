@@ -17,13 +17,28 @@ import (
 type Tree struct {
 	root     *node
 	suffixes *dnsname.Suffixes
-	e2lds    map[string]struct{}
-	black    int
+	// e2lds refcounts black nodes per registrable domain: batch inserts
+	// only ever increment (a zone stays a mining start point for the whole
+	// day), while the streaming expiry path (stream.go) decrements so
+	// zones whose names all aged out stop being walked.
+	e2lds map[string]int
+	black int
+
+	// Streaming state (see stream.go). window is the current window
+	// ordinal; byWindow records names first stamped in each window so
+	// expiry touches only that window's names, not the whole tree;
+	// windowBlack counts black nodes per last-seen window.
+	window      uint32
+	byWindow    map[uint32][]string
+	windowBlack map[uint32]int
 }
 
 type node struct {
 	children map[string]*node
 	black    bool
+	// lastSeen is the window ordinal of the node's most recent
+	// observation while black; meaningful only for streaming trees.
+	lastSeen uint32
 }
 
 // New returns an empty tree using suffixes for effective-2LD extraction.
@@ -35,7 +50,7 @@ func New(suffixes *dnsname.Suffixes) *Tree {
 	return &Tree{
 		root:     &node{children: make(map[string]*node)},
 		suffixes: suffixes,
-		e2lds:    make(map[string]struct{}),
+		e2lds:    make(map[string]int),
 	}
 }
 
@@ -51,9 +66,9 @@ func (t *Tree) Insert(name string) {
 	if !n.black {
 		n.black = true
 		t.black++
-	}
-	if e2ld := t.suffixes.ETLDPlusOne(name); e2ld != "" {
-		t.e2lds[e2ld] = struct{}{}
+		if e2ld := t.suffixes.ETLDPlusOne(name); e2ld != "" {
+			t.e2lds[e2ld]++
+		}
 	}
 }
 

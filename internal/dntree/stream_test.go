@@ -1,0 +1,143 @@
+package dntree
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestStreamEquivalenceWithBatch pins the day-equivalence contract at the
+// tree layer: with expiry disabled, a streaming tree fed InsertAt over the
+// same names as a batch Insert holds an identical black set, e2ld set, and
+// group structure — regardless of insertion order or window spread.
+func TestStreamEquivalenceWithBatch(t *testing.T) {
+	names := []string{
+		"x1.api.cdn.example.com",
+		"x2.api.cdn.example.com",
+		"a9.api.cdn.example.com",
+		"www.example.com",
+		"mail.other.org",
+		"b.mail.other.org",
+		"x1.api.cdn.example.com", // duplicate
+	}
+	batch := New(nil)
+	for _, n := range names {
+		batch.Insert(n)
+	}
+	stream := New(nil)
+	for i, n := range names {
+		if i == 3 {
+			stream.AdvanceWindow() // split the insertions across windows
+		}
+		stream.InsertAt(n)
+	}
+	if got, want := stream.BlackCount(), batch.BlackCount(); got != want {
+		t.Fatalf("BlackCount: stream %d, batch %d", got, want)
+	}
+	if got, want := stream.Effective2LDs(), batch.Effective2LDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Effective2LDs: stream %v, batch %v", got, want)
+	}
+	for _, zone := range batch.Effective2LDs() {
+		if got, want := stream.GroupsUnder(zone), batch.GroupsUnder(zone); !reflect.DeepEqual(got, want) {
+			t.Fatalf("GroupsUnder(%s): stream %+v, batch %+v", zone, got, want)
+		}
+	}
+}
+
+// TestRecolorUndoesDecolor checks the mine-then-restore cycle the
+// streaming re-score relies on.
+func TestRecolorUndoesDecolor(t *testing.T) {
+	tr := New(nil)
+	tr.InsertAt("a.zone.example.net")
+	tr.InsertAt("b.zone.example.net")
+	before := tr.BlackCount()
+	if !tr.Decolor("a.zone.example.net") {
+		t.Fatal("Decolor returned false for a black node")
+	}
+	if tr.IsBlack("a.zone.example.net") {
+		t.Fatal("node still black after Decolor")
+	}
+	if !tr.Recolor("a.zone.example.net") {
+		t.Fatal("Recolor returned false for a decolored node")
+	}
+	if tr.Recolor("a.zone.example.net") {
+		t.Fatal("Recolor reported a change on an already-black node")
+	}
+	if tr.Recolor("never.inserted.example.net") {
+		t.Fatal("Recolor invented a node")
+	}
+	if got := tr.BlackCount(); got != before {
+		t.Fatalf("BlackCount after decolor+recolor = %d, want %d", got, before)
+	}
+	if !tr.IsBlack("a.zone.example.net") {
+		t.Fatal("node not black after Recolor")
+	}
+}
+
+// TestExpireBefore exercises sliding-window decay: names not re-observed
+// within the keep horizon are decolored and pruned; re-observed names
+// survive with their newer stamp.
+func TestExpireBefore(t *testing.T) {
+	tr := New(nil)
+	tr.InsertAt("old.zone.example.com")    // window 0
+	tr.InsertAt("stable.zone.example.com") // window 0
+	tr.AdvanceWindow()
+	tr.InsertAt("stable.zone.example.com") // re-observed in window 1
+	tr.InsertAt("new.zone.example.com")    // window 1
+
+	if got := tr.BlackInWindow(1); got != 2 {
+		t.Fatalf("BlackInWindow(1) = %d, want 2", got)
+	}
+	expired := tr.ExpireBefore(1)
+	sort.Strings(expired)
+	if want := []string{"old.zone.example.com"}; !reflect.DeepEqual(expired, want) {
+		t.Fatalf("expired = %v, want %v", expired, want)
+	}
+	if tr.IsBlack("old.zone.example.com") {
+		t.Fatal("expired name still black")
+	}
+	if !tr.IsBlack("stable.zone.example.com") || !tr.IsBlack("new.zone.example.com") {
+		t.Fatal("surviving names lost their color")
+	}
+	if got := tr.BlackCount(); got != 2 {
+		t.Fatalf("BlackCount = %d, want 2", got)
+	}
+	// The e2ld survives while any black name remains, and disappears once
+	// the last one expires.
+	if got := tr.Effective2LDs(); !reflect.DeepEqual(got, []string{"example.com"}) {
+		t.Fatalf("Effective2LDs = %v", got)
+	}
+	tr.AdvanceWindow()
+	tr.AdvanceWindow()
+	if expired := tr.ExpireBefore(3); len(expired) != 2 {
+		t.Fatalf("second expiry = %v, want both survivors", expired)
+	}
+	if got := tr.Effective2LDs(); len(got) != 0 {
+		t.Fatalf("Effective2LDs after full expiry = %v, want empty", got)
+	}
+	if tr.BlackCount() != 0 {
+		t.Fatalf("BlackCount after full expiry = %d", tr.BlackCount())
+	}
+	// Pruned: the zone has no remaining structure to group.
+	if gs := tr.GroupsUnder("example.com"); len(gs) != 0 {
+		t.Fatalf("groups under pruned zone: %+v", gs)
+	}
+}
+
+// TestResetStream starts a fresh day but keeps the window ordinal running.
+func TestResetStream(t *testing.T) {
+	tr := New(nil)
+	tr.InsertAt("a.zone.example.com")
+	tr.AdvanceWindow()
+	tr.ResetStream()
+	if tr.BlackCount() != 0 || len(tr.Effective2LDs()) != 0 {
+		t.Fatal("ResetStream left names behind")
+	}
+	if tr.Window() != 1 {
+		t.Fatalf("Window after reset = %d, want 1", tr.Window())
+	}
+	tr.InsertAt("b.zone.example.com")
+	if !tr.IsBlack("b.zone.example.com") {
+		t.Fatal("insert after reset failed")
+	}
+}

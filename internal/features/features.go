@@ -82,12 +82,19 @@ func Mask(vec []float64, keep []int) []float64 {
 // day's RR statistics by owner name (chrstat.Collector.ByName); names with
 // no recorded RRs contribute nothing to the CHR family.
 func FromGroup(g dntree.Group, byName map[string][]*chrstat.RRStat) Vector {
+	return fromGroup(g, byName, stats.ShannonEntropy)
+}
+
+// fromGroup is the shared body of FromGroup and FromGroupCached: both run
+// the exact same arithmetic, so a cached-entropy streaming re-score is
+// bit-identical to the batch computation.
+func fromGroup(g dntree.Group, byName map[string][]*chrstat.RRStat, entropy func(string) float64) Vector {
 	var v Vector
 
 	// Tree-structure features over the adjacent label set L_k.
 	entropies := make([]float64, 0, len(g.Labels))
 	for _, label := range g.Labels {
-		entropies = append(entropies, stats.ShannonEntropy(label))
+		entropies = append(entropies, entropy(label))
 	}
 	v.Cardinality = float64(len(g.Labels))
 	if len(entropies) > 0 {

@@ -1,0 +1,141 @@
+// Streaming feature variants. The batch extractor recomputes every label
+// entropy from scratch each day; a streaming re-score runs every window
+// over a tree whose label sets barely change between windows, so the
+// entropies are memoized (EntropyCache), running moments track per-depth
+// label groups incrementally (RunningEntropy), and the CHR family gains a
+// windowed form read from the sharded hourly counters instead of a
+// completed day collector.
+package features
+
+import (
+	"math"
+
+	"dnsnoise/internal/chrstat"
+	"dnsnoise/internal/dntree"
+	"dnsnoise/internal/stats"
+)
+
+// EntropyCache memoizes stats.ShannonEntropy per label. A streaming
+// pipeline's label population is heavily repeated across windows (the
+// stable zones re-score every window), so the cache converts the dominant
+// feature cost into a map hit. Not safe for concurrent use; the streaming
+// pipeline only touches it from the quiesced re-score path.
+type EntropyCache struct {
+	m map[string]float64
+}
+
+// NewEntropyCache returns an empty cache.
+func NewEntropyCache() *EntropyCache {
+	return &EntropyCache{m: make(map[string]float64)}
+}
+
+// Entropy returns the Shannon entropy of label, computing it on first use.
+func (c *EntropyCache) Entropy(label string) float64 {
+	if v, ok := c.m[label]; ok {
+		return v
+	}
+	v := stats.ShannonEntropy(label)
+	c.m[label] = v
+	return v
+}
+
+// Len reports how many distinct labels are cached.
+func (c *EntropyCache) Len() int { return len(c.m) }
+
+// Reset drops every cached entropy (day-boundary housekeeping when label
+// churn makes the cache grow without bound).
+func (c *EntropyCache) Reset() { c.m = make(map[string]float64) }
+
+// FromGroupCached is FromGroup with memoized label entropies: the exact
+// same arithmetic over the exact same inputs, so its output is
+// bit-identical to FromGroup — the property the streaming-vs-batch
+// equivalence tests pin. A nil cache falls back to FromGroup.
+func FromGroupCached(g dntree.Group, byName map[string][]*chrstat.RRStat, cache *EntropyCache) Vector {
+	if cache == nil {
+		return FromGroup(g, byName)
+	}
+	return fromGroup(g, byName, cache.Entropy)
+}
+
+// RunningEntropy accumulates streaming moments over one per-depth label
+// group: cardinality, min/max, mean and variance of the label entropies,
+// maintained in O(1) per label via Welford's update. It cannot produce
+// the median (an order statistic needs the full sample — the day-boundary
+// re-score recomputes exactly), but it gives the per-window monitoring
+// view without retaining the label set.
+type RunningEntropy struct {
+	n        int
+	min, max float64
+	mean, m2 float64
+}
+
+// Add folds one label's entropy into the moments.
+func (r *RunningEntropy) Add(entropy float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = entropy, entropy
+	} else {
+		if entropy < r.min {
+			r.min = entropy
+		}
+		if entropy > r.max {
+			r.max = entropy
+		}
+	}
+	delta := entropy - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (entropy - r.mean)
+}
+
+// Cardinality returns how many labels were folded in.
+func (r *RunningEntropy) Cardinality() int { return r.n }
+
+// Min and Max return the extreme entropies (0 when empty).
+func (r *RunningEntropy) Min() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.min
+}
+
+// Max returns the largest folded entropy (0 when empty).
+func (r *RunningEntropy) Max() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.max
+}
+
+// Mean returns the running mean entropy.
+func (r *RunningEntropy) Mean() float64 { return r.mean }
+
+// Variance returns the running population variance (matching
+// stats.Variance's convention).
+func (r *RunningEntropy) Variance() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	v := r.m2 / float64(r.n)
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	return v
+}
+
+// WindowCHR reads a windowed cache-hit rate straight from the sharded
+// hourly counters: 1 − above/below over the unix-hour range
+// [fromHour, toHour], the streaming stand-in for the day collector's
+// eq. 1 when a window closes mid-day. Series are the counter's registered
+// below/above volume series. Returns (chr, ok); ok is false when the
+// window saw no below traffic.
+func WindowCHR(h *chrstat.HourlyCounter, belowSeries, aboveSeries string, fromHour, toHour int64) (float64, bool) {
+	below := h.WindowVolume(belowSeries, fromHour, toHour)
+	if below == 0 {
+		return 0, false
+	}
+	above := h.WindowVolume(aboveSeries, fromHour, toHour)
+	if above >= below {
+		return 0, true
+	}
+	return 1 - float64(above)/float64(below), true
+}

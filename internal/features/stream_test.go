@@ -1,0 +1,128 @@
+package features
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/chrstat"
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/dntree"
+	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/stats"
+)
+
+// TestFromGroupCachedBitIdentical pins the streaming equivalence property
+// at the feature layer: the cached variant must produce the exact same
+// vector (==, not approximately) as the batch extractor, cold and warm.
+func TestFromGroupCachedBitIdentical(t *testing.T) {
+	tr := dntree.New(nil)
+	col := chrstat.NewCollector()
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("u%08x.api.zone.example.com", i*2654435761)
+		tr.Insert(name)
+		ob := resolver.Observation{
+			QName: name,
+			RR:    dnsmsg.RR{Name: name, Type: dnsmsg.TypeA, RData: "10.0.0.1", TTL: 30},
+		}
+		col.ObserveBelow(ob)
+		if i%3 == 0 {
+			col.ObserveAbove(ob)
+		}
+	}
+	byName := col.ByName()
+	cache := NewEntropyCache()
+	for _, g := range tr.GroupsUnder("example.com") {
+		want := FromGroup(g, byName)
+		for pass := 0; pass < 2; pass++ { // cold cache, then warm
+			got := FromGroupCached(g, byName, cache)
+			if got != want {
+				t.Fatalf("pass %d depth %d: cached %+v != batch %+v", pass, g.Depth, got, want)
+			}
+		}
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cache stayed empty")
+	}
+	cache.Reset()
+	if cache.Len() != 0 {
+		t.Fatal("Reset did not clear the cache")
+	}
+}
+
+// TestRunningEntropyMatchesBatchMoments checks the O(1) streaming moments
+// against the exact batch statistics over the same entropy sample.
+func TestRunningEntropyMatchesBatchMoments(t *testing.T) {
+	labels := []string{"a", "bb", "x9k2q", "wwwwww", "u8f3n1d0", "cdn", "static", "z"}
+	var r RunningEntropy
+	sample := make([]float64, 0, len(labels))
+	for _, l := range labels {
+		e := stats.ShannonEntropy(l)
+		r.Add(e)
+		sample = append(sample, e)
+	}
+	if r.Cardinality() != len(labels) {
+		t.Fatalf("Cardinality = %d, want %d", r.Cardinality(), len(labels))
+	}
+	min, max, err := stats.MinMax(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-12
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"min", r.Min(), min},
+		{"max", r.Max(), max},
+		{"mean", r.Mean(), stats.Mean(sample)},
+		{"variance", r.Variance(), stats.Variance(sample)},
+	} {
+		if math.Abs(c.got-c.want) > eps {
+			t.Errorf("%s: running %v, batch %v", c.name, c.got, c.want)
+		}
+	}
+	var empty RunningEntropy
+	if empty.Min() != 0 || empty.Max() != 0 || empty.Mean() != 0 || empty.Variance() != 0 {
+		t.Error("empty RunningEntropy should read all zeros")
+	}
+}
+
+// TestWindowCHR reads a windowed hit rate from the hourly counters.
+func TestWindowCHR(t *testing.T) {
+	h := chrstat.NewHourlyCounter()
+	h.AddSeries("below", func(ob resolver.Observation) bool { return ob.Server >= 0 })
+	h.AddSeries("above", func(ob resolver.Observation) bool { return ob.Server < 0 })
+	tap := h.Tap()
+	base := time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC)
+	obAt := func(hour int, name string, above bool) resolver.Observation {
+		ob := resolver.Observation{Time: base.Add(time.Duration(hour) * time.Hour), QName: name}
+		if above {
+			ob.Server = -1
+		}
+		return ob
+	}
+	// Hour 0: 4 below, 1 above. Hour 1: 4 below, 3 above.
+	for i := 0; i < 4; i++ {
+		tap.Observe(obAt(0, fmt.Sprintf("h0-%d.example.com", i), false))
+		tap.Observe(obAt(1, fmt.Sprintf("h1-%d.example.com", i), false))
+	}
+	tap.Observe(obAt(0, "h0-0.example.com", true))
+	for i := 0; i < 3; i++ {
+		tap.Observe(obAt(1, fmt.Sprintf("h1-%d.example.com", i), true))
+	}
+	h0 := base.Unix() / 3600
+	if chr, ok := WindowCHR(h, "below", "above", h0, h0); !ok || math.Abs(chr-0.75) > 1e-12 {
+		t.Fatalf("hour 0 CHR = %v ok=%v, want 0.75", chr, ok)
+	}
+	if chr, ok := WindowCHR(h, "below", "above", h0, h0+1); !ok || math.Abs(chr-0.5) > 1e-12 {
+		t.Fatalf("two-hour CHR = %v ok=%v, want 0.5", chr, ok)
+	}
+	if _, ok := WindowCHR(h, "below", "above", h0+10, h0+11); ok {
+		t.Fatal("empty window should report ok=false")
+	}
+	if got := h.WindowVolume("nosuch", h0, h0+1); got != 0 {
+		t.Fatalf("unknown series volume = %d", got)
+	}
+}

@@ -41,8 +41,15 @@ type Runner struct {
 	single     bool
 	sinks      []ObservationSink
 	qsinks     []QuerySink
-	onWindow   func(Window) error
+	onWindow   []func(Window) error
 	onDayStart func(time.Time) error
+
+	// Intra-day tick hook (optional; see WithWindowTicks). nextTick is the
+	// next boundary in simulated time; tickDay the day it belongs to.
+	tickEvery time.Duration
+	onTick    func(Tick) error
+	nextTick  time.Time
+	tickDay   time.Time
 
 	// Query-level event log (optional; see WithQueryLog).
 	qlg *qlog.Log
@@ -106,11 +113,47 @@ func WithQuerySinks(sinks ...QuerySink) Option {
 	}
 }
 
-// OnWindow registers the per-window callback. A non-nil error aborts the
-// run. The callback runs on the caller's goroutine with the stream
-// quiesced, so it may inspect any state the run touches.
+// OnWindow registers a per-window callback; registering more than once
+// chains the callbacks in registration order, each seeing the same Window.
+// A non-nil error aborts the run. The callbacks run on the caller's
+// goroutine with the stream quiesced, so they may inspect any state the
+// run touches.
 func OnWindow(fn func(Window) error) Option {
-	return func(r *Runner) { r.onWindow = fn }
+	return func(r *Runner) {
+		if fn != nil {
+			r.onWindow = append(r.onWindow, fn)
+		}
+	}
+}
+
+// Tick is one intra-day window boundary crossed by the query stream's
+// simulated clock (see WithWindowTicks).
+type Tick struct {
+	// Day is UTC midnight of the day the tick belongs to.
+	Day time.Time
+	// Time is the boundary instant: Day + N*every for some N >= 1.
+	Time time.Time
+	// Queries is how many of the day's queries resolved before the
+	// boundary.
+	Queries int
+}
+
+// WithWindowTicks fires fn at every `every` interval of simulated time
+// within a day, driven by the query timestamps: when a query's timestamp
+// crosses one or more boundaries, the hook fires once per elapsed boundary
+// before that query is resolved. In parallel mode the stream is quiesced
+// (Stream.Barrier) first, so the hook may safely mutate state the
+// resolution path reads — this is the streaming miner's re-score cadence.
+// The tick anchor resets at each day rotation; the day's trailing partial
+// window is covered by the day-boundary hooks, not a tick. A non-positive
+// interval or nil fn disables ticks.
+func WithWindowTicks(every time.Duration, fn func(Tick) error) Option {
+	return func(r *Runner) {
+		if every > 0 && fn != nil {
+			r.tickEvery = every
+			r.onTick = fn
+		}
+	}
 }
 
 // OnDayStart registers a hook fired when the stream enters a new UTC day
@@ -227,16 +270,20 @@ func (r *Runner) installTaps(col ObservationSink) {
 	r.cluster.SetTaps(resolver.TapFunc(below), resolver.TapFunc(above))
 }
 
-// emit delivers a completed window to the callback under a collect span
-// (a child of the still-open day span, when tracing).
+// emit delivers a completed window to the callback chain under a collect
+// span (a child of the still-open day span, when tracing).
 func (r *Runner) emit(w Window) error {
-	if r.onWindow == nil {
+	if len(r.onWindow) == 0 {
 		return nil
 	}
 	sp := r.tracer.Start("collect")
-	err := r.onWindow(w)
-	sp.End()
-	return err
+	defer sp.End()
+	for _, fn := range r.onWindow {
+		if err := fn(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // startDay opens the new day's span, runs the OnDayStart hook under a
@@ -244,6 +291,10 @@ func (r *Runner) emit(w Window) error {
 // day's queries flow. Called with the stream quiesced.
 func (r *Runner) startDay(day time.Time) error {
 	r.dayWall = time.Now()
+	if r.onTick != nil {
+		r.tickDay = day
+		r.nextTick = day.Add(r.tickEvery)
+	}
 	r.qlg.SetDay(day) // quiesced here, so the stamp cannot tear a worker's emit
 	if r.tracer != nil {
 		r.daySpan = r.tracer.Start(day.UTC().Format("2006-01-02"))
@@ -317,6 +368,27 @@ func (r *Runner) logDay(day time.Time, dayQueries int) {
 	)
 }
 
+// checkTick fires the tick hook once per intra-day boundary the simulated
+// clock has crossed, quiescing first when a quiesce func is given (the
+// parallel path passes Stream.Barrier). No-op without WithWindowTicks.
+func (r *Runner) checkTick(t time.Time, quiesce func() error, dayQueries int) error {
+	if r.onTick == nil || r.nextTick.IsZero() {
+		return nil
+	}
+	for !t.Before(r.nextTick) {
+		if quiesce != nil {
+			if err := quiesce(); err != nil {
+				return err
+			}
+		}
+		if err := r.onTick(Tick{Day: r.tickDay, Time: r.nextTick, Queries: dayQueries}); err != nil {
+			return err
+		}
+		r.nextTick = r.nextTick.Add(r.tickEvery)
+	}
+	return nil
+}
+
 // tee feeds one query to the query sinks.
 func (r *Runner) tee(q resolver.Query) error {
 	for _, s := range r.qsinks {
@@ -378,6 +450,9 @@ func (r *Runner) runSequential(src QuerySource) error {
 			}
 			curDay, started = day, true
 			dayCount = 0
+		}
+		if err := r.checkTick(q.Time, nil, dayCount); err != nil {
+			return err
 		}
 		if err := r.tee(q); err != nil {
 			return err
@@ -464,6 +539,9 @@ func (r *Runner) runParallel(src QuerySource) error {
 			}
 			curDay, started = day, true
 			dayCount = 0
+		}
+		if err := r.checkTick(q.Time, st.Barrier, dayCount); err != nil {
+			return err
 		}
 		if err := r.tee(q); err != nil {
 			return err

@@ -73,6 +73,46 @@ func (o *Outcome) UnmarshalText(text []byte) error {
 	return nil
 }
 
+// Verdict is the live disposable-domain score attached to a query when a
+// serve-path scorer is wired in (see internal/livescore): whether the
+// name's ancestor chain matched a (zone, depth) pair the streaming miner
+// currently flags.
+type Verdict uint8
+
+// Verdicts. VerdictNone means no scorer was attached (the field is then
+// omitted from JSON); benign/disposable are the scorer's answer.
+const (
+	VerdictNone       Verdict = iota
+	VerdictBenign             // scored, no disposable ancestor matched
+	VerdictDisposable         // scored, matched a flagged (zone, depth) pair
+)
+
+var verdictNames = [...]string{"", "benign", "disposable"}
+
+// String renders the verdict label ("" for none).
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return ""
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (v Verdict) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText parses the label; unknown labels map to VerdictNone.
+func (v *Verdict) UnmarshalText(text []byte) error {
+	s := string(text)
+	for i, n := range verdictNames {
+		if i > 0 && n == s {
+			*v = Verdict(i)
+			return nil
+		}
+	}
+	*v = VerdictNone
+	return nil
+}
+
 // EvictionCause records what a query's cache insertions displaced — the
 // per-query view of the paper's Section VI-A premature-eviction
 // accounting.
@@ -132,6 +172,9 @@ type Event struct {
 	AuthRTTs  uint32        `json:"auth_rtts,omitempty"` // upstream exchanges performed
 	AuthNs    uint64        `json:"auth_ns,omitempty"`   // wall time spent in upstream exchanges
 	LatencyNs uint64        `json:"latency_ns"`
+	// Verdict is the live disposable score (serve path with -score only;
+	// omitted when no scorer is attached).
+	Verdict Verdict `json:"verdict,omitempty"`
 }
 
 // Sink consumes drained event batches. Consume must copy anything it

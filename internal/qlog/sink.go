@@ -200,6 +200,9 @@ type Filter struct {
 	Qtype string
 	// Outcome keeps events with this outcome label (e.g. "hit").
 	Outcome string
+	// Verdict keeps events with this disposable-score label ("benign" or
+	// "disposable").
+	Verdict string
 	// Limit caps the result to the newest Limit events (0 = all retained).
 	Limit int
 }
@@ -212,6 +215,9 @@ func (f Filter) match(ev *Event) bool {
 		return false
 	}
 	if f.Outcome != "" && ev.Outcome.String() != f.Outcome {
+		return false
+	}
+	if f.Verdict != "" && ev.Verdict.String() != f.Verdict {
 		return false
 	}
 	return true
@@ -241,14 +247,15 @@ func (m *MemorySink) Snapshot(f Filter) []Event {
 
 // Handler serves the ring as JSON:
 //
-//	GET /debug/qlog?zone=<suffix>&qtype=<type>&outcome=<label>&n=<limit>
+//	GET /debug/qlog?zone=<suffix>&qtype=<type>&outcome=<label>&verdict=<label>&n=<limit>
 //
 // The response carries the total events seen, the retained count, and
 // the matching events (newest last).
 func (m *MemorySink) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		q := req.URL.Query()
-		f := Filter{Zone: q.Get("zone"), Qtype: q.Get("qtype"), Outcome: q.Get("outcome"), Limit: 100}
+		f := Filter{Zone: q.Get("zone"), Qtype: q.Get("qtype"), Outcome: q.Get("outcome"),
+			Verdict: q.Get("verdict"), Limit: 100}
 		if n := q.Get("n"); n != "" {
 			v, err := strconv.Atoi(n)
 			if err != nil || v < 0 {

@@ -1,0 +1,164 @@
+package udptransport
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/dnsmsg"
+	"dnsnoise/internal/telemetry"
+)
+
+// TestTCPExchange speaks the framed protocol straight at the fallback
+// listener: length-prefixed query in, length-prefixed response out, and a
+// second query on the same connection to prove it stays open.
+func TestTCPExchange(t *testing.T) {
+	srv, err := Serve(testAuthority(t), "", WithTCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.TCPAddr() == "" {
+		t.Fatal("WithTCP gave no TCP address")
+	}
+	client, err := NewClient(srv.Addr(), WithTimeout(time.Second), WithTCPFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i, name := range []string{"www.udp.test", "missing.udp.test"} {
+		wire, err := dnsmsg.NewQuery(uint16(40+i), name, dnsmsg.TypeA).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		respWire, err := client.exchangeTCP(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := dnsmsg.Decode(respWire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header.ID != uint16(40+i) {
+			t.Errorf("query %d: response ID %#x, want %#x", i, resp.Header.ID, 40+i)
+		}
+	}
+}
+
+// TestTCPFallbackRetriesTruncated is the TC=1 contract end to end: a
+// response too big for UDP comes back truncated, the fallback client
+// retries over TCP, and the caller sees the whole answer.
+func TestTCPFallbackRetriesTruncated(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, err := Serve(bigResponder{records: 40}, "", WithTCP(), WithServerMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Without the fallback: the truncated UDP response, as before.
+	plain, err := NewClient(srv.Addr(), WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	wire, err := dnsmsg.NewQuery(0x90, "big.udp.test", dnsmsg.TypeTXT).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	respWire, err := plain.HandleWire(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := dnsmsg.Decode(respWire); err != nil || !resp.Header.Truncated {
+		t.Fatalf("plain client: truncated=%v err=%v, want TC=1", resp.Header.Truncated, err)
+	}
+
+	// With the fallback: the same query lands whole via TCP.
+	fb, err := NewClient(srv.Addr(), WithTimeout(time.Second), WithTCPFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	respWire, err = fb.HandleWire(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnsmsg.Decode(respWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Truncated {
+		t.Error("fallback client still saw TC=1")
+	}
+	if len(resp.Answers) != 40 {
+		t.Errorf("fallback client got %d answers, want 40", len(resp.Answers))
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("tcp_connections_total"); got != 1 {
+		t.Errorf("tcp_connections_total = %d, want 1", got)
+	}
+	if got := snap.Counter("tcp_queries_total"); got != 1 {
+		t.Errorf("tcp_queries_total = %d, want 1", got)
+	}
+}
+
+// TestTCPRuntFrameHangsUp: a frame shorter than a DNS header closes the
+// connection without an answer, like the UDP malformed gate.
+func TestTCPRuntFrameHangsUp(t *testing.T) {
+	srv, err := Serve(testAuthority(t), "", WithTCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], 5)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	// The server hangs up without answering; unread payload bytes may turn
+	// the FIN into a RST, so any non-timeout error counts as the hang-up.
+	_, err = conn.Read(hdr[:])
+	if err == nil {
+		t.Fatal("server answered a runt frame")
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatalf("server kept a runt-frame connection open: %v", err)
+	}
+}
+
+// TestTCPCloseCutsOpenConnections: Close must not wait out the idle
+// deadline on a parked connection.
+func TestTCPCloseCutsOpenConnections(t *testing.T) {
+	srv, err := Serve(testAuthority(t), "", WithTCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", srv.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Give the accept loop a moment to register the connection.
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close hung on an idle TCP connection")
+	}
+}

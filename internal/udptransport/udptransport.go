@@ -82,15 +82,33 @@ func asWireHandler(h Handler) WireHandler {
 	return handlerAdapter{h: h}
 }
 
+// Scorer classifies one wire-format query as it passes through the serve
+// path, returning its live disposable verdict. Implementations must be
+// safe for the transport's calling pattern — one scorer per listener
+// worker, never shared — and must not retain query past the call. The
+// canonical implementation is livescore.Scorer, which probes the
+// streaming miner's verdict snapshot with zero allocations.
+type Scorer interface {
+	ScoreWire(query []byte) qlog.Verdict
+}
+
 // Server answers DNS queries from one or more UDP sockets.
 type Server struct {
-	wire      WireHandler
-	conns     []*net.UDPConn
-	workers   []*listenerWorker
-	reg       *telemetry.Registry
-	log       *qlog.Log
-	listeners int
-	batch     int
+	wire       WireHandler
+	conns      []*net.UDPConn
+	workers    []*listenerWorker
+	reg        *telemetry.Registry
+	log        *qlog.Log
+	newScorer  func(listener int) Scorer
+	listeners  int
+	batch      int
+	tcpEnabled bool
+	tcp        *tcpState
+
+	// Per-verdict handler latency, observed on sampled (logged) packets
+	// only — the unsampled fast path never reads the clock. Nil-safe.
+	latBenign     *telemetry.Histogram
+	latDisposable *telemetry.Histogram
 
 	mu     sync.Mutex
 	closed bool
@@ -110,7 +128,12 @@ type listenerStats struct {
 	malformed atomic.Uint64
 	dropped   atomic.Uint64
 	truncated atomic.Uint64
-	_         [1]uint64 // round to a 64-byte line against false sharing
+
+	// Live-scoring verdict counts; only move when a scorer is attached.
+	scoredBenign     atomic.Uint64
+	scoredDisposable atomic.Uint64
+
+	_ [7]uint64 // round to a 128-byte line pair against false sharing
 }
 
 // ServerOption configures a Server.
@@ -133,6 +156,17 @@ func WithServerMetrics(reg *telemetry.Registry) ServerOption {
 // workers.
 func WithServerQueryLog(l *qlog.Log) ServerOption {
 	return func(s *Server) { s.log = l }
+}
+
+// WithScorer attaches live query scoring: factory is called once per
+// listener at Serve time and the returned scorer classifies every
+// datagram that clears the malformed gate, before the handler runs. The
+// verdict tags the query's sampled qlog event, moves the per-verdict
+// packet counters (udp_scored_total), and routes the sampled handler
+// latency into a per-verdict histogram. Scorers are per-listener, so
+// implementations need no internal locking against the packet path.
+func WithScorer(factory func(listener int) Scorer) ServerOption {
+	return func(s *Server) { s.newScorer = factory }
 }
 
 // WithListeners sets how many listener sockets to open (default 1). More
@@ -181,6 +215,14 @@ func Serve(handler Handler, addr string, opts ...ServerOption) (*Server, error) 
 	s.conns = conns
 	for i, conn := range conns {
 		s.workers = append(s.workers, newListenerWorker(s, conn, i))
+	}
+	if s.tcpEnabled {
+		if err := s.serveTCP(); err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
 	}
 	s.registerMetrics()
 	for _, w := range s.workers {
@@ -257,6 +299,24 @@ func (s *Server) registerMetrics() {
 	s.reg.CounterFunc("udp_truncated_total", "Responses truncated to the client's payload budget.",
 		sum(func(st *listenerStats) uint64 { return st.truncated.Load() }))
 	s.reg.Gauge("udp_listeners", "Active listener sockets.").Set(float64(len(s.conns)))
+	if s.tcp != nil {
+		s.reg.CounterFunc("tcp_connections_total", "TCP fallback connections accepted.",
+			s.tcp.accepts.Load)
+		s.reg.CounterFunc("tcp_queries_total", "Queries answered over the TCP fallback listener.",
+			s.tcp.queries.Load)
+	}
+	if s.newScorer != nil {
+		s.reg.CounterFunc(`udp_scored_total{verdict="benign"}`,
+			"Queries live-scored benign.",
+			sum(func(st *listenerStats) uint64 { return st.scoredBenign.Load() }))
+		s.reg.CounterFunc(`udp_scored_total{verdict="disposable"}`,
+			"Queries live-scored disposable.",
+			sum(func(st *listenerStats) uint64 { return st.scoredDisposable.Load() }))
+		s.latBenign = s.reg.Histogram(`udp_handle_latency_ns{verdict="benign"}`,
+			"Handler latency of sampled queries scored benign.")
+		s.latDisposable = s.reg.Histogram(`udp_handle_latency_ns{verdict="disposable"}`,
+			"Handler latency of sampled queries scored disposable.")
+	}
 }
 
 // Addr returns the bound address, suitable for NewClient. With several
@@ -279,7 +339,7 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	var err error
+	err := s.closeTCP()
 	for _, c := range s.conns {
 		if cerr := c.Close(); cerr != nil && err == nil {
 			err = cerr
@@ -302,13 +362,14 @@ type pktBuf struct {
 // packet -> send. All per-packet state is preallocated at construction, so
 // the steady-state loop is allocation-free (guarded by AllocsPerRun tests).
 type listenerWorker struct {
-	srv   *Server
-	conn  *net.UDPConn
-	id    int
-	slots []pktBuf
-	io    packetIO
-	stats listenerStats
-	qrec  *qlog.Recorder
+	srv    *Server
+	conn   *net.UDPConn
+	id     int
+	slots  []pktBuf
+	io     packetIO
+	stats  listenerStats
+	qrec   *qlog.Recorder
+	scorer Scorer // per-listener, nil when scoring is off
 }
 
 // packetIO moves batches of datagrams between a socket and the worker's
@@ -336,6 +397,9 @@ func newListenerWorker(s *Server, conn *net.UDPConn, id int) *listenerWorker {
 	rx := make([]byte, batch*maxPacket)
 	w.io = newPacketIO(conn, w.slots, rx)
 	w.qrec = s.log.NewRecorder(id) // nil-safe: nil log -> nil recorder
+	if s.newScorer != nil {
+		w.scorer = s.newScorer(id)
+	}
 	return w
 }
 
@@ -374,6 +438,15 @@ func (w *listenerWorker) process(b *pktBuf) {
 		w.stats.dropped.Add(1)
 		return
 	}
+	verdict := qlog.VerdictNone
+	if w.scorer != nil {
+		switch verdict = w.scorer.ScoreWire(b.in); verdict {
+		case qlog.VerdictBenign:
+			w.stats.scoredBenign.Add(1)
+		case qlog.VerdictDisposable:
+			w.stats.scoredDisposable.Add(1)
+		}
+	}
 	logged := w.qrec.Sample()
 	var handleStart time.Time
 	if logged {
@@ -381,7 +454,7 @@ func (w *listenerWorker) process(b *pktBuf) {
 	}
 	out, err := w.srv.wire.AppendHandleWire(b.out[:0], b.in)
 	if logged {
-		w.logQuery(b.in, out, err, time.Since(handleStart))
+		w.logQuery(b.in, out, err, verdict, time.Since(handleStart))
 	}
 	if err != nil || len(out) == 0 {
 		// Unanswerable garbage: drop it, like a real server under junk
@@ -430,11 +503,18 @@ func truncateResponse(resp []byte) []byte {
 }
 
 // logQuery emits one event for a head-sampled query: the question decoded
-// from the query wire, the outcome derived from the response rcode, and
-// the handler's wall time. Decoding happens only on sampled queries, off
-// the unsampled fast path.
-func (w *listenerWorker) logQuery(query, resp []byte, herr error, elapsed time.Duration) {
-	ev := qlog.Event{Time: time.Now(), LatencyNs: uint64(elapsed)}
+// from the query wire, the outcome derived from the response rcode, the
+// live-scoring verdict (when a scorer is attached), and the handler's
+// wall time. Decoding and the per-verdict latency observation happen only
+// on sampled queries, off the unsampled fast path.
+func (w *listenerWorker) logQuery(query, resp []byte, herr error, verdict qlog.Verdict, elapsed time.Duration) {
+	switch verdict {
+	case qlog.VerdictBenign:
+		w.srv.latBenign.Observe(uint64(elapsed))
+	case qlog.VerdictDisposable:
+		w.srv.latDisposable.Observe(uint64(elapsed))
+	}
+	ev := qlog.Event{Time: time.Now(), LatencyNs: uint64(elapsed), Verdict: verdict}
 	if msg, err := dnsmsg.Decode(query); err == nil && len(msg.Questions) > 0 {
 		ev.Name = msg.Questions[0].Name
 		ev.Qtype = msg.Questions[0].Type.String()
@@ -471,6 +551,7 @@ type Client struct {
 	timeout        time.Duration
 	retries        int
 	portPerAttempt bool
+	tcpFallback    bool
 
 	mu   sync.Mutex
 	conn *net.UDPConn
@@ -577,6 +658,14 @@ func (c *Client) HandleWire(query []byte) ([]byte, error) {
 			}
 			resp := make([]byte, n)
 			copy(resp, c.buf[:n])
+			if c.tcpFallback && n >= dnsHeaderLen && resp[2]&0x02 != 0 {
+				// Truncated: retry over TCP per RFC 1035. A failed TCP
+				// retry surfaces the truncated UDP response instead —
+				// header and question intact, like a stub resolver would.
+				if full, err := c.exchangeTCP(query); err == nil {
+					return full, nil
+				}
+			}
 			return resp, nil
 		}
 	}
