@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dnsnoise/internal/fleet"
+	"dnsnoise/internal/ingest"
+	"dnsnoise/internal/workload"
+)
+
+// Fleet-overhead scenario shape: each measurement is a whole fleet run
+// (fresh PoPs, fresh generator, one simulated day), so rounds are
+// complete runs rather than interleaved segments; the collector side
+// sweeps far faster than any real deployment would to make the cost
+// visible at all.
+const (
+	flPairs        = 3
+	flRounds       = 3
+	flCollectEvery = 10 * time.Millisecond
+)
+
+// benchFleetConfig is the scenario's fleet: a small 3-PoP topology over
+// the test-scale namespace, sized so one run takes ~100ms.
+func benchFleetConfig(pops, events int) fleet.Config {
+	return fleet.Config{
+		Pops:    pops,
+		Servers: 2,
+		Cache:   8192,
+		Registry: workload.RegistryConfig{
+			Seed:               1,
+			NonDisposableZones: 60,
+			DisposableZones:    30,
+			HostsPerZoneMax:    16,
+		},
+		Generator: workload.GeneratorConfig{
+			Seed:             3,
+			Clients:          100,
+			BaseEventsPerDay: events,
+		},
+		CollectEvery: flCollectEvery,
+	}
+}
+
+// fleetRunNs runs one fresh fleet over one generated day and returns
+// ns per resolved query, with the collector sweeping at flCollectEvery
+// when withCollector is set. Only Run is timed; fleet construction and
+// the merge-at-end views stay outside the clock.
+func fleetRunNs(pops, events int, withCollector bool) (float64, error) {
+	f, err := fleet.New(benchFleetConfig(pops, events))
+	if err != nil {
+		return 0, err
+	}
+	profiles, err := workload.SelectProfiles("december", 1)
+	if err != nil {
+		return 0, err
+	}
+	src := ingest.NewGeneratorSource(f.Generator(), profiles...)
+	defer src.Close()
+	if withCollector {
+		f.Collector().Start()
+		defer f.Collector().Stop()
+	}
+	start := time.Now()
+	if err := f.Run(src, nil); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	var queries uint64
+	for _, p := range f.Pops() {
+		queries += p.Cluster.Stats().Queries
+	}
+	if queries == 0 {
+		return 0, fmt.Errorf("fleet bench run resolved no queries")
+	}
+	return float64(elapsed.Nanoseconds()) / float64(queries), nil
+}
+
+// benchFleetOverhead prices the collector: the same fleet day with the
+// sweep loop running at flCollectEvery versus not running at all,
+// compared pairwise like the other overhead scenarios (min over rounds
+// per side, median ratio across pairs, plain-vs-plain control pair for
+// the noise floor). A production cadence of seconds costs a small
+// fraction of even this reading.
+func benchFleetOverhead(pops, events int) (overheadResult, error) {
+	var (
+		ratios       []float64
+		plainMin     float64
+		instrMin     float64
+		controlRatio float64
+	)
+	minRun := func(withCollector bool) (float64, error) {
+		best := 0.0
+		for r := 0; r < flRounds; r++ {
+			ns, err := fleetRunNs(pops, events, withCollector)
+			if err != nil {
+				return 0, err
+			}
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+	for pair := 0; pair <= flPairs; pair++ {
+		control := pair == flPairs
+		plainNs, err := minRun(false)
+		if err != nil {
+			return overheadResult{}, err
+		}
+		otherNs, err := minRun(!control)
+		if err != nil {
+			return overheadResult{}, err
+		}
+		if control {
+			controlRatio = otherNs / plainNs
+			continue
+		}
+		ratios = append(ratios, otherNs/plainNs)
+		if plainMin == 0 || plainNs < plainMin {
+			plainMin = plainNs
+		}
+		if instrMin == 0 || otherNs < instrMin {
+			instrMin = otherNs
+		}
+	}
+	sort.Float64s(ratios)
+	spread := 100 * (ratios[len(ratios)-1] - ratios[0]) / 2
+	noise := 100 * absFloat(controlRatio-1)
+	if spread > noise {
+		noise = spread
+	}
+	return overheadResult{
+		PlainNsPerOp:        plainMin,
+		InstrumentedNsPerOp: instrMin,
+		OverheadPct:         100 * (median(ratios) - 1),
+		NoisePct:            noise,
+		Pairs:               flPairs,
+		RoundsPerPair:       flRounds,
+		QueriesPerPass:      events,
+	}, nil
+}

@@ -113,6 +113,10 @@ type report struct {
 	// control pair is collector-vs-collector, so the gate is calibrated
 	// against tap-path jitter.
 	MinerOverhead *overheadResult `json:"miner_overhead,omitempty"`
+	// FleetOverhead prices the fleet collector: the same multi-PoP day
+	// with the sweep loop at a pathological cadence versus not running
+	// (see benchFleetOverhead).
+	FleetOverhead *overheadResult `json:"fleet_overhead,omitempty"`
 	// ServeThroughput is the UDP front-door matrix: qps and latency
 	// percentiles across 1-vs-N listeners and single-vs-batched syscalls.
 	ServeThroughput []serveResult `json:"serve_throughput,omitempty"`
@@ -624,6 +628,9 @@ func run(args []string) error {
 		maxOv    = fs.Float64("max-overhead", 2.0, "fail when telemetry overhead exceeds this percent (0 disables the gate)")
 		maxQlOv  = fs.Float64("max-qlog-overhead", 2.0, "fail when qlog overhead exceeds this percent (0 disables the gate)")
 		maxMnOv  = fs.Float64("max-miner-overhead", 150.0, "fail when streaming-miner intake overhead exceeds this percent (0 disables the gate)")
+		maxFlOv  = fs.Float64("max-fleet-overhead", 10.0, "fail when the fleet collector's overhead exceeds this percent (0 disables the gate)")
+		flPops   = fs.Int("fleet-pops", 3, "PoPs in the fleet-overhead scenario")
+		flEvents = fs.Int("fleet-events", 20_000, "base events per day in the fleet-overhead scenario")
 		baseline = fs.String("baseline", "", "previous BENCH_resolver.json to embed as a before/after comparison")
 		maxHitAl = fs.Int64("max-hit-allocs", 0, "fail when the cache-hit path exceeds this many allocs/op (-1 disables the gate)")
 		only     = fs.String("only", "", "run a single scenario ('serve') instead of the full suite")
@@ -650,8 +657,10 @@ func run(args []string) error {
 		return runServeOnly(args, *out, *srvCli, *srvDur, *srvBatch, *maxPktAl)
 	case "miner":
 		return runMinerOnly(args, *out, *servers, *queries, *maxMnOv)
+	case "fleet":
+		return runFleetOnly(args, *out, *flPops, *flEvents, *maxFlOv)
 	default:
-		return fmt.Errorf("-only %q: unknown scenario (want 'serve' or 'miner')", *only)
+		return fmt.Errorf("-only %q: unknown scenario (want 'serve', 'miner' or 'fleet')", *only)
 	}
 	qs := benchQueries(*queries)
 	tracer := telemetry.NewTracer()
@@ -714,6 +723,13 @@ func run(args []string) error {
 	}
 	mnSpan.End()
 
+	flSpan := tracer.Start("fleet-overhead")
+	flOverhead, err := benchFleetOverhead(*flPops, *flEvents)
+	if err != nil {
+		return fmt.Errorf("fleet overhead benchmark: %w", err)
+	}
+	flSpan.End()
+
 	srcSpan := tracer.Start("sources")
 	extra, err := benchSources()
 	if err != nil {
@@ -756,6 +772,7 @@ func run(args []string) error {
 	}
 	rep.QlogOverhead = &qlOverhead
 	rep.MinerOverhead = &mnOverhead
+	rep.FleetOverhead = &flOverhead
 	rep.ServeThroughput = serveMatrix
 	rep.ServePacketAlloc = &pktAlloc
 	rep.ServePacketAllocScored = &pktAllocScored
@@ -816,6 +833,9 @@ func run(args []string) error {
 		fmt.Printf("miner:      %+.2f%% overhead, ±%.2f%% noise (%.1f -> %.1f ns/op, %d pairs)\n",
 			mnOverhead.OverheadPct, mnOverhead.NoisePct,
 			mnOverhead.PlainNsPerOp, mnOverhead.InstrumentedNsPerOp, mnOverhead.Pairs)
+		fmt.Printf("fleet:      %+.2f%% overhead, ±%.2f%% noise (%.1f -> %.1f ns/op, %d pairs)\n",
+			flOverhead.OverheadPct, flOverhead.NoisePct,
+			flOverhead.PlainNsPerOp, flOverhead.InstrumentedNsPerOp, flOverhead.Pairs)
 		printServe(rep.ServeThroughput, rep.ServePacketAlloc, rep.ServePacketAllocScored)
 		for _, r := range rep.Extra {
 			fmt.Printf("%-32s %8.1f ns/op (%.0f events/s)\n", r.Name+":", r.NsPerOp, r.QueriesPerSec)
@@ -833,6 +853,9 @@ func run(args []string) error {
 		return err
 	}
 	if err := checkOverheadGate("miner", "-max-miner-overhead", mnOverhead, *maxMnOv); err != nil {
+		return err
+	}
+	if err := checkOverheadGate("fleet collector", "-max-fleet-overhead", flOverhead, *maxFlOv); err != nil {
 		return err
 	}
 	if err := checkPacketAllocGate("serve packet path", pktAlloc, *maxPktAl); err != nil {
@@ -877,6 +900,44 @@ func runMinerOnly(args []string, out string, servers, queries int, maxMnOv float
 		fmt.Printf("wrote %s\n", out)
 	}
 	return checkOverheadGate("miner", "-max-miner-overhead", ov, maxMnOv)
+}
+
+// runFleetOnly is the -only fleet mode: just the fleet-collector
+// overhead pair and its gate, sized for CI smoke via -fleet-events.
+func runFleetOnly(args []string, out string, pops, events int, maxFlOv float64) error {
+	tracer := telemetry.NewTracer()
+	span := tracer.Start("fleet-overhead")
+	ov, err := benchFleetOverhead(pops, events)
+	if err != nil {
+		return fmt.Errorf("fleet overhead benchmark: %w", err)
+	}
+	span.End()
+
+	rep := report{RunReport: *telemetry.NewRunReport("dnsnoise-bench", args)}
+	rep.Servers = 2
+	rep.Queries = events
+	rep.FleetOverhead = &ov
+	rep.Start = tracer.Roots()[0].Start
+	rep.Finish(nil, tracer)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("fleet:      %+.2f%% overhead, ±%.2f%% noise (%.1f -> %.1f ns/op, %d pairs)\n",
+			ov.OverheadPct, ov.NoisePct, ov.PlainNsPerOp, ov.InstrumentedNsPerOp, ov.Pairs)
+		fmt.Printf("wrote %s\n", out)
+	}
+	return checkOverheadGate("fleet collector", "-max-fleet-overhead", ov, maxFlOv)
 }
 
 // runServeOnly is the -only serve mode: just the front-door matrix and the

@@ -89,6 +89,7 @@ func run(args []string, stdout io.Writer) error {
 		verifyExp = fs.String("verify-explain", "", "verify an -explain file (replay every decision path) and exit")
 		window    = fs.Duration("window", 0, "after the batch mine, replay the stream through the incremental miner, re-scoring every this much simulated time (0 disables the streaming pass)")
 		hyster    = fs.Int("hysteresis", 2, "consecutive streaming windows required to flip a zone's verdict (with -window)")
+		keepWin   = fs.Int("keep-windows", 0, "sliding horizon for the streaming pass: only the last N re-score windows back a zone's evidence, so stale zones decay and expire (0 = cumulative, matching the batch miner)")
 	)
 	var tcfg telemetry.CLIConfig
 	tcfg.RegisterFlags(fs)
@@ -105,6 +106,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *tracePath != "" && *live {
 		return fmt.Errorf("-trace and -live are mutually exclusive")
+	}
+	if *keepWin < 0 {
+		return fmt.Errorf("-keep-windows must be >= 0")
+	}
+	if *keepWin > 0 && *window == 0 {
+		return fmt.Errorf("-keep-windows needs the streaming pass; pass -window too")
 	}
 	if *window > 0 {
 		for _, p := range strings.Split(*tracePath, ",") {
@@ -293,7 +300,8 @@ func run(args []string, stdout io.Writer) error {
 			dispZn: *dispZn, maxHosts: *maxHosts, servers: *servers, cacheSz: *cacheSz,
 			parallel: *parallel,
 			clf:      clf, theta: *theta, window: *window, hysteresis: *hyster,
-			explain: *explain, batchFindings: findings,
+			keepWindows: *keepWin,
+			explain:     *explain, batchFindings: findings,
 		}
 		if err := pass.run(stdout); err != nil {
 			return err

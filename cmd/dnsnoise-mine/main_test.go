@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -325,6 +327,63 @@ func TestStreamingWindowPass(t *testing.T) {
 	}
 	if len(windows) < 2 {
 		t.Errorf("explain records span %d windows, want intra-day re-scores too", len(windows))
+	}
+}
+
+// TestStreamingKeepWindows checks the -keep-windows sliding horizon: a
+// finite horizon must expire stale zone evidence (changing the verdict
+// set relative to the cumulative run), report its expiries, and skip the
+// batch-equivalence check that only holds for keep-windows 0.
+func TestStreamingKeepWindows(t *testing.T) {
+	trace := writeTestTrace(t)
+	livePairs := regexp.MustCompile(`(\d+) disposable pairs live`)
+	pairsOf := func(out string) int {
+		m := livePairs.FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("no live-pairs line in output:\n%s", out)
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	var cumulative strings.Builder
+	if err := run(append(mineFlags(trace), "-window", "6h"), &cumulative); err != nil {
+		t.Fatalf("cumulative run: %v", err)
+	}
+	var sliding strings.Builder
+	if err := run(append(mineFlags(trace), "-window", "6h", "-keep-windows", "2"), &sliding); err != nil {
+		t.Fatalf("sliding run: %v", err)
+	}
+
+	got := sliding.String()
+	m := regexp.MustCompile(`sliding horizon of 2 windows, (\d+) zone expiries`).FindStringSubmatch(got)
+	if m == nil {
+		t.Fatalf("sliding run did not report its horizon:\n%s", got)
+	}
+	if expired, _ := strconv.Atoi(m[1]); expired == 0 {
+		t.Error("2-window horizon over a 4-window day expired nothing; decay is not active")
+	}
+	if strings.Contains(got, "day-boundary verdicts identical") {
+		t.Error("batch-equivalence check must be skipped when evidence decays")
+	}
+	if c, s := pairsOf(cumulative.String()), pairsOf(got); c == s {
+		t.Errorf("live pair count unchanged by the horizon (%d); decay had no effect", c)
+	}
+}
+
+// TestKeepWindowsFlagGuards: the horizon flag needs the streaming pass
+// and rejects negative values.
+func TestKeepWindowsFlagGuards(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-live", "-keep-windows", "2"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-window") {
+		t.Errorf("keep-windows without -window: err = %v", err)
+	}
+	if err := run([]string{"-live", "-keep-windows", "-1"}, &out); err == nil {
+		t.Error("negative keep-windows should fail")
 	}
 }
 

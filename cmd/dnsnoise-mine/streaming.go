@@ -32,11 +32,12 @@ type streamingPass struct {
 	cacheSz   int
 	parallel  bool
 
-	clf        *mlearn.DecisionTree
-	theta      float64
-	window     time.Duration
-	hysteresis int
-	explain    string
+	clf         *mlearn.DecisionTree
+	theta       float64
+	window      time.Duration
+	hysteresis  int
+	keepWindows int
+	explain     string
 
 	batchFindings []core.Finding
 }
@@ -95,7 +96,8 @@ func (p *streamingPass) run(stdout io.Writer) error {
 
 	sp, err := core.NewStreamingPipeline(p.clf,
 		core.MinerConfig{Theta: p.theta},
-		core.StreamingConfig{Hysteresis: p.hysteresis, NumServers: p.servers}, nil)
+		core.StreamingConfig{Hysteresis: p.hysteresis, KeepWindows: p.keepWindows,
+			NumServers: p.servers}, nil)
 	if err != nil {
 		return err
 	}
@@ -154,6 +156,17 @@ func (p *streamingPass) run(stdout io.Writer) error {
 
 	fmt.Fprintf(stdout, "\nstreaming: %d re-score windows over %d days (every %s, hysteresis %d), %d drift events, %d disposable pairs live\n",
 		sp.Windows(), len(dayResults), p.window, p.hysteresis, drifts, len(sp.CurrentDisposable()))
+	if p.keepWindows > 0 {
+		var expired int
+		for _, res := range dayResults {
+			expired += res.Expired
+		}
+		fmt.Fprintf(stdout, "streaming: sliding horizon of %d windows, %d zone expiries\n",
+			p.keepWindows, expired)
+		// A finite horizon forgets evidence the batch miner keeps, so the
+		// batch-equivalence contract below only holds for keep-windows 0.
+		return nil
+	}
 	if len(dayResults) == 1 {
 		// A single-day stream mines one day window, directly comparable to
 		// the batch phase's single merged window.

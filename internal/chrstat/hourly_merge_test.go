@@ -1,0 +1,72 @@
+package chrstat
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/resolver"
+)
+
+func hourlyWithSeries() *HourlyCounter {
+	h := NewHourlyCounter()
+	h.AddSeries("all", func(resolver.Observation) bool { return true })
+	h.AddSeries("google", func(ob resolver.Observation) bool { return ob.ClientID%2 == 0 })
+	return h
+}
+
+// TestHourlyAbsorbMatchesSingle splits one observation stream across two
+// counters, absorbs both into a third, and checks every series is
+// bit-identical to a single counter fed the whole stream.
+func TestHourlyAbsorbMatchesSingle(t *testing.T) {
+	base := time.Date(2010, 2, 1, 0, 0, 0, 0, time.UTC)
+	single := hourlyWithSeries()
+	popA, popB := hourlyWithSeries(), hourlyWithSeries()
+	global := hourlyWithSeries()
+
+	singleTap, aTap, bTap := single.Tap(), popA.Tap(), popB.Tap()
+	for i := 0; i < 5000; i++ {
+		ob := resolver.Observation{
+			Time:     base.Add(time.Duration(i) * 37 * time.Second),
+			ClientID: uint32(i % 97),
+			QName:    fmt.Sprintf("h%d.example.com", i%211),
+		}
+		singleTap.Observe(ob)
+		if i%2 == 0 {
+			aTap.Observe(ob)
+		} else {
+			bTap.Observe(ob)
+		}
+	}
+
+	if !global.Absorb(popA) || !global.Absorb(popB) {
+		t.Fatal("Absorb rejected matching series")
+	}
+	for _, name := range single.SeriesNames() {
+		if got, want := global.Series(name), single.Series(name); !reflect.DeepEqual(got, want) {
+			t.Fatalf("series %s: absorbed = %v, single = %v", name, got, want)
+		}
+	}
+	from, to := base.Unix()/3600, base.Add(48*time.Hour).Unix()/3600
+	if got, want := global.WindowVolume("all", from, to), single.WindowVolume("all", from, to); got != want {
+		t.Fatalf("WindowVolume = %d, want %d", got, want)
+	}
+}
+
+// TestHourlyAbsorbSeriesMismatch checks the unknown-series guard.
+func TestHourlyAbsorbSeriesMismatch(t *testing.T) {
+	dst := hourlyWithSeries()
+	src := NewHourlyCounter()
+	src.AddSeries("other", func(resolver.Observation) bool { return true })
+	src.Tap().Observe(resolver.Observation{Time: time.Unix(3600, 0), QName: "x"})
+	if dst.Absorb(src) {
+		t.Fatal("Absorb accepted a counter with an unknown series")
+	}
+	if pts := dst.Series("all"); len(pts) != 0 {
+		t.Fatalf("mismatched absorb mutated destination: %v", pts)
+	}
+	if !dst.Absorb(nil) {
+		t.Fatal("Absorb(nil) should be a no-op success")
+	}
+}

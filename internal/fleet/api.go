@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"dnsnoise/internal/telemetry"
+)
+
+// Report synthesizes the fleet-wide run report: the merged metric
+// snapshot plus one span tree per PoP (each PoP's tracer roots hang
+// under a pop-N node, so a single report shows every vantage point's
+// ingest timeline side by side).
+func (f *Fleet) Report() *telemetry.RunReport {
+	merged := f.collector.Collect()
+	now := time.Now()
+	rep := &telemetry.RunReport{
+		Command:         "dnsnoise-fleet",
+		Start:           f.start,
+		End:             now,
+		DurationSeconds: now.Sub(f.start).Seconds(),
+		Metrics:         merged,
+		Runtime:         telemetry.ReadRuntimeStats(),
+	}
+	for _, p := range f.pops {
+		node := &telemetry.SpanNode{
+			Name:     fmt.Sprintf("pop-%d", p.ID),
+			Start:    f.start,
+			Children: p.Tracer.Roots(),
+		}
+		for _, ch := range node.Children {
+			node.DurationSeconds += ch.DurationSeconds
+			node.Items += ch.Items
+		}
+		rep.Spans = append(rep.Spans, node)
+	}
+	return rep
+}
+
+// Server is the fleet's control-plane HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (host:port), useful with ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Handler returns the control-plane routes:
+//
+//	GET /fleet/metrics  merged Prometheus exposition, pop= labels kept
+//	GET /fleet/pops     per-PoP health JSON (qps, CHR, verdict rate, ...)
+//	GET /fleet/qlog     merged event tail; zone/qtype/outcome/verdict/
+//	                    server/pop/n filters as on /debug/qlog
+//	GET /fleet/report   fleet RunReport, one span tree per PoP
+//
+// /fleet/metrics, /fleet/pops and /fleet/report sweep the collector
+// synchronously so a scrape always sees current counters; /fleet/qlog
+// reads the merged ring directly.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/metrics", func(w http.ResponseWriter, req *http.Request) {
+		merged := f.collector.Collect()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = merged.WritePrometheus(w)
+	})
+	mux.HandleFunc("/fleet/pops", func(w http.ResponseWriter, req *http.Request) {
+		f.collector.Collect()
+		_, pops := f.collector.Latest()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Steering string      `json:"steering"`
+			Pops     []PopStatus `json:"pops"`
+		}{f.cfg.Steering.String(), pops})
+	})
+	mux.Handle("/fleet/qlog", f.merged.Handler())
+	mux.HandleFunc("/fleet/report", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(f.Report())
+	})
+	return mux
+}
+
+// Serve binds addr (":0" allowed) and serves the control-plane API in
+// the background until Close.
+func (f *Fleet) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: f.Handler()}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}

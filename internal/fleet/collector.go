@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsnoise/internal/qlog"
+	"dnsnoise/internal/telemetry"
+)
+
+// PopStatus is one PoP's health line in the /fleet/pops view, computed
+// by the collector from the PoP's own instruments at each sweep.
+type PopStatus struct {
+	Pop     int       `json:"pop"`
+	Time    time.Time `json:"time"`
+	Queries uint64    `json:"queries"`
+	// QPS is the query rate over the last collection interval (wall
+	// clock, not simulated time); zero on the first sweep.
+	QPS float64 `json:"qps"`
+	// CacheHitRatio is hits/(hits+misses) across the PoP's servers.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	NXDomains     uint64  `json:"nxdomains"`
+	ServFails     uint64  `json:"servfails"`
+	UpstreamRTs   uint64  `json:"upstream_roundtrips"`
+	PdnsRecords   int     `json:"pdns_records"`
+	// VerdictRate is the disposable fraction of scored events in the
+	// PoP's qlog ring: disposable/(disposable+benign). Zero when no
+	// scorer is attached or nothing has been scored yet.
+	VerdictRate float64 `json:"verdict_rate"`
+	QlogEvents  int     `json:"qlog_events"`
+}
+
+// collection is one collector sweep: the merged fleet snapshot plus the
+// per-PoP status lines it was derived from.
+type collection struct {
+	merged *telemetry.Snapshot
+	pops   []PopStatus
+}
+
+// Collector periodically pulls every PoP's telemetry registry, resolver
+// stats, pDNS store, and qlog ring, relabels the snapshots with pop=
+// and merges them into the fleet-wide view the /fleet/* endpoints
+// serve. Sweeps are cheap (snapshotting is lock-striped reads), so the
+// cadence trades staleness against overhead; see the fleet-overhead
+// bench scenario for the measured cost.
+type Collector struct {
+	f     *Fleet
+	every time.Duration
+
+	latest atomic.Pointer[collection]
+
+	mu        sync.Mutex // guards prev* and the sweep itself
+	prevTime  time.Time
+	prevTotal []uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newCollector(f *Fleet, every time.Duration) *Collector {
+	return &Collector{
+		f:         f,
+		every:     every,
+		prevTotal: make([]uint64, len(f.pops)),
+	}
+}
+
+// Collect runs one sweep now and returns the merged fleet snapshot.
+// Safe to call mid-run and concurrently with the background loop.
+func (c *Collector) Collect() *telemetry.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	elapsed := now.Sub(c.prevTime).Seconds()
+	col := &collection{pops: make([]PopStatus, len(c.f.pops))}
+	snaps := make([]*telemetry.Snapshot, len(c.f.pops))
+	for i, p := range c.f.pops {
+		snaps[i] = p.Registry.Snapshot().WithLabel("pop", strconv.Itoa(i))
+		st := p.Cluster.Stats()
+		ps := PopStatus{
+			Pop:         i,
+			Time:        now,
+			Queries:     st.Queries,
+			NXDomains:   st.NXDomains,
+			ServFails:   st.ServFails,
+			UpstreamRTs: st.UpstreamRTs,
+			PdnsRecords: p.Store.Len(),
+		}
+		if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+			ps.CacheHitRatio = float64(st.CacheHits) / float64(lookups)
+		}
+		if !c.prevTime.IsZero() && elapsed > 0 && st.Queries >= c.prevTotal[i] {
+			ps.QPS = float64(st.Queries-c.prevTotal[i]) / elapsed
+		}
+		c.prevTotal[i] = st.Queries
+		events := p.Ring.Snapshot(qlog.Filter{})
+		ps.QlogEvents = len(events)
+		var benign, disposable int
+		for _, ev := range events {
+			switch ev.Verdict {
+			case qlog.VerdictBenign:
+				benign++
+			case qlog.VerdictDisposable:
+				disposable++
+			}
+		}
+		if scored := benign + disposable; scored > 0 {
+			ps.VerdictRate = float64(disposable) / float64(scored)
+		}
+		col.pops[i] = ps
+	}
+	c.prevTime = now
+	col.merged = telemetry.MergeSnapshots(snaps...)
+	c.latest.Store(col)
+	return col.merged
+}
+
+// Latest returns the most recent sweep's merged snapshot and per-PoP
+// statuses, sweeping synchronously if none has happened yet.
+func (c *Collector) Latest() (*telemetry.Snapshot, []PopStatus) {
+	col := c.latest.Load()
+	if col == nil {
+		c.Collect()
+		col = c.latest.Load()
+	}
+	return col.merged, col.pops
+}
+
+// Start launches the background sweep loop. Stop halts it; both are
+// idempotent enough for the single owner the CLI is.
+func (c *Collector) Start() {
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go func() {
+		defer close(c.done)
+		tick := time.NewTicker(c.every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				c.Collect()
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+func (c *Collector) Stop() {
+	if c.stop == nil {
+		return
+	}
+	close(c.stop)
+	<-c.done
+	c.stop = nil
+}

@@ -1,0 +1,56 @@
+package pdns
+
+import (
+	"dnsnoise/internal/dnsmsg"
+)
+
+// MergeStores unions per-PoP rpDNS stores into one global view, the
+// fleet-side equivalent of running a single store over the whole trace.
+// Records are deduplicated by (name, type, rdata) with the earliest
+// FirstSeen across inputs winning — a record two PoPs both observed is
+// counted once, on the day the fleet first saw it, exactly as a single
+// store's first-sighting-wins rule would have. Series matchers are
+// inherited from the first store and the per-day accounting is rebuilt
+// from the merged record set, so Days() on the result is identical
+// regardless of how many PoPs the traffic was partitioned across.
+//
+// The inputs are read under their shard locks but not modified; the
+// result is a fresh independent store.
+func MergeStores(stores ...*Store) *Store {
+	out := NewStore()
+	var first *Store
+	for _, s := range stores {
+		if s != nil {
+			first = s
+			break
+		}
+	}
+	if first == nil {
+		return out
+	}
+	for i, name := range first.seriesNm {
+		out.AddSeries(name, first.seriesFn[i])
+	}
+	merged := make(map[recordKey]*Record)
+	for _, s := range stores {
+		if s == nil {
+			continue
+		}
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			for key, rec := range sh.firstSeen {
+				if prev, ok := merged[key]; ok && !rec.FirstSeen.Before(prev.FirstSeen) {
+					continue
+				}
+				merged[key] = rec
+			}
+			sh.mu.Unlock()
+		}
+	}
+	for key, rec := range merged {
+		out.Insert(dnsmsg.RR{Name: key.name, Type: key.typ, RData: key.rdata},
+			rec.Category, rec.FirstSeen)
+	}
+	return out
+}

@@ -157,11 +157,14 @@ func (e *EvictionCause) UnmarshalText(text []byte) error {
 // timestamp; Day/Window are stamped from the ingest runner's UTC-day
 // rotation, so events join against per-day windows and reports.
 type Event struct {
-	ID        uint64        `json:"id"`
-	Time      time.Time     `json:"ts"`
-	Day       string        `json:"day,omitempty"`
-	Window    uint32        `json:"window,omitempty"`
-	Server    int32         `json:"server"`
+	ID     uint64    `json:"id"`
+	Time   time.Time `json:"ts"`
+	Day    string    `json:"day,omitempty"`
+	Window uint32    `json:"window,omitempty"`
+	Server int32     `json:"server"`
+	// Pop identifies the originating PoP in a merged fleet tail (stamped
+	// by the fleet collector; absent in single-cluster runs).
+	Pop       int32         `json:"pop,omitempty"`
 	Client    uint32        `json:"client,omitempty"`
 	Name      string        `json:"name"`
 	Qtype     string        `json:"qtype"`

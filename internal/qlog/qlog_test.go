@@ -235,6 +235,46 @@ func TestMemorySinkRingAndFilter(t *testing.T) {
 	}
 }
 
+func TestMemorySinkServerPopFilter(t *testing.T) {
+	m := NewMemorySink(8)
+	_ = m.Consume([]Event{
+		{ID: 1, Name: "a.test", Server: 0, Pop: 0},
+		{ID: 2, Name: "b.test", Server: 1, Pop: 0},
+		{ID: 3, Name: "c.test", Server: 0, Pop: 2},
+		{ID: 4, Name: "d.test", Server: 1, Pop: 2},
+	})
+	if got := m.Snapshot(Filter{Server: "0"}); len(got) != 2 || got[0].ID != 1 || got[1].ID != 3 {
+		t.Errorf("server=0 matched %+v", got)
+	}
+	if got := m.Snapshot(Filter{Pop: "2"}); len(got) != 2 || got[0].ID != 3 || got[1].ID != 4 {
+		t.Errorf("pop=2 matched %+v", got)
+	}
+	if got := m.Snapshot(Filter{Server: "1", Pop: "2"}); len(got) != 1 || got[0].ID != 4 {
+		t.Errorf("server=1&pop=2 matched %+v", got)
+	}
+	if got := m.Snapshot(Filter{Server: "bogus"}); len(got) != 0 {
+		t.Errorf("non-numeric server matched %+v", got)
+	}
+
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/qlog?pop=2&server=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Returned int     `json:"returned"`
+		Events   []Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Returned != 1 || len(body.Events) != 1 || body.Events[0].ID != 4 {
+		t.Errorf("pop+server response = %+v", body)
+	}
+}
+
 func TestMemorySinkHandler(t *testing.T) {
 	m := NewMemorySink(8)
 	_ = m.Consume([]Event{

@@ -203,11 +203,27 @@ type Filter struct {
 	// Verdict keeps events with this disposable-score label ("benign" or
 	// "disposable").
 	Verdict string
+	// Server keeps events handled by this cluster server id. A string so
+	// the zero value means "any" while "0" still selects server 0.
+	Server string
+	// Pop keeps events stamped with this fleet PoP id (same string
+	// convention as Server).
+	Pop string
 	// Limit caps the result to the newest Limit events (0 = all retained).
 	Limit int
 }
 
 func (f Filter) match(ev *Event) bool {
+	if f.Server != "" {
+		if v, err := strconv.Atoi(f.Server); err != nil || int32(v) != ev.Server {
+			return false
+		}
+	}
+	if f.Pop != "" {
+		if v, err := strconv.Atoi(f.Pop); err != nil || int32(v) != ev.Pop {
+			return false
+		}
+	}
 	if f.Zone != "" && ev.Name != f.Zone && !strings.HasSuffix(ev.Name, "."+f.Zone) {
 		return false
 	}
@@ -247,15 +263,16 @@ func (m *MemorySink) Snapshot(f Filter) []Event {
 
 // Handler serves the ring as JSON:
 //
-//	GET /debug/qlog?zone=<suffix>&qtype=<type>&outcome=<label>&verdict=<label>&n=<limit>
+//	GET /debug/qlog?zone=<suffix>&qtype=<type>&outcome=<label>&verdict=<label>&server=<id>&pop=<id>&n=<limit>
 //
 // The response carries the total events seen, the retained count, and
-// the matching events (newest last).
+// the matching events (newest last). server and pop scope the tail to
+// one cluster server or (in a merged fleet tail) one PoP.
 func (m *MemorySink) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		q := req.URL.Query()
 		f := Filter{Zone: q.Get("zone"), Qtype: q.Get("qtype"), Outcome: q.Get("outcome"),
-			Verdict: q.Get("verdict"), Limit: 100}
+			Verdict: q.Get("verdict"), Server: q.Get("server"), Pop: q.Get("pop"), Limit: 100}
 		if n := q.Get("n"); n != "" {
 			v, err := strconv.Atoi(n)
 			if err != nil || v < 0 {

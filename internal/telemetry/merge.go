@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file is the fleet-side merge layer: snapshots pulled from many
+// PoP registries are relabeled with pop="N", combined additively, and
+// re-rendered as one Prometheus exposition. Merging works on snapshots
+// (not live registries) so the collector can pull atomically-consistent
+// copies without holding any PoP's lock.
+
+// Merge combines two histogram snapshots additively: counts and sums
+// add, buckets with the same bounds add, and the quantile estimates are
+// recomputed over the combined distribution.
+func (s HistogramSnapshot) Merge(other HistogramSnapshot) HistogramSnapshot {
+	var m HistogramSnapshot
+	m.Count = s.Count + other.Count
+	m.Sum = s.Sum + other.Sum
+	at := make(map[uint64]Bucket, len(s.Buckets)+len(other.Buckets))
+	for _, b := range s.Buckets {
+		at[b.Lo] = b
+	}
+	for _, b := range other.Buckets {
+		if prev, ok := at[b.Lo]; ok {
+			b.Count += prev.Count
+		}
+		at[b.Lo] = b
+	}
+	m.Buckets = make([]Bucket, 0, len(at))
+	for _, b := range at {
+		m.Buckets = append(m.Buckets, b)
+	}
+	sort.Slice(m.Buckets, func(i, j int) bool { return m.Buckets[i].Lo < m.Buckets[j].Lo })
+	m.P50 = m.Quantile(0.50)
+	m.P95 = m.Quantile(0.95)
+	m.P99 = m.Quantile(0.99)
+	return m
+}
+
+// WithLabel returns a copy of the snapshot with key="value" appended to
+// every series' label set — how the fleet collector stamps each PoP's
+// snapshot with pop="N" before merging, so per-PoP series stay distinct
+// in the merged exposition. The receiver is not modified.
+func (s *Snapshot) WithLabel(key, value string) *Snapshot {
+	if s == nil {
+		return nil
+	}
+	pair := fmt.Sprintf("%s=%q", key, value)
+	relabel := func(name string) string {
+		base, labels := splitSeries(name)
+		return base + joinLabels(labels, pair)
+	}
+	out := &Snapshot{
+		Time:       s.Time,
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[relabel(name)] = v
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[relabel(name)] = v
+	}
+	for name, v := range s.Histograms {
+		out.Histograms[relabel(name)] = v
+	}
+	return out
+}
+
+// MergeSnapshots combines snapshots into one: counters and gauges with
+// the same series name sum, histograms merge bucket-wise, and Time is
+// the latest of the inputs. Nil snapshots are skipped. Callers that want
+// per-source series to stay distinct (the fleet collector) relabel each
+// input with WithLabel first so no series names collide.
+func MergeSnapshots(snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if s.Time.After(out.Time) {
+			out.Time = s.Time
+		}
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			out.Gauges[name] += v
+		}
+		for name, v := range s.Histograms {
+			out.Histograms[name] = out.Histograms[name].Merge(v)
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders the snapshot in the text exposition format
+// (version 0.0.4). Unlike Registry.WritePrometheus it groups series by
+// base name explicitly before emitting, since map iteration carries no
+// registry ordering: one # TYPE header per base, all of that base's
+// series directly under it. Snapshots carry no help text, so no # HELP
+// lines are written. A base that appears under two instrument kinds is
+// an error.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	type family struct {
+		kind   string
+		series []string
+	}
+	fams := map[string]*family{}
+	add := func(name, kind string) error {
+		base, _ := splitSeries(name)
+		f := fams[base]
+		if f == nil {
+			f = &family{kind: kind}
+			fams[base] = f
+		} else if f.kind != kind {
+			return fmt.Errorf("telemetry: series %s is both %s and %s", base, f.kind, kind)
+		}
+		f.series = append(f.series, name)
+		return nil
+	}
+	for name := range s.Counters {
+		if err := add(name, "counter"); err != nil {
+			return err
+		}
+	}
+	for name := range s.Gauges {
+		if err := add(name, "gauge"); err != nil {
+			return err
+		}
+	}
+	for name := range s.Histograms {
+		if err := add(name, "histogram"); err != nil {
+			return err
+		}
+	}
+	bases := make([]string, 0, len(fams))
+	for base := range fams {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		f := fams[base]
+		sort.Strings(f.series)
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, f.kind); err != nil {
+			return err
+		}
+		for _, name := range f.series {
+			_, labels := splitSeries(name)
+			var err error
+			switch f.kind {
+			case "counter":
+				_, err = fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(labels), s.Counters[name])
+			case "gauge":
+				_, err = fmt.Fprintf(w, "%s%s %s\n", base, joinLabels(labels),
+					strconv.FormatFloat(s.Gauges[name], 'g', -1, 64))
+			case "histogram":
+				err = writePromHistogram(w, base, labels, s.Histograms[name])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

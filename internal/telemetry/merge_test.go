@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/telemetry/promtext"
+)
+
+// TestHistogramSnapshotMerge checks that merging two snapshots is
+// bucket-exact: equivalent to observing both value streams into one
+// histogram.
+func TestHistogramSnapshotMerge(t *testing.T) {
+	var a, b, both Histogram
+	for v := uint64(0); v < 2000; v += 7 {
+		a.Observe(v)
+		both.Observe(v)
+	}
+	for v := uint64(1); v < 1<<30; v <<= 2 {
+		b.Observe(v)
+		both.Observe(v)
+	}
+	got := a.Snapshot().Merge(b.Snapshot())
+	want := both.Snapshot()
+	if got.Count != want.Count || got.Sum != want.Sum {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", got.Count, got.Sum, want.Count, want.Sum)
+	}
+	if len(got.Buckets) != len(want.Buckets) {
+		t.Fatalf("merged buckets = %v, want %v", got.Buckets, want.Buckets)
+	}
+	for i := range got.Buckets {
+		if got.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, got.Buckets[i], want.Buckets[i])
+		}
+	}
+	if got.P50 != want.P50 || got.P95 != want.P95 || got.P99 != want.P99 {
+		t.Fatalf("merged quantiles %v/%v/%v, want %v/%v/%v",
+			got.P50, got.P95, got.P99, want.P50, want.P95, want.P99)
+	}
+	// Merging with an empty snapshot is the identity.
+	var empty HistogramSnapshot
+	id := want.Merge(empty)
+	if id.Count != want.Count || len(id.Buckets) != len(want.Buckets) {
+		t.Fatalf("identity merge changed snapshot: %+v vs %+v", id, want)
+	}
+}
+
+// TestSnapshotWithLabelAndMerge relabels two registry snapshots with
+// pop ids, merges them, and checks both the per-pop series and the
+// additive collision semantics.
+func TestSnapshotWithLabelAndMerge(t *testing.T) {
+	r0, r1 := NewRegistry(), NewRegistry()
+	r0.Counter("ingest_queries_total", "").Add(10)
+	r1.Counter("ingest_queries_total", "").Add(32)
+	r0.Counter(`resolver_shard_total{server="0"}`, "").Add(5)
+	r1.Counter(`resolver_shard_total{server="0"}`, "").Add(6)
+	r0.Histogram("resolve_ns", "").Observe(100)
+	r1.Histogram("resolve_ns", "").Observe(1000)
+
+	s0 := r0.Snapshot().WithLabel("pop", "0")
+	s1 := r1.Snapshot().WithLabel("pop", "1")
+	if _, ok := s0.Counters[`ingest_queries_total{pop="0"}`]; !ok {
+		t.Fatalf("relabel missing pop label: %v", s0.Counters)
+	}
+	if _, ok := s0.Counters[`resolver_shard_total{server="0",pop="0"}`]; !ok {
+		t.Fatalf("relabel dropped existing labels: %v", s0.Counters)
+	}
+
+	m := MergeSnapshots(s0, s1)
+	if got := m.Counters[`ingest_queries_total{pop="0"}`]; got != 10 {
+		t.Errorf("pop 0 counter = %d, want 10", got)
+	}
+	if got := m.Counters[`ingest_queries_total{pop="1"}`]; got != 32 {
+		t.Errorf("pop 1 counter = %d, want 32", got)
+	}
+	if got := m.Histograms[`resolve_ns{pop="0"}`].Count; got != 1 {
+		t.Errorf("pop 0 histogram count = %d, want 1", got)
+	}
+
+	// Without relabeling, same-name series combine additively.
+	flat := MergeSnapshots(r0.Snapshot(), r1.Snapshot())
+	if got := flat.Counters["ingest_queries_total"]; got != 42 {
+		t.Errorf("flat merge counter = %d, want 42", got)
+	}
+	if got := flat.Histograms["resolve_ns"].Count; got != 2 {
+		t.Errorf("flat merge histogram count = %d, want 2", got)
+	}
+
+	later := time.Now().Add(time.Hour)
+	a := &Snapshot{Time: later}
+	if got := MergeSnapshots(m, a).Time; !got.Equal(later) {
+		t.Errorf("merged time = %v, want latest %v", got, later)
+	}
+}
+
+// TestSnapshotWritePrometheusStrict renders a merged multi-pop snapshot
+// and runs it through the strict exposition parser.
+func TestSnapshotWritePrometheusStrict(t *testing.T) {
+	var snaps []*Snapshot
+	for pop := 0; pop < 3; pop++ {
+		r := NewRegistry()
+		r.Counter("ingest_queries_total", "").Add(uint64(100 * (pop + 1)))
+		r.Gauge("pdns_store_bytes", "").Set(float64(1000 * (pop + 1)))
+		h := r.Histogram(`resolve_ns{server="0"}`, "")
+		for v := uint64(1); v < 1<<16; v <<= 1 {
+			h.Observe(v)
+		}
+		snaps = append(snaps, r.Snapshot().WithLabel("pop", string(rune('0'+pop))))
+	}
+	m := MergeSnapshots(snaps...)
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := promtext.Parse(sb.String())
+	if err != nil {
+		t.Fatalf("merged exposition failed strict parse: %v\n%s", err, sb.String())
+	}
+	n, err := promtext.CheckHistograms(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 3 {
+		t.Fatalf("validated %d histogram series, want >= 3", n)
+	}
+	pops := map[string]bool{}
+	var total float64
+	for _, sm := range samples {
+		if sm.Name == "ingest_queries_total" {
+			pops[sm.Labels["pop"]] = true
+			total += sm.Value
+		}
+	}
+	if len(pops) != 3 || total != 600 {
+		t.Fatalf("per-pop counters wrong: pops=%v total=%v", pops, total)
+	}
+}

@@ -2,313 +2,33 @@ package telemetry
 
 import (
 	"fmt"
-	"math"
-	"regexp"
-	"sort"
-	"strconv"
 	"strings"
 	"testing"
+
+	"dnsnoise/internal/telemetry/promtext"
 )
 
 // This file validates WritePrometheus against a strict reading of the
-// text exposition format (version 0.0.4): metric-name and label-name
-// charsets, label-value quoting, HELP/TYPE placement and uniqueness,
-// sample grouping under the TYPE header, and cumulative histogram
-// buckets ending in le="+Inf" with matching _sum/_count.
+// text exposition format (version 0.0.4). The parser itself lives in
+// the importable promtext package so the fleet control plane and its
+// tests can reuse it; these wrappers just adapt errors to the test.
 
-var (
-	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
-)
-
-// promSample is one parsed exposition line.
-type promSample struct {
-	name   string
-	labels map[string]string
-	value  float64
-}
-
-// parsePromLabels scans a `{k="v",...}` block, enforcing the quoting
-// rules: values are double-quoted with only \\, \", and \n escapes.
-func parsePromLabels(s string) (map[string]string, error) {
-	labels := map[string]string{}
-	i := 0
-	for i < len(s) {
-		j := strings.IndexByte(s[i:], '=')
-		if j < 0 {
-			return nil, fmt.Errorf("label %q missing '='", s[i:])
-		}
-		name := s[i : i+j]
-		if !promLabelRe.MatchString(name) {
-			return nil, fmt.Errorf("bad label name %q", name)
-		}
-		i += j + 1
-		if i >= len(s) || s[i] != '"' {
-			return nil, fmt.Errorf("label %s value not quoted", name)
-		}
-		i++
-		var val strings.Builder
-		closed := false
-		for i < len(s) {
-			c := s[i]
-			if c == '\\' {
-				if i+1 >= len(s) {
-					return nil, fmt.Errorf("label %s: dangling escape", name)
-				}
-				switch s[i+1] {
-				case '\\', '"':
-					val.WriteByte(s[i+1])
-				case 'n':
-					val.WriteByte('\n')
-				default:
-					return nil, fmt.Errorf("label %s: bad escape \\%c", name, s[i+1])
-				}
-				i += 2
-				continue
-			}
-			if c == '"' {
-				closed = true
-				i++
-				break
-			}
-			val.WriteByte(c)
-			i++
-		}
-		if !closed {
-			return nil, fmt.Errorf("label %s: unterminated value", name)
-		}
-		if _, dup := labels[name]; dup {
-			return nil, fmt.Errorf("duplicate label %s", name)
-		}
-		labels[name] = val.String()
-		if i < len(s) {
-			if s[i] != ',' {
-				return nil, fmt.Errorf("expected ',' after label %s, got %q", name, s[i:])
-			}
-			i++
-		}
-	}
-	return labels, nil
-}
-
-func parsePromSample(line string) (promSample, error) {
-	var sm promSample
-	rest := line
-	if i := strings.IndexByte(line, '{'); i >= 0 {
-		end := strings.LastIndexByte(line, '}')
-		if end < i {
-			return sm, fmt.Errorf("unbalanced braces in %q", line)
-		}
-		sm.name = line[:i]
-		labels, err := parsePromLabels(line[i+1 : end])
-		if err != nil {
-			return sm, err
-		}
-		sm.labels = labels
-		rest = strings.TrimPrefix(line[end+1:], " ")
-	} else {
-		sp := strings.IndexByte(line, ' ')
-		if sp < 0 {
-			return sm, fmt.Errorf("sample %q has no value", line)
-		}
-		sm.name = line[:sp]
-		sm.labels = map[string]string{}
-		rest = line[sp+1:]
-	}
-	if !promNameRe.MatchString(sm.name) {
-		return sm, fmt.Errorf("bad metric name %q", sm.name)
-	}
-	fields := strings.Fields(rest)
-	if len(fields) != 1 {
-		return sm, fmt.Errorf("sample %q: want exactly one value, got %v", line, fields)
-	}
-	v, err := strconv.ParseFloat(fields[0], 64)
-	if err != nil {
-		return sm, fmt.Errorf("sample %q: %v", line, err)
-	}
-	sm.value = v
-	return sm, nil
-}
-
-// seriesKey identifies one labeled series, ignoring the histogram's
-// per-bucket le label.
-func seriesKey(sm promSample) string {
-	pairs := make([]string, 0, len(sm.labels))
-	for k, v := range sm.labels {
-		if k == "le" {
-			continue
-		}
-		pairs = append(pairs, k+"="+v)
-	}
-	sort.Strings(pairs)
-	return sm.name + "{" + strings.Join(pairs, ",") + "}"
-}
-
-// parsePromExposition applies the structural rules to a full payload and
-// returns the samples. It fails the test on the first violation.
-func parsePromExposition(t *testing.T, out string) []promSample {
+func parsePromExposition(t *testing.T, out string) []promtext.Sample {
 	t.Helper()
-	var (
-		samples   []promSample
-		helped    = map[string]bool{}
-		typed     = map[string]string{} // base -> type
-		sampled   = map[string]bool{}   // base has samples already
-		current   string                // base the last TYPE header opened
-		validType = map[string]bool{"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true}
-	)
-	baseOf := func(name, typ string) string {
-		if typ == "histogram" || typ == "summary" {
-			for _, suf := range []string{"_bucket", "_sum", "_count"} {
-				if b := strings.TrimSuffix(name, suf); b != name && typed[b] == typ {
-					return b
-				}
-			}
-		}
-		return name
-	}
-	for _, line := range strings.Split(out, "\n") {
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			fields := strings.SplitN(line, " ", 4)
-			if len(fields) < 3 || fields[0] != "#" {
-				t.Fatalf("malformed comment line %q", line)
-			}
-			kind, name := fields[1], fields[2]
-			switch kind {
-			case "HELP":
-				if !promNameRe.MatchString(name) {
-					t.Fatalf("HELP for bad name %q", name)
-				}
-				if helped[name] {
-					t.Fatalf("duplicate HELP for %s", name)
-				}
-				if typed[name] != "" || sampled[name] {
-					t.Fatalf("HELP for %s after its TYPE or samples", name)
-				}
-				if len(fields) == 4 && strings.ContainsAny(fields[3], "\n") {
-					t.Fatalf("HELP for %s contains raw newline", name)
-				}
-				helped[name] = true
-			case "TYPE":
-				if !promNameRe.MatchString(name) {
-					t.Fatalf("TYPE for bad name %q", name)
-				}
-				if len(fields) != 4 || !validType[fields[3]] {
-					t.Fatalf("bad TYPE line %q", line)
-				}
-				if typed[name] != "" {
-					t.Fatalf("duplicate TYPE for %s", name)
-				}
-				if sampled[name] {
-					t.Fatalf("TYPE for %s after its samples", name)
-				}
-				typed[name] = fields[3]
-				current = name
-			default:
-				t.Fatalf("unknown comment keyword in %q", line)
-			}
-			continue
-		}
-		sm, err := parsePromSample(line)
-		if err != nil {
-			t.Fatalf("line %q: %v", line, err)
-		}
-		base := sm.name
-		if typ := typed[current]; current != "" {
-			if b := baseOf(sm.name, typ); b == current {
-				base = b
-			}
-		}
-		if base != current {
-			t.Fatalf("sample %q outside its metric's TYPE group (current %s)", line, current)
-		}
-		sampled[base] = true
-		samples = append(samples, sm)
-	}
-	for base := range helped {
-		if typed[base] == "" {
-			t.Fatalf("HELP for %s without a TYPE", base)
-		}
+	samples, err := promtext.Parse(out)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return samples
 }
 
-// checkPromHistograms validates every histogram series: le on all
-// buckets, cumulative counts, a final +Inf bucket equal to _count.
-func checkPromHistograms(t *testing.T, samples []promSample) {
+func checkPromHistograms(t *testing.T, samples []promtext.Sample) {
 	t.Helper()
-	type hist struct {
-		lastLe   float64
-		lastCum  float64
-		infCount float64
-		hasInf   bool
-		count    float64
-		hasCount bool
+	n, err := promtext.CheckHistograms(samples)
+	if err != nil {
+		t.Fatal(err)
 	}
-	series := map[string]*hist{}
-	get := func(key string) *hist {
-		h := series[key]
-		if h == nil {
-			h = &hist{lastLe: math.Inf(-1)}
-			series[key] = h
-		}
-		return h
-	}
-	for _, sm := range samples {
-		switch {
-		case strings.HasSuffix(sm.name, "_bucket"):
-			base := sm
-			base.name = strings.TrimSuffix(sm.name, "_bucket")
-			key := seriesKey(base)
-			h := get(key)
-			le, ok := sm.labels["le"]
-			if !ok {
-				t.Fatalf("bucket %s missing le label", key)
-			}
-			if le == "+Inf" {
-				h.hasInf, h.infCount = true, sm.value
-				if sm.value < h.lastCum {
-					t.Fatalf("%s: +Inf bucket %v below cumulative %v", key, sm.value, h.lastCum)
-				}
-				continue
-			}
-			bound, err := strconv.ParseFloat(le, 64)
-			if err != nil {
-				t.Fatalf("%s: le=%q not a float: %v", key, le, err)
-			}
-			if h.hasInf {
-				t.Fatalf("%s: bucket after +Inf", key)
-			}
-			if bound <= h.lastLe {
-				t.Fatalf("%s: le %v not increasing past %v", key, bound, h.lastLe)
-			}
-			if sm.value < h.lastCum {
-				t.Fatalf("%s: bucket count %v not cumulative past %v", key, sm.value, h.lastCum)
-			}
-			h.lastLe, h.lastCum = bound, sm.value
-		case strings.HasSuffix(sm.name, "_count"):
-			base := sm
-			base.name = strings.TrimSuffix(sm.name, "_count")
-			h := get(seriesKey(base))
-			h.hasCount, h.count = true, sm.value
-		}
-	}
-	checked := 0
-	for key, h := range series {
-		if !h.hasInf && !h.hasCount {
-			continue // a counter that happens to end in _count, etc.
-		}
-		if !h.hasInf || !h.hasCount {
-			t.Fatalf("%s: incomplete histogram (inf=%v count=%v)", key, h.hasInf, h.hasCount)
-		}
-		if h.infCount != h.count {
-			t.Fatalf("%s: +Inf bucket %v != _count %v", key, h.infCount, h.count)
-		}
-		checked++
-	}
-	if checked == 0 {
+	if n == 0 {
 		t.Fatal("no histogram series validated")
 	}
 }
@@ -347,7 +67,7 @@ func TestWritePrometheusStrictFormat(t *testing.T) {
 	// Spot-check the parse itself recovered the registered values.
 	byKey := map[string]float64{}
 	for _, sm := range samples {
-		byKey[seriesKey(sm)+"/"+sm.labels["le"]] = sm.value
+		byKey[promtext.SeriesKey(sm)+"/"+sm.Labels["le"]] = sm.Value
 	}
 	if got := byKey[`resolver_shard_total{server=1}/`]; got != 20 {
 		t.Errorf("shard 1 = %v, want 20", got)
@@ -376,7 +96,7 @@ func TestWritePrometheusMetricsEndpointStrict(t *testing.T) {
 	checkPromHistograms(t, samples)
 	names := map[string]bool{}
 	for _, sm := range samples {
-		names[sm.name] = true
+		names[sm.Name] = true
 	}
 	for _, want := range []string{"app_total", "app_ns_sum", "app_ns_count", "go_goroutines"} {
 		if !names[want] {
