@@ -126,8 +126,13 @@ type report struct {
 	// covers the scoring serve path.
 	ServePacketAlloc       *servePacketAlloc `json:"serve_packet_alloc,omitempty"`
 	ServePacketAllocScored *servePacketAlloc `json:"serve_packet_alloc_scored,omitempty"`
-	Note                   string            `json:"note,omitempty"`
-	Extra                  []benchResult     `json:"extra,omitempty"`
+	// CacheMatrix is the eviction-policy × capacity sweep over the slab
+	// cache itself (see cache.go): CHR, premature-eviction rate,
+	// disposable-victim share, throughput, bytes/entry, and the per-policy
+	// steady-state allocation reading behind -max-hit-allocs.
+	CacheMatrix []cachePolicyCell `json:"cache_policies,omitempty"`
+	Note        string            `json:"note,omitempty"`
+	Extra       []benchResult     `json:"extra,omitempty"`
 }
 
 func main() {
@@ -634,6 +639,8 @@ func run(args []string) error {
 		baseline = fs.String("baseline", "", "previous BENCH_resolver.json to embed as a before/after comparison")
 		maxHitAl = fs.Int64("max-hit-allocs", 0, "fail when the cache-hit path exceeds this many allocs/op (-1 disables the gate)")
 		only     = fs.String("only", "", "run a single scenario ('serve') instead of the full suite")
+		cacheCap = fs.String("cache-capacities", "4096,65536,1048576", "capacities for the cache policy matrix, comma-separated")
+		cacheEv  = fs.Int("cache-events", 500_000, "workload events per cell of the cache policy matrix")
 		srvCli   = fs.Int("serve-clients", 8, "concurrent client goroutines in the serve-throughput scenario")
 		srvDur   = fs.Duration("serve-duration", time.Second, "flood duration per serve-throughput matrix cell")
 		srvBatch = fs.Int("serve-batch", udptransport.DefaultBatch, "batch size for the batched-syscall cells of the serve matrix")
@@ -651,6 +658,13 @@ func run(args []string) error {
 	if *srvCli < 1 {
 		return fmt.Errorf("-serve-clients must be >= 1 (got %d)", *srvCli)
 	}
+	capacities, err := parseCapacities(*cacheCap)
+	if err != nil {
+		return err
+	}
+	if *cacheEv < 1 {
+		return fmt.Errorf("-cache-events must be >= 1 (got %d)", *cacheEv)
+	}
 	switch *only {
 	case "":
 	case "serve":
@@ -659,8 +673,10 @@ func run(args []string) error {
 		return runMinerOnly(args, *out, *servers, *queries, *maxMnOv)
 	case "fleet":
 		return runFleetOnly(args, *out, *flPops, *flEvents, *maxFlOv)
+	case "cache":
+		return runCacheOnly(args, *out, capacities, *cacheEv, *maxHitAl)
 	default:
-		return fmt.Errorf("-only %q: unknown scenario (want 'serve', 'miner' or 'fleet')", *only)
+		return fmt.Errorf("-only %q: unknown scenario (want 'serve', 'miner', 'fleet' or 'cache')", *only)
 	}
 	qs := benchQueries(*queries)
 	tracer := telemetry.NewTracer()
@@ -730,6 +746,10 @@ func run(args []string) error {
 	}
 	flSpan.End()
 
+	cacheSpan := tracer.Start("cache-matrix")
+	cacheCells := benchCacheMatrix(capacities, *cacheEv)
+	cacheSpan.End()
+
 	srcSpan := tracer.Start("sources")
 	extra, err := benchSources()
 	if err != nil {
@@ -776,6 +796,7 @@ func run(args []string) error {
 	rep.ServeThroughput = serveMatrix
 	rep.ServePacketAlloc = &pktAlloc
 	rep.ServePacketAllocScored = &pktAllocScored
+	rep.CacheMatrix = cacheCells
 	if *baseline != "" {
 		cmp, err := loadBaseline(*baseline)
 		if err != nil {
@@ -837,6 +858,7 @@ func run(args []string) error {
 			flOverhead.OverheadPct, flOverhead.NoisePct,
 			flOverhead.PlainNsPerOp, flOverhead.InstrumentedNsPerOp, flOverhead.Pairs)
 		printServe(rep.ServeThroughput, rep.ServePacketAlloc, rep.ServePacketAllocScored)
+		printCacheMatrix(rep.CacheMatrix)
 		for _, r := range rep.Extra {
 			fmt.Printf("%-32s %8.1f ns/op (%.0f events/s)\n", r.Name+":", r.NsPerOp, r.QueriesPerSec)
 		}
@@ -845,6 +867,9 @@ func run(args []string) error {
 	if *maxHitAl >= 0 && alloc.HitAllocsPerOp > *maxHitAl {
 		return fmt.Errorf("cache-hit path allocates %d allocs/op (%d B/op), -max-hit-allocs is %d",
 			alloc.HitAllocsPerOp, alloc.HitBytesPerOp, *maxHitAl)
+	}
+	if err := checkCacheAllocGate(cacheCells, *maxHitAl); err != nil {
+		return err
 	}
 	if err := checkOverheadGate("telemetry", "-max-overhead", overhead, *maxOv); err != nil {
 		return err

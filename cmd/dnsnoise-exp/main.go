@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"dnsnoise/internal/cache"
 	"dnsnoise/internal/experiments"
 	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/telemetry"
@@ -117,6 +118,10 @@ func catalog() []experiment {
 			r, err := experiments.CachePressure(s, nil)
 			return render(out, r, err)
 		}},
+		{id: "cache-policy", about: "Section VI-A impact analysis under LRU/SIEVE/CLOCK", run: func(s experiments.Scale, out io.Writer) error {
+			r, err := experiments.CachePolicySweep(s)
+			return render(out, r, err)
+		}},
 		{id: "dnssec", about: "Section VI-B DNSSEC validation load", run: func(s experiments.Scale, out io.Writer) error {
 			r, err := experiments.DNSSECLoad(s)
 			return render(out, r, err)
@@ -176,6 +181,8 @@ func run(args []string, stdout io.Writer) error {
 		list     = fs.Bool("list", false, "list experiment ids and exit")
 		seed     = fs.Int64("seed", 0, "override the scale's seed (0 keeps the default)")
 		parallel = fs.Int("parallel", 1, "run up to N experiments concurrently (each builds its own environment)")
+		policy   = fs.String("cache-policy", "lru", "cache eviction policy: lru, sieve, or clock")
+		negSize  = fs.Int("neg-cache-size", 0, "negative-cache entries per server (0 keeps cache-size/4)")
 	)
 	var tcfg telemetry.CLIConfig
 	tcfg.RegisterFlags(fs)
@@ -204,6 +211,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+	pk, err := cache.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	sc.CachePolicy = pk
+	if *negSize > 0 {
+		sc.NegCacheSize = *negSize
 	}
 
 	var selected []experiment

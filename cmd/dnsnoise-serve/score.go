@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dnsnoise/internal/authority"
+	"dnsnoise/internal/cache"
 	"dnsnoise/internal/chrstat"
 	"dnsnoise/internal/core"
 	"dnsnoise/internal/features"
@@ -26,10 +27,12 @@ const (
 
 // scoreConfig carries the -score flag family.
 type scoreConfig struct {
-	enabled    bool
-	theta      float64
-	window     time.Duration
-	hysteresis int
+	enabled      bool
+	theta        float64
+	window       time.Duration
+	hysteresis   int
+	cachePolicy  cache.PolicyKind
+	negCacheSize int
 }
 
 // buildScoring boots live scoring for the serve path: it simulates one
@@ -45,8 +48,14 @@ type scoreConfig struct {
 // would read as zero at re-score time and poison full-vector splits.
 func buildScoring(reg *workload.Registry, auth *authority.Server, seed int64, cfg scoreConfig,
 	treg *telemetry.Registry) (*livescore.Engine, error) {
+	// The training cluster registers its gauges (cache occupancy by state,
+	// hit counters) on the serve session registry, so /metrics exposes the
+	// resolver side of -score alongside the UDP counters.
 	cluster, err := resolver.NewCluster(auth,
-		resolver.WithServers(2), resolver.WithCacheSize(1<<14))
+		resolver.WithServers(2), resolver.WithCacheSize(1<<14),
+		resolver.WithCachePolicy(cfg.cachePolicy),
+		resolver.WithNegCacheSize(cfg.negCacheSize),
+		resolver.WithTelemetry(treg))
 	if err != nil {
 		return nil, fmt.Errorf("score: training cluster: %w", err)
 	}

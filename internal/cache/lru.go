@@ -1,4 +1,4 @@
-// Package cache implements the fixed-capacity, TTL-aware LRU resource-record
+// Package cache implements the fixed-capacity, TTL-aware resource-record
 // cache used by each simulated recursive DNS server.
 //
 // The cache is the mechanism behind every caching observation in the paper:
@@ -7,14 +7,18 @@
 // measurement, entries carry an opaque Category label and the cache counts
 // evictions per (evicted category, inserting category) pair.
 //
-// The implementation is a slab-backed intrusive list: entries live in a
-// contiguous arena indexed by int32 prev/next links, with a map from key to
-// slot index. Steady-state operation — hits, refreshes, and evict-then-insert
-// churn once the slab has grown to capacity — performs no heap allocation:
-// there is no per-entry *list.Element, no boxing of values into interface{},
-// and promotion to the front of the recency order touches only three slots'
-// links. Keys and values are typed via generics, so callers pay neither an
-// allocation nor a type assertion per operation.
+// The implementation is a slab-backed intrusive structure: entry payloads
+// live in a contiguous arena, with a map from key to slot index. Two
+// parallel link arenas thread through the slab: the eviction-policy order
+// (policy.go — LRU by default, SIEVE or CLOCK selectable at construction)
+// and the TTL timer wheel (wheel.go), which files every entry into a bucket
+// for its expiry second so Advance reclaims whole buckets of dead entries
+// without scanning live ones. Steady-state operation — hits, refreshes,
+// reclaim, and evict-then-insert churn once the slab has grown to capacity —
+// performs no heap allocation: there is no per-entry *list.Element, no
+// boxing of values into interface{}, and every structural move touches only
+// a handful of int32 links. Keys and values are typed via generics, so
+// callers pay neither an allocation nor a type assertion per operation.
 package cache
 
 import (
@@ -52,7 +56,7 @@ type Entry[K comparable, V any] struct {
 	Category Category
 }
 
-// Stats counts cache events. PrematureEvictions counts LRU evictions of
+// Stats counts cache events. PrematureEvictions counts policy evictions of
 // entries that had NOT yet expired, split by the category of the victim and
 // of the entry whose insertion forced the eviction.
 type Stats struct {
@@ -60,7 +64,8 @@ type Stats struct {
 	Misses     uint64
 	Expiries   uint64 // lookups that found only an expired entry
 	Insertions uint64
-	Evictions  uint64 // all LRU evictions (live victims only)
+	Evictions  uint64 // all policy evictions (live victims only)
+	Reclaims   uint64 // expired entries reclaimed by the timer wheel (Advance)
 	// PrematureEvictions[victim][inserter]
 	PrematureEvictions [2][2]uint64
 }
@@ -83,35 +88,38 @@ type counters struct {
 	expiries   atomic.Uint64
 	insertions atomic.Uint64
 	evictions  atomic.Uint64
+	reclaims   atomic.Uint64
 	premature  [2][2]atomic.Uint64
 }
 
 // nilIdx marks the absence of a slot in the intrusive links.
 const nilIdx int32 = -1
 
-// slot is one arena cell: the entry payload plus its recency-list links.
-// Free slots are chained through next.
+// slot is one arena cell: the entry payload. The ordering and expiry links
+// for a slot live at the same index in the policy order and timer wheel
+// arenas, kept outside the generic payload so those structures are shared,
+// non-generic code.
 type slot[K comparable, V any] struct {
 	key      K
 	value    V
 	expires  time.Time
 	category Category
-	prev     int32
-	next     int32
 }
 
-// LRU is a fixed-capacity least-recently-used cache with per-entry TTL.
-// Structural operations (Get/Put/Remove) are not safe for concurrent use —
-// each simulated server owns one — but Len, Capacity, Stats and
-// CategoryCounts are safe to call from other goroutines while the owner
-// works.
+// LRU is a fixed-capacity cache with per-entry TTL and a pluggable eviction
+// policy (the type name predates the policy seam; the default policy is
+// LRU). Structural operations (Get/Put/Remove/Advance) are not safe for
+// concurrent use — each simulated server owns one — but Len, LiveLen,
+// Capacity, Stats and CategoryCounts are safe to call from other goroutines
+// while the owner works.
 type LRU[K comparable, V any] struct {
 	capacity int
 	slab     []slot[K, V]
 	index    map[K]int32
-	head     int32 // most recently used
-	tail     int32 // least recently used
-	free     int32 // head of the free-slot chain (linked via next)
+	ord      order
+	pol      Policy
+	whl      wheel
+	free     int32 // head of the free-slot chain (linked via ord.next)
 	stats    counters
 	size     atomic.Int64
 	// catCount tracks live entries per category, maintained on every
@@ -120,28 +128,86 @@ type LRU[K comparable, V any] struct {
 	catCount [2]atomic.Int64
 }
 
-// NewLRU returns a cache holding at most capacity entries. capacity < 1 is
-// promoted to 1. The entry arena grows geometrically up to capacity on first
-// use and is never released, so steady-state operation allocates nothing.
-func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+// New returns a cache holding at most capacity entries, evicting with the
+// given policy. capacity < 1 is promoted to 1. The entry arena grows
+// geometrically up to capacity on first use and is never released, so
+// steady-state operation allocates nothing.
+func New[K comparable, V any](capacity int, policy PolicyKind) *LRU[K, V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &LRU[K, V]{
+	c := &LRU[K, V]{
 		capacity: capacity,
 		index:    make(map[K]int32, capacity),
-		head:     nilIdx,
-		tail:     nilIdx,
+		ord:      newOrder(),
+		pol:      policyFor(policy),
 		free:     nilIdx,
 	}
+	c.whl.init()
+	return c
+}
+
+// NewLRU returns a cache with the default (LRU) eviction policy.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	return New[K, V](capacity, PolicyLRU)
 }
 
 // Len returns the number of entries currently stored, including any that
-// have expired but not yet been touched.
+// have expired but not yet been reclaimed or touched.
 func (c *LRU[K, V]) Len() int { return int(c.size.Load()) }
+
+// LiveLen returns the number of stored entries not yet known to be expired:
+// Len minus the entries sitting in wheel buckets wholly before the latest
+// observed clock, i.e. entries awaiting reclaim because Advance lags the
+// operations' timestamps. With Advance driven from the resolve path the gap
+// is at most the current one-second bucket. Safe to call from a metrics
+// scrape while the owner works.
+func (c *LRU[K, V]) LiveLen() int {
+	total := int(c.size.Load())
+	w := &c.whl
+	ct := w.clock.Load()
+	cur := w.cur.Load()
+	if ct <= cur || total == 0 {
+		return total
+	}
+	expired := 0
+	// Level-0 bucket b holds the tick t in [cur, cur+512) with t ≡ b;
+	// the bucket is wholly expired once the clock passes t.
+	for b := 0; b < wheelL0Size; b++ {
+		n := int(w.counts[b].Load())
+		if n == 0 {
+			continue
+		}
+		t := cur + ((int64(b) - cur) & (wheelL0Size - 1))
+		if t < ct {
+			expired += n
+		}
+	}
+	// Level-1 bucket j holds a 512-tick window; expired only once the
+	// whole window has passed. The overflow bucket always counts live.
+	curWin := cur >> wheelL0Bits
+	for j := 0; j < wheelL1Size; j++ {
+		n := int(w.counts[wheelL0Size+j].Load())
+		if n == 0 {
+			continue
+		}
+		win := curWin + ((int64(j) - curWin) & (wheelL1Size - 1))
+		if (win+1)<<wheelL0Bits <= ct {
+			expired += n
+		}
+	}
+	// The reads above race benignly with the owner; clamp to sane bounds.
+	if expired > total {
+		expired = total
+	}
+	return total - expired
+}
 
 // Capacity returns the configured maximum entry count.
 func (c *LRU[K, V]) Capacity() int { return c.capacity }
+
+// Policy returns the eviction policy the cache was built with.
+func (c *LRU[K, V]) Policy() PolicyKind { return c.pol.Kind() }
 
 // Stats returns a copy of the event counters.
 func (c *LRU[K, V]) Stats() Stats {
@@ -151,6 +217,7 @@ func (c *LRU[K, V]) Stats() Stats {
 	s.Expiries = c.stats.expiries.Load()
 	s.Insertions = c.stats.insertions.Load()
 	s.Evictions = c.stats.evictions.Load()
+	s.Reclaims = c.stats.reclaims.Load()
 	for v := range c.stats.premature {
 		for i := range c.stats.premature[v] {
 			s.PrematureEvictions[v][i] = c.stats.premature[v][i].Load()
@@ -159,10 +226,57 @@ func (c *LRU[K, V]) Stats() Stats {
 	return s
 }
 
+// Advance moves the timer wheel up to now, reclaiming every entry whose
+// expiry second has wholly passed. Each elapsed tick empties one bucket —
+// dead entries are reclaimed in whole lists without examining live ones —
+// so occupancy tracks live entries and eviction victims are never
+// already-dead. Reclaims are counted in Stats.Reclaims; they are neither
+// expiries (no lookup happened) nor evictions (no insertion forced them).
+// Idle caches fast-forward in O(1). Allocates nothing.
+func (c *LRU[K, V]) Advance(now time.Time) {
+	w := &c.whl
+	if !w.started {
+		return
+	}
+	n := w.tickOf(now)
+	if n > w.clock.Load() {
+		w.clock.Store(n)
+	}
+	cur := w.cur.Load()
+	if n <= cur {
+		return
+	}
+	if w.count == 0 {
+		w.cur.Store(n)
+		return
+	}
+	for cur < n {
+		// Every entry in tick cur's bucket has expires < base+cur+1 ≤ now.
+		b := cur & (wheelL0Size - 1)
+		for i := w.heads[b]; i != nilIdx; i = w.heads[b] {
+			c.removeSlot(i)
+			c.stats.reclaims.Add(1)
+		}
+		cur++
+		w.cur.Store(cur)
+		if cur&(wheelL0Span-1) == 0 {
+			w.cascade(cur)
+		}
+		if w.count == 0 {
+			cur = n
+			w.cur.Store(n)
+		}
+	}
+}
+
 // Get looks up key at instant now. A present, unexpired entry counts as a
-// hit and is promoted to most-recently-used. A present but expired entry is
-// removed, counted as an expiry AND a miss (the resolver must re-fetch).
+// hit and is reported to the eviction policy (LRU promotes it; SIEVE/CLOCK
+// set its reference bit). A present but expired entry is removed, counted
+// as an expiry AND a miss (the resolver must re-fetch) — this lazy check
+// backstops the wheel for the in-progress second and for callers that never
+// Advance.
 func (c *LRU[K, V]) Get(key K, now time.Time) (V, bool) {
+	c.whl.observe(now)
 	var zero V
 	i, ok := c.index[key]
 	if !ok {
@@ -176,7 +290,7 @@ func (c *LRU[K, V]) Get(key K, now time.Time) (V, bool) {
 		c.stats.misses.Add(1)
 		return zero, false
 	}
-	c.moveToFront(i)
+	c.pol.touch(&c.ord, i)
 	c.stats.hits.Add(1)
 	return s.value, true
 }
@@ -197,13 +311,13 @@ func (c *LRU[K, V]) Peek(key K) (Entry[K, V], bool) {
 // event log. The zero value means the insertion evicted nothing (the
 // cache had room, or the key was refreshed in place).
 type Eviction struct {
-	Evicted   bool     // an LRU victim was removed to make room
+	Evicted   bool     // a policy victim was removed to make room
 	Premature bool     // the victim had not yet expired
 	Victim    Category // the victim's category (meaningful when Evicted)
 }
 
 // Put inserts or refreshes key with the given value, TTL and category.
-// When the cache is full, the least-recently-used entry is evicted; if that
+// When the cache is full, the eviction policy picks a victim; if that
 // victim had not yet expired the eviction is counted as premature, attributed
 // to the inserting entry's category.
 func (c *LRU[K, V]) Put(key K, value V, ttl time.Duration, cat Category, now time.Time) {
@@ -215,11 +329,12 @@ func (c *LRU[K, V]) PutEv(key K, value V, ttl time.Duration, cat Category, now t
 	return c.put(key, value, ttl, cat, now, false)
 }
 
-// PutLowPriority inserts key at the cold end of the recency order: it is
-// the next eviction victim and can never push out another live entry
-// (the eviction mitigation of paper Section VI-A — disposable answers are
-// cached, but at the lowest priority). Refreshing an existing entry keeps
-// it cold.
+// PutLowPriority inserts key at the cold end of the eviction order: under
+// the default LRU policy it is the next eviction victim and can never push
+// out another live entry (the eviction mitigation of paper Section VI-A —
+// disposable answers are cached, but at the lowest priority). SIEVE and
+// CLOCK honor the cold placement but their scan state may examine other
+// entries first. Refreshing an existing entry keeps it cold.
 func (c *LRU[K, V]) PutLowPriority(key K, value V, ttl time.Duration, cat Category, now time.Time) {
 	c.put(key, value, ttl, cat, now, true)
 }
@@ -232,6 +347,12 @@ func (c *LRU[K, V]) PutLowPriorityEv(key K, value V, ttl time.Duration, cat Cate
 
 func (c *LRU[K, V]) put(key K, value V, ttl time.Duration, cat Category, now time.Time, low bool) Eviction {
 	c.stats.insertions.Add(1)
+	w := &c.whl
+	if !w.started {
+		w.started = true
+		w.base = now.Unix()
+	}
+	w.observe(now)
 	expires := now.Add(ttl)
 	if i, ok := c.index[key]; ok {
 		s := &c.slab[i]
@@ -242,11 +363,9 @@ func (c *LRU[K, V]) put(key K, value V, ttl time.Duration, cat Category, now tim
 		s.value = value
 		s.expires = expires
 		s.category = cat
-		if low {
-			c.moveToBack(i)
-		} else {
-			c.moveToFront(i)
-		}
+		c.pol.refresh(&c.ord, i, low)
+		w.unfile(i)
+		w.file(i, w.tickOf(expires))
 		return Eviction{}
 	}
 	var ev Eviction
@@ -259,11 +378,8 @@ func (c *LRU[K, V]) put(key K, value V, ttl time.Duration, cat Category, now tim
 	s.value = value
 	s.expires = expires
 	s.category = cat
-	if low {
-		c.pushBack(i)
-	} else {
-		c.pushFront(i)
-	}
+	c.pol.insert(&c.ord, i, low)
+	w.file(i, w.tickOf(expires))
 	c.index[key] = i
 	c.size.Add(1)
 	c.catCount[cat].Add(1)
@@ -280,12 +396,12 @@ func (c *LRU[K, V]) Remove(key K) bool {
 	return true
 }
 
-// evictOldest removes the LRU entry to make room for an insertion by
+// evictOldest removes the policy's victim to make room for an insertion by
 // category inserter. Expired victims are reclaimed silently; live victims
 // count as (premature) evictions. Either way the removal is reported so
 // the query log can attribute eviction causes per query.
 func (c *LRU[K, V]) evictOldest(inserter Category, now time.Time) Eviction {
-	i := c.tail
+	i := c.pol.victim(&c.ord)
 	if i == nilIdx {
 		return Eviction{}
 	}
@@ -300,7 +416,7 @@ func (c *LRU[K, V]) evictOldest(inserter Category, now time.Time) Eviction {
 }
 
 // CategoryCounts returns how many currently cached entries belong to each
-// category (expired-but-untouched entries included). Index by Category.
+// category (expired-but-unreclaimed entries included). Index by Category.
 // It reads two atomics — safe to call from a metrics scrape while the
 // owning goroutine mutates the cache.
 func (c *LRU[K, V]) CategoryCounts() [2]int {
@@ -310,88 +426,36 @@ func (c *LRU[K, V]) CategoryCounts() [2]int {
 	}
 }
 
-// allocSlot returns a free arena index, growing the slab geometrically
-// (via append) until it reaches capacity. After the slab is full the free
-// chain always has a slot available, so no allocation ever happens again.
+// allocSlot returns a free arena index, growing the slab (and the order and
+// wheel arenas in lockstep) geometrically via append until it reaches
+// capacity. After the slab is full the free chain always has a slot
+// available, so no allocation ever happens again.
 func (c *LRU[K, V]) allocSlot() int32 {
 	if c.free != nilIdx {
 		i := c.free
-		c.free = c.slab[i].next
+		c.free = c.ord.next[i]
+		c.ord.next[i] = nilIdx
 		return i
 	}
 	c.slab = append(c.slab, slot[K, V]{})
+	c.ord.grow()
+	c.whl.grow()
 	return int32(len(c.slab) - 1)
 }
 
-// removeSlot unlinks slot i, drops its index entry, zeroes the payload (so
-// the arena does not pin the evicted key/value for the garbage collector)
-// and pushes the slot onto the free chain.
+// removeSlot unfiles slot i from the wheel and the policy order, drops its
+// index entry, zeroes the payload (so the arena does not pin the evicted
+// key/value for the garbage collector) and pushes the slot onto the free
+// chain.
 func (c *LRU[K, V]) removeSlot(i int32) {
 	s := &c.slab[i]
 	delete(c.index, s.key)
-	c.unlink(i)
+	c.whl.unfile(i)
+	c.pol.remove(&c.ord, i)
 	c.catCount[s.category].Add(-1)
 	var zero slot[K, V]
 	*s = zero
-	s.next = c.free
+	c.ord.next[i] = c.free
 	c.free = i
 	c.size.Add(-1)
-}
-
-func (c *LRU[K, V]) unlink(i int32) {
-	s := &c.slab[i]
-	if s.prev != nilIdx {
-		c.slab[s.prev].next = s.next
-	} else {
-		c.head = s.next
-	}
-	if s.next != nilIdx {
-		c.slab[s.next].prev = s.prev
-	} else {
-		c.tail = s.prev
-	}
-	s.prev = nilIdx
-	s.next = nilIdx
-}
-
-func (c *LRU[K, V]) pushFront(i int32) {
-	s := &c.slab[i]
-	s.prev = nilIdx
-	s.next = c.head
-	if c.head != nilIdx {
-		c.slab[c.head].prev = i
-	}
-	c.head = i
-	if c.tail == nilIdx {
-		c.tail = i
-	}
-}
-
-func (c *LRU[K, V]) pushBack(i int32) {
-	s := &c.slab[i]
-	s.next = nilIdx
-	s.prev = c.tail
-	if c.tail != nilIdx {
-		c.slab[c.tail].next = i
-	}
-	c.tail = i
-	if c.head == nilIdx {
-		c.head = i
-	}
-}
-
-func (c *LRU[K, V]) moveToFront(i int32) {
-	if c.head == i {
-		return
-	}
-	c.unlink(i)
-	c.pushFront(i)
-}
-
-func (c *LRU[K, V]) moveToBack(i int32) {
-	if c.tail == i {
-		return
-	}
-	c.unlink(i)
-	c.pushBack(i)
 }

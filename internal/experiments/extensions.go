@@ -42,8 +42,10 @@ func CacheMitigation(scale Scale, disposableFrac float64) (*MitigationResult, er
 	}
 	// Capacity must bind on the hot working set for a priority policy to
 	// matter; production caches under "periods of heavy load" (Section
-	// VI-A) are in exactly that regime.
-	cacheSize := scale.CacheSize / 64
+	// VI-A) are in exactly that regime. With timer-wheel expiry the cache
+	// holds only live entries, so the binding point sits far below the
+	// lazy-expiry sizing.
+	cacheSize := scale.CacheSize / 256
 	if cacheSize < 128 {
 		cacheSize = 128
 	}

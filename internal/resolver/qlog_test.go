@@ -110,11 +110,14 @@ func TestQueryLogEvictionCause(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Fill the cache: one disposable-tagged entry, one other.
+	// Fill the cache: one disposable-tagged entry, one other. The third
+	// insertion happens in the same second — the timer wheel reclaims
+	// dead entries at one-second granularity, and zero.example.com
+	// (TTL 0) would otherwise be swept before the cache fills up.
 	resolve("www.example.com", cache.CategoryDisposable, t0)
 	resolve("zero.example.com", cache.CategoryOther, t0)
-	// Third insertion displaces the LRU tail (www, still live at t0+1s).
-	resolve("edge.akamai.net", cache.CategoryOther, t0.Add(time.Second))
+	// Third insertion displaces the LRU tail (www, still live).
+	resolve("edge.akamai.net", cache.CategoryOther, t0)
 	ev := lastEvent(t, c, mem)
 	if ev.Evict != qlog.EvictLiveDisposable {
 		t.Errorf("evict cause = %q, want live-disposable (event %+v)", ev.Evict, ev)

@@ -274,6 +274,8 @@ type bufferedOb struct {
 type options struct {
 	numServers    int
 	cacheSize     int
+	negCacheSize  int
+	cachePolicy   cache.PolicyKind
 	negCache      bool
 	validate      bool
 	affinity      Affinity
@@ -308,6 +310,23 @@ func WithCacheSize(n int) Option {
 	return optionFunc(func(o *options) {
 		if n > 0 {
 			o.cacheSize = n
+		}
+	})
+}
+
+// WithCachePolicy selects the eviction policy for each server's caches
+// (default cache.PolicyLRU — the policy every paper measurement runs
+// under; SIEVE and CLOCK are for the capacity sweeps).
+func WithCachePolicy(p cache.PolicyKind) Option {
+	return optionFunc(func(o *options) { o.cachePolicy = p })
+}
+
+// WithNegCacheSize sets the negative cache capacity in entries. The default
+// (0) keeps the historical ratio of a quarter of the positive cache size.
+func WithNegCacheSize(n int) Option {
+	return optionFunc(func(o *options) {
+		if n > 0 {
+			o.negCacheSize = n
 		}
 	})
 }
@@ -413,11 +432,15 @@ func NewCluster(upstream Upstream, opts ...Option) (*Cluster, error) {
 		opts:     o,
 		keys:     make(map[string]ed25519.PublicKey),
 	}
+	negSize := o.negCacheSize
+	if negSize <= 0 {
+		negSize = o.cacheSize / 4
+	}
 	for i := 0; i < o.numServers; i++ {
 		c.servers = append(c.servers, &server{
 			idx:      i,
-			cache:    cache.NewLRU[qkey, cacheValue](o.cacheSize),
-			negCache: cache.NewLRU[qkey, negValue](o.cacheSize / 4),
+			cache:    cache.New[qkey, cacheValue](o.cacheSize, o.cachePolicy),
+			negCache: cache.New[qkey, negValue](negSize, o.cachePolicy),
 			qrec:     o.qlog.NewRecorder(i), // nil log → nil recorder
 		})
 	}
@@ -454,6 +477,14 @@ func (c *Cluster) registerMetrics(reg *telemetry.Registry) {
 		reg.GaugeFunc("resolver_cache_entries"+label,
 			"Entries currently in the positive cache.",
 			func() float64 { return float64(srv.cache.Len()) })
+		liveLabel := `{server="` + strconv.Itoa(i) + `",state="live"}`
+		reg.GaugeFunc("resolver_cache_entries_by_state"+liveLabel,
+			"Positive-cache entries by liveness: live entries vs expired entries awaiting timer-wheel reclaim.",
+			func() float64 { return float64(srv.cache.LiveLen()) })
+		expLabel := `{server="` + strconv.Itoa(i) + `",state="expired"}`
+		reg.GaugeFunc("resolver_cache_entries_by_state"+expLabel,
+			"Positive-cache entries by liveness: live entries vs expired entries awaiting timer-wheel reclaim.",
+			func() float64 { return float64(srv.cache.Len() - srv.cache.LiveLen()) })
 		reg.CounterFunc("resolver_cache_evictions_total"+label,
 			"Live entries evicted from the positive cache.",
 			func() uint64 { return srv.cache.Stats().Evictions })
@@ -618,6 +649,15 @@ func (c *Cluster) doResolve(s *server, q Query, ev *qlog.Event) (Response, error
 	if ev != nil {
 		ev.Name = q.Name
 		ev.Qtype = q.Type.String()
+	}
+
+	// Drive the timer wheels off query time: whole buckets of dead entries
+	// are reclaimed here, so occupancy tracks live entries and eviction
+	// victims are never already-expired. Same-second queries return in two
+	// atomic loads; nothing allocates (guarded by AllocsPerRun tests).
+	s.cache.Advance(q.Time)
+	if c.opts.negCache {
+		s.negCache.Advance(q.Time)
 	}
 
 	// Positive cache. Hits are derived on read (see statsShard), so the
