@@ -33,15 +33,18 @@ bench:
 # micro-benchmarks at -benchtime=100x (smoke, not measurement) plus the
 # allocation guards — testing.AllocsPerRun asserting 0 allocs/op on the
 # cache-hit resolve path, LRU Get/Put refresh, Normalize fast paths, the
-# UDP serve packet path, and live scoring — a short serve-throughput
-# flood with the end-to-end packet-allocation gate (plain and scored),
-# and the streaming-miner intake-overhead pair with its calibrated gate.
+# UDP serve packet path, live scoring, and the resolve path with a tsdb
+# sweeper attached — a short serve-throughput flood with the end-to-end
+# packet-allocation gate (plain and scored), the streaming-miner
+# intake-overhead pair, and the tsdb-sweeper overhead pair, each with its
+# calibrated gate.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkResolveCacheHit|BenchmarkResolveCacheMiss|BenchmarkPutGet|BenchmarkEvictionChurn' \
 		-benchtime=100x -benchmem ./internal/resolver/ ./internal/cache/
-	$(GO) test -run 'ZeroAlloc' -v ./internal/resolver/ ./internal/cache/ ./internal/dnsname/ ./internal/udptransport/ ./internal/livescore/
+	$(GO) test -run 'ZeroAlloc' -v ./internal/resolver/ ./internal/cache/ ./internal/dnsname/ ./internal/udptransport/ ./internal/livescore/ ./internal/telemetry/tsdb/
 	$(GO) run ./cmd/dnsnoise-bench -only serve -serve-duration 200ms -serve-clients 4 -max-packet-allocs 0 -out /dev/null
 	$(GO) run ./cmd/dnsnoise-bench -only miner -queries 20000 -out /dev/null
+	$(GO) run ./cmd/dnsnoise-bench -only tsdb -queries 20000 -out /dev/null
 	$(GO) run ./cmd/dnsnoise-bench -only cache -cache-events 20000 -cache-capacities 2048,8192 -max-hit-allocs 0 -out /dev/null
 
 clean:

@@ -2,7 +2,6 @@ package main
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"dnsnoise/internal/fleet"
@@ -79,65 +78,10 @@ func fleetRunNs(pops, events int, withCollector bool) (float64, error) {
 
 // benchFleetOverhead prices the collector: the same fleet day with the
 // sweep loop running at flCollectEvery versus not running at all,
-// compared pairwise like the other overhead scenarios (min over rounds
-// per side, median ratio across pairs, plain-vs-plain control pair for
-// the noise floor). A production cadence of seconds costs a small
-// fraction of even this reading.
+// compared by pairedWholeRuns. A production cadence of seconds costs a
+// small fraction of even this reading.
 func benchFleetOverhead(pops, events int) (overheadResult, error) {
-	var (
-		ratios       []float64
-		plainMin     float64
-		instrMin     float64
-		controlRatio float64
-	)
-	minRun := func(withCollector bool) (float64, error) {
-		best := 0.0
-		for r := 0; r < flRounds; r++ {
-			ns, err := fleetRunNs(pops, events, withCollector)
-			if err != nil {
-				return 0, err
-			}
-			if best == 0 || ns < best {
-				best = ns
-			}
-		}
-		return best, nil
-	}
-	for pair := 0; pair <= flPairs; pair++ {
-		control := pair == flPairs
-		plainNs, err := minRun(false)
-		if err != nil {
-			return overheadResult{}, err
-		}
-		otherNs, err := minRun(!control)
-		if err != nil {
-			return overheadResult{}, err
-		}
-		if control {
-			controlRatio = otherNs / plainNs
-			continue
-		}
-		ratios = append(ratios, otherNs/plainNs)
-		if plainMin == 0 || plainNs < plainMin {
-			plainMin = plainNs
-		}
-		if instrMin == 0 || otherNs < instrMin {
-			instrMin = otherNs
-		}
-	}
-	sort.Float64s(ratios)
-	spread := 100 * (ratios[len(ratios)-1] - ratios[0]) / 2
-	noise := 100 * absFloat(controlRatio-1)
-	if spread > noise {
-		noise = spread
-	}
-	return overheadResult{
-		PlainNsPerOp:        plainMin,
-		InstrumentedNsPerOp: instrMin,
-		OverheadPct:         100 * (median(ratios) - 1),
-		NoisePct:            noise,
-		Pairs:               flPairs,
-		RoundsPerPair:       flRounds,
-		QueriesPerPass:      events,
-	}, nil
+	return pairedWholeRuns(flPairs, flRounds, events, func(withCollector bool) (float64, error) {
+		return fleetRunNs(pops, events, withCollector)
+	})
 }

@@ -117,6 +117,11 @@ type report struct {
 	// with the sweep loop at a pathological cadence versus not running
 	// (see benchFleetOverhead).
 	FleetOverhead *overheadResult `json:"fleet_overhead,omitempty"`
+	// TsdbOverhead prices continuous telemetry — the in-process tsdb
+	// sweeper plus the default-rules alert engine at a pathological
+	// cadence — on top of an already-instrumented cluster (see
+	// benchTsdbOverhead); its gate is -max-tsdb-overhead.
+	TsdbOverhead *overheadResult `json:"tsdb_overhead,omitempty"`
 	// ServeThroughput is the UDP front-door matrix: qps and latency
 	// percentiles across 1-vs-N listeners and single-vs-batched syscalls.
 	ServeThroughput []serveResult `json:"serve_throughput,omitempty"`
@@ -566,6 +571,71 @@ func benchPairedOverhead(servers int, qs []resolver.Query, base func() (*resolve
 	}, nil
 }
 
+// pairedWholeRuns is the whole-run flavor of benchPairedOverhead, for
+// features that attach per-process background loops (the fleet collector,
+// the tsdb sweeper) rather than per-cluster options: each measurement is a
+// complete fresh run — run(false) plain, run(true) instrumented, min over
+// rounds per side — compared pairwise with the median ratio as the
+// overhead estimate and a plain-vs-plain control pair bounding the noise.
+func pairedWholeRuns(pairs, rounds, queriesPerPass int, run func(instrumented bool) (float64, error)) (overheadResult, error) {
+	var (
+		ratios       []float64
+		plainMin     float64
+		instrMin     float64
+		controlRatio float64
+	)
+	minRun := func(instrumented bool) (float64, error) {
+		best := 0.0
+		for r := 0; r < rounds; r++ {
+			ns, err := run(instrumented)
+			if err != nil {
+				return 0, err
+			}
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+	for pair := 0; pair <= pairs; pair++ {
+		control := pair == pairs
+		plainNs, err := minRun(false)
+		if err != nil {
+			return overheadResult{}, err
+		}
+		otherNs, err := minRun(!control)
+		if err != nil {
+			return overheadResult{}, err
+		}
+		if control {
+			controlRatio = otherNs / plainNs
+			continue
+		}
+		ratios = append(ratios, otherNs/plainNs)
+		if plainMin == 0 || plainNs < plainMin {
+			plainMin = plainNs
+		}
+		if instrMin == 0 || otherNs < instrMin {
+			instrMin = otherNs
+		}
+	}
+	sort.Float64s(ratios)
+	spread := 100 * (ratios[len(ratios)-1] - ratios[0]) / 2
+	noise := 100 * absFloat(controlRatio-1)
+	if spread > noise {
+		noise = spread
+	}
+	return overheadResult{
+		PlainNsPerOp:        plainMin,
+		InstrumentedNsPerOp: instrMin,
+		OverheadPct:         100 * (median(ratios) - 1),
+		NoisePct:            noise,
+		Pairs:               pairs,
+		RoundsPerPair:       rounds,
+		QueriesPerPass:      queriesPerPass,
+	}, nil
+}
+
 // benchOverhead measures what the telemetry instrumentation costs on the
 // resolver fast path: the same sequential day resolved with a nil
 // registry versus a live one. The last pair's registry is returned for
@@ -634,6 +704,7 @@ func run(args []string) error {
 		maxQlOv  = fs.Float64("max-qlog-overhead", 2.0, "fail when qlog overhead exceeds this percent (0 disables the gate)")
 		maxMnOv  = fs.Float64("max-miner-overhead", 150.0, "fail when streaming-miner intake overhead exceeds this percent (0 disables the gate)")
 		maxFlOv  = fs.Float64("max-fleet-overhead", 10.0, "fail when the fleet collector's overhead exceeds this percent (0 disables the gate)")
+		maxTsOv  = fs.Float64("max-tsdb-overhead", 10.0, "fail when the tsdb sweeper + alert engine overhead exceeds this percent (0 disables the gate)")
 		flPops   = fs.Int("fleet-pops", 3, "PoPs in the fleet-overhead scenario")
 		flEvents = fs.Int("fleet-events", 20_000, "base events per day in the fleet-overhead scenario")
 		baseline = fs.String("baseline", "", "previous BENCH_resolver.json to embed as a before/after comparison")
@@ -673,10 +744,12 @@ func run(args []string) error {
 		return runMinerOnly(args, *out, *servers, *queries, *maxMnOv)
 	case "fleet":
 		return runFleetOnly(args, *out, *flPops, *flEvents, *maxFlOv)
+	case "tsdb":
+		return runTsdbOnly(args, *out, *servers, *queries, *maxTsOv)
 	case "cache":
 		return runCacheOnly(args, *out, capacities, *cacheEv, *maxHitAl)
 	default:
-		return fmt.Errorf("-only %q: unknown scenario (want 'serve', 'miner', 'fleet' or 'cache')", *only)
+		return fmt.Errorf("-only %q: unknown scenario (want 'serve', 'miner', 'fleet', 'tsdb' or 'cache')", *only)
 	}
 	qs := benchQueries(*queries)
 	tracer := telemetry.NewTracer()
@@ -746,6 +819,13 @@ func run(args []string) error {
 	}
 	flSpan.End()
 
+	tsSpan := tracer.Start("tsdb-overhead")
+	tsOverhead, err := benchTsdbOverhead(*servers, qs)
+	if err != nil {
+		return fmt.Errorf("tsdb overhead benchmark: %w", err)
+	}
+	tsSpan.End()
+
 	cacheSpan := tracer.Start("cache-matrix")
 	cacheCells := benchCacheMatrix(capacities, *cacheEv)
 	cacheSpan.End()
@@ -793,6 +873,7 @@ func run(args []string) error {
 	rep.QlogOverhead = &qlOverhead
 	rep.MinerOverhead = &mnOverhead
 	rep.FleetOverhead = &flOverhead
+	rep.TsdbOverhead = &tsOverhead
 	rep.ServeThroughput = serveMatrix
 	rep.ServePacketAlloc = &pktAlloc
 	rep.ServePacketAllocScored = &pktAllocScored
@@ -857,6 +938,9 @@ func run(args []string) error {
 		fmt.Printf("fleet:      %+.2f%% overhead, ±%.2f%% noise (%.1f -> %.1f ns/op, %d pairs)\n",
 			flOverhead.OverheadPct, flOverhead.NoisePct,
 			flOverhead.PlainNsPerOp, flOverhead.InstrumentedNsPerOp, flOverhead.Pairs)
+		fmt.Printf("tsdb:       %+.2f%% overhead, ±%.2f%% noise (%.1f -> %.1f ns/op, %d pairs)\n",
+			tsOverhead.OverheadPct, tsOverhead.NoisePct,
+			tsOverhead.PlainNsPerOp, tsOverhead.InstrumentedNsPerOp, tsOverhead.Pairs)
 		printServe(rep.ServeThroughput, rep.ServePacketAlloc, rep.ServePacketAllocScored)
 		printCacheMatrix(rep.CacheMatrix)
 		for _, r := range rep.Extra {
@@ -881,6 +965,9 @@ func run(args []string) error {
 		return err
 	}
 	if err := checkOverheadGate("fleet collector", "-max-fleet-overhead", flOverhead, *maxFlOv); err != nil {
+		return err
+	}
+	if err := checkOverheadGate("tsdb sweeper", "-max-tsdb-overhead", tsOverhead, *maxTsOv); err != nil {
 		return err
 	}
 	if err := checkPacketAllocGate("serve packet path", pktAlloc, *maxPktAl); err != nil {

@@ -24,6 +24,7 @@ import (
 	"dnsnoise/internal/experiments"
 	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/telemetry"
+	"dnsnoise/internal/telemetry/alerts"
 )
 
 // experiment binds an id to its runner.
@@ -188,6 +189,8 @@ func run(args []string, stdout io.Writer) error {
 	tcfg.RegisterFlags(fs)
 	var qcfg qlog.CLIConfig
 	qcfg.RegisterFlags(fs)
+	var acfg alerts.CLIConfig
+	acfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -244,6 +247,13 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer qs.Close()
+	as, err := acfg.Start(sess, qs.Log())
+	if err != nil {
+		return err
+	}
+	// LIFO: the tsdb sweeper stops (mirroring its last alert transitions)
+	// before the qlog session closes.
+	defer as.Close()
 	// One query log is shared by every selected experiment's cluster. Each
 	// cluster drains only its own recorders at day boundaries
 	// (Cluster.FlushQueryLog), so concurrent -parallel experiments never

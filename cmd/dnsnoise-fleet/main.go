@@ -19,10 +19,13 @@
 //	GET /fleet/pops     per-PoP health JSON
 //	GET /fleet/qlog     merged event tail (zone/server/pop/... filters)
 //	GET /fleet/report   fleet run report, one span tree per PoP
+//	GET /fleet/tsdb     time-series range queries (with -tsdb-interval)
+//	GET /fleet/alerts   SLO rule status and transitions (with -tsdb-interval)
 //
 // Usage:
 //
 //	dnsnoise-fleet -pops 3 -days 2 -metrics-addr :8090 -linger 30s
+//	dnsnoise-fleet -pops 3 -days 2 -metrics-addr :8090 -tsdb-interval 1s -linger 5m
 //	dnsnoise-fleet -trace trace.jsonl -pops 4 -steering modulo -report -
 package main
 
@@ -40,6 +43,8 @@ import (
 	"dnsnoise/internal/ingest"
 	"dnsnoise/internal/mlearn"
 	"dnsnoise/internal/resolver"
+	"dnsnoise/internal/telemetry/alerts"
+	"dnsnoise/internal/telemetry/tsdb"
 	"dnsnoise/internal/workload"
 )
 
@@ -60,6 +65,10 @@ func run(args []string, stdout io.Writer) error {
 		report    = fs.String("report", "", "write the fleet run report as JSON to this path ('-' for stdout)")
 		linger    = fs.Duration("linger", 0, "keep the control plane serving this long after the run (for scrapes)")
 		collectEv = fs.Duration("collect-every", 2*time.Second, "collector sweep cadence")
+
+		tsdbEvery  = fs.Duration("tsdb-interval", 0, "record every collector sweep into the fleet tsdb and evaluate alert rules; overrides -collect-every as the sweep cadence (0 disables)")
+		tsdbRetain = fs.Int("tsdb-retain", tsdb.DefaultRetain, "samples retained per tsdb series (ring capacity)")
+		alertRules = fs.String("alert-rules", "", "JSON SLO/alert rules file evaluated each sweep (empty: built-in defaults; 'none': no rules)")
 
 		tracePath = fs.String("trace", "", "input trace(s), comma-separated (JSONL from dnsnoise-gen, gzip sniffed)")
 		live      = fs.Bool("live", false, "generate the query stream in-process (default when -trace is empty)")
@@ -124,6 +133,19 @@ func run(args []string, stdout io.Writer) error {
 		},
 		QlogSample:   *qlogN,
 		CollectEvery: *collectEv,
+	}
+	if *tsdbEvery > 0 {
+		cfg.TSDB = true
+		cfg.TSDBRetain = *tsdbRetain
+		cfg.CollectEvery = *tsdbEvery
+		rules, err := (alerts.CLIConfig{RulesPath: *alertRules}).Rules()
+		if err != nil {
+			return err
+		}
+		if rules == nil {
+			rules = []alerts.Rule{} // "none": non-nil empty disables alerting
+		}
+		cfg.AlertRules = rules
 	}
 	if *score {
 		clf, err := trainClassifier(cfg, *profileNm, *days, *tracePath, *parallel)

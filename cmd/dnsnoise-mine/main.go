@@ -35,6 +35,7 @@ import (
 	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/resolver"
 	"dnsnoise/internal/telemetry"
+	"dnsnoise/internal/telemetry/alerts"
 	"dnsnoise/internal/workload"
 )
 
@@ -98,6 +99,8 @@ func run(args []string, stdout io.Writer) error {
 	tcfg.RegisterFlags(fs)
 	var qcfg qlog.CLIConfig
 	qcfg.RegisterFlags(fs)
+	var acfg alerts.CLIConfig
+	acfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,6 +141,13 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer qs.Close()
+	as, err := acfg.Start(sess, qs.Log())
+	if err != nil {
+		return err
+	}
+	// LIFO: the tsdb sweeper stops (mirroring its last alert transitions)
+	// before the qlog session closes.
+	defer as.Close()
 
 	reg := workload.NewRegistry(workload.RegistryConfig{
 		Seed:               *seed,

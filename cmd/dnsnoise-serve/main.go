@@ -22,6 +22,7 @@ import (
 	"dnsnoise/internal/cache"
 	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/telemetry"
+	"dnsnoise/internal/telemetry/alerts"
 	"dnsnoise/internal/udptransport"
 	"dnsnoise/internal/workload"
 )
@@ -57,6 +58,8 @@ func run(args []string) error {
 	tcfg.RegisterFlags(fs)
 	var qcfg qlog.CLIConfig
 	qcfg.RegisterFlags(fs)
+	var acfg alerts.CLIConfig
+	acfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +80,13 @@ func run(args []string) error {
 	// Deferred before srv.Close below: LIFO runs srv.Close first, joining
 	// the serve loop, so the final qlog flush sees a quiesced recorder.
 	defer qs.Close()
+	as, err := acfg.Start(sess, qs.Log())
+	if err != nil {
+		return err
+	}
+	// LIFO: the tsdb sweeper stops (and mirrors its last alert transitions)
+	// before the qlog session closes.
+	defer as.Close()
 
 	reg := workload.NewRegistry(workload.RegistryConfig{
 		Seed:               *seed,

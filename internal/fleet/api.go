@@ -59,10 +59,15 @@ func (s *Server) Close() error { return s.srv.Close() }
 //	GET /fleet/qlog     merged event tail; zone/qtype/outcome/verdict/
 //	                    server/pop/n filters as on /debug/qlog
 //	GET /fleet/report   fleet RunReport, one span tree per PoP
+//	GET /fleet/tsdb     fleet time-series range queries (Config.TSDB only;
+//	                    series/agg/start/end/step as on /debug/tsdb)
+//	GET /fleet/alerts   alert rule status and transitions (Config.TSDB only)
 //
 // /fleet/metrics, /fleet/pops and /fleet/report sweep the collector
 // synchronously so a scrape always sees current counters; /fleet/qlog
-// reads the merged ring directly.
+// reads the merged ring directly, and /fleet/tsdb serves the history the
+// collector loop has recorded (clients like dnsnoise-top probe it to
+// detect a fleet: without Config.TSDB the route is absent, a plain 404).
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/fleet/metrics", func(w http.ResponseWriter, req *http.Request) {
@@ -80,6 +85,10 @@ func (f *Fleet) Handler() http.Handler {
 		}{f.cfg.Steering.String(), pops})
 	})
 	mux.Handle("/fleet/qlog", f.merged.Handler())
+	if f.db != nil {
+		mux.Handle("/fleet/tsdb", f.db.Handler())
+		mux.Handle("/fleet/alerts", f.alerts.Handler())
+	}
 	mux.HandleFunc("/fleet/report", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -114,6 +114,16 @@ func (c *Collector) Collect() *telemetry.Snapshot {
 	c.prevTime = now
 	col.merged = telemetry.MergeSnapshots(snaps...)
 	c.latest.Store(col)
+	// The fleet tsdb records the merged snapshot as-is: per-PoP series keep
+	// their pop= labels, so derived rates group per PoP and the history
+	// matches what each PoP's own tsdb would have recorded, bit for bit.
+	if c.f.db != nil {
+		c.f.db.Record(col.merged)
+		// Evaluate at the snapshot's own timestamp (like tsdb.Sweeper does)
+		// so the rule windows are guaranteed to cover the sample just
+		// recorded — `now` above was captured before the snapshots.
+		c.f.alerts.Eval(col.merged.Time)
+	}
 	return col.merged
 }
 

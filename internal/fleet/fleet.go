@@ -31,6 +31,8 @@ import (
 	"dnsnoise/internal/qlog"
 	"dnsnoise/internal/resolver"
 	"dnsnoise/internal/telemetry"
+	"dnsnoise/internal/telemetry/alerts"
+	"dnsnoise/internal/telemetry/tsdb"
 	"dnsnoise/internal/workload"
 )
 
@@ -115,6 +117,18 @@ type Config struct {
 	// CollectEvery is the collector cadence (default 2s).
 	CollectEvery time.Duration
 
+	// TSDB enables the fleet time-series history: every collector sweep
+	// records the merged snapshot (pop= labels intact) into a fixed-memory
+	// ring served at /fleet/tsdb, and the alert rules are evaluated after
+	// each sweep (/fleet/alerts) with transitions mirrored into the merged
+	// qlog ring as ALERT events.
+	TSDB bool
+	// TSDBRetain is samples kept per series (tsdb.DefaultRetain when 0).
+	TSDBRetain int
+	// AlertRules overrides the evaluated rule set (alerts.DefaultRules
+	// when nil; an empty non-nil slice disables alerting).
+	AlertRules []alerts.Rule
+
 	// NewScorer, when set, attaches a streaming miner to each PoP: its
 	// pipeline consumes the PoP's observations, re-scores every
 	// ScoreWindow of simulated time, and its live verdict snapshot stamps
@@ -145,6 +159,8 @@ type Fleet struct {
 	hourlyAll []HourlySeries // "all" + cfg.HourlySeries, for merged rebuilds
 	gen       *workload.Generator
 	collector *Collector
+	db        *tsdb.DB       // nil unless cfg.TSDB
+	alerts    *alerts.Engine // nil unless cfg.TSDB
 }
 
 // New builds the fleet: the shared namespace and authority, one cluster
@@ -218,6 +234,19 @@ func New(cfg Config) (*Fleet, error) {
 		}
 		f.pops = append(f.pops, p)
 	}
+	if cfg.TSDB {
+		f.db = tsdb.New(tsdb.Config{Retain: cfg.TSDBRetain})
+		rules := cfg.AlertRules
+		if rules == nil {
+			rules = alerts.DefaultRules()
+		}
+		// Transitions land in the merged tail directly (there is no
+		// fleet-level recorder to drain); Pop -1 marks them fleet-scoped.
+		f.alerts = alerts.NewEngine(f.db, rules, alerts.WithEventMirror(func(ev qlog.Event) {
+			ev.Pop = -1
+			_ = f.merged.Consume([]qlog.Event{ev})
+		}))
+	}
 	f.collector = newCollector(f, cfg.CollectEvery)
 	return f, nil
 }
@@ -236,6 +265,12 @@ func (f *Fleet) Collector() *Collector { return f.collector }
 // MergedQlog returns the fleet-wide event ring (every PoP's sampled
 // events, stamped with pop ids).
 func (f *Fleet) MergedQlog() *qlog.MemorySink { return f.merged }
+
+// TSDB returns the fleet's time-series store (nil unless Config.TSDB).
+func (f *Fleet) TSDB() *tsdb.DB { return f.db }
+
+// Alerts returns the fleet's alert engine (nil unless Config.TSDB).
+func (f *Fleet) Alerts() *alerts.Engine { return f.alerts }
 
 // Route returns the PoP a client steers to.
 func (f *Fleet) Route(clientID uint32) int {

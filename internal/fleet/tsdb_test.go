@@ -1,0 +1,153 @@
+package fleet_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsnoise/internal/fleet"
+	"dnsnoise/internal/qlog"
+	"dnsnoise/internal/telemetry/alerts"
+	"dnsnoise/internal/telemetry/tsdb"
+)
+
+// TestFleetTSDB: with Config.TSDB on, collector sweeps land in the fleet
+// time-series store with their pop= labels intact, alert rules evaluate
+// per PoP, and transitions mirror into the merged qlog tail as
+// fleet-scoped (Pop -1) ALERT events.
+func TestFleetTSDB(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.TSDB = true
+	cfg.TSDBRetain = 32
+	// One rule that must fire on the very first sweep: cumulative query
+	// counters are far above half a query by the time the run finishes.
+	cfg.AlertRules = []alerts.Rule{{
+		Name: "queries_seen", Series: "resolver_queries_total", Agg: "max",
+		Threshold: 0.5, Window: alerts.Duration(time.Minute),
+	}}
+	f := runFleet(t, cfg, 1)
+	if f.TSDB() == nil || f.Alerts() == nil {
+		t.Fatal("TSDB/Alerts nil with Config.TSDB set")
+	}
+
+	c := f.Collector()
+	c.Collect()
+	time.Sleep(15 * time.Millisecond)
+	c.Collect()
+
+	// Raw history: one series per PoP, both retained.
+	res := f.TSDB().Query("resolver_queries_total", tsdb.AggMax, tsdb.Options{})
+	popsSeen := map[string]bool{}
+	for _, r := range res {
+		if len(r.Points) == 0 || r.Points[len(r.Points)-1].V <= 0 {
+			t.Fatalf("series %s has no positive history: %+v", r.Name, r.Points)
+		}
+		if strings.Contains(r.Name, `pop="0"`) {
+			popsSeen["0"] = true
+		}
+		if strings.Contains(r.Name, `pop="1"`) {
+			popsSeen["1"] = true
+		}
+	}
+	if !popsSeen["0"] || !popsSeen["1"] {
+		t.Fatalf("per-PoP series missing: %+v", res)
+	}
+
+	// Derived rates exist per PoP too (zero between post-run sweeps, but
+	// the second sweep must have emitted the points).
+	if qps := f.TSDB().Query("resolver_qps", tsdb.AggAvg, tsdb.Options{}); len(qps) < 2 {
+		t.Fatalf("derived resolver_qps series = %+v, want one per PoP", qps)
+	}
+
+	// The rule fired once per matched series (2 PoPs x 2 servers), and the
+	// transitions landed in the merged qlog tail as fleet-scoped ALERT
+	// events.
+	st := f.Alerts().Snapshot()
+	if st.Firing != 4 {
+		t.Fatalf("firing = %d, want 4 (per pop x server series): %+v", st.Firing, st)
+	}
+	evs := f.MergedQlog().Snapshot(qlog.Filter{Qtype: "ALERT"})
+	if len(evs) != 4 {
+		t.Fatalf("ALERT events in merged tail = %+v, want 4", evs)
+	}
+	for _, ev := range evs {
+		if ev.Name != "queries_seen.firing.alert" || ev.Pop != -1 {
+			t.Fatalf("alert event not fleet-stamped: %+v", ev)
+		}
+	}
+}
+
+// TestFleetTSDBEndpoints: /fleet/tsdb and /fleet/alerts serve when
+// Config.TSDB is on and are absent (404) otherwise — the probe contract
+// dnsnoise-top uses to distinguish a fleet from a single instance.
+func TestFleetTSDBEndpoints(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.TSDB = true
+	f := runFleet(t, cfg, 1)
+	f.Collector().Collect()
+	srv, err := f.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(addr, path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get(srv.Addr(), "/fleet/tsdb?series=resolver_queries_total&agg=max")
+	if code != 200 {
+		t.Fatalf("/fleet/tsdb: %d", code)
+	}
+	var out struct {
+		Series []tsdb.Result `json:"series"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series) == 0 || !strings.Contains(out.Series[0].Name, "pop=") {
+		t.Fatalf("/fleet/tsdb series = %+v, want pop-labeled", out.Series)
+	}
+
+	code, body = get(srv.Addr(), "/fleet/alerts")
+	if code != 200 {
+		t.Fatalf("/fleet/alerts: %d", code)
+	}
+	var st alerts.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Evals == 0 || len(st.Rules) == 0 {
+		t.Fatalf("/fleet/alerts status = %+v, want default rules evaluated", st)
+	}
+
+	// Without Config.TSDB the routes must not exist.
+	plain, err := fleet.New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	psrv, err := plain.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psrv.Close()
+	if code, _ := get(psrv.Addr(), "/fleet/tsdb"); code != 404 {
+		t.Fatalf("/fleet/tsdb without Config.TSDB: %d, want 404", code)
+	}
+	if code, _ := get(psrv.Addr(), "/fleet/alerts"); code != 404 {
+		t.Fatalf("/fleet/alerts without Config.TSDB: %d, want 404", code)
+	}
+}

@@ -302,6 +302,31 @@ func (l *Log) Flush() error {
 	return l.err
 }
 
+// EmitNow stamps ev (ID, day, window) and delivers it straight to the
+// sinks, bypassing the per-worker staging rings. It is safe from any
+// goroutine at any time — the path for rare out-of-band events (alert
+// state transitions) that must land even while recorders are live, and
+// whose emitters never own a recorder. Not for per-query use: every call
+// takes the sink lock. A nil log drops the event.
+func (l *Log) EmitNow(ev Event) {
+	if l == nil {
+		return
+	}
+	ev.ID = l.nextID.Add(1)
+	if d := l.day.Load(); d != nil {
+		ev.Day = *d
+		ev.Window = l.window.Load()
+	}
+	batch := [1]Event{ev}
+	l.mu.Lock()
+	for _, s := range l.sinks {
+		if err := s.Consume(batch[:]); err != nil && l.err == nil {
+			l.err = err
+		}
+	}
+	l.mu.Unlock()
+}
+
 // Close flushes and closes every sink implementing io.Closer. Like
 // Flush, it requires quiesced recorders.
 func (l *Log) Close() error {

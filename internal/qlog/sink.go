@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"compress/gzip"
 	"encoding/json"
+	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"strconv"
@@ -209,6 +211,11 @@ type Filter struct {
 	// Pop keeps events stamped with this fleet PoP id (same string
 	// convention as Server).
 	Pop string
+	// Since keeps events at or after this time; zero means unbounded.
+	// With Until it links an alert firing window to its query events.
+	Since time.Time
+	// Until keeps events at or before this time; zero means unbounded.
+	Until time.Time
 	// Limit caps the result to the newest Limit events (0 = all retained).
 	Limit int
 }
@@ -234,6 +241,12 @@ func (f Filter) match(ev *Event) bool {
 		return false
 	}
 	if f.Verdict != "" && ev.Verdict.String() != f.Verdict {
+		return false
+	}
+	if !f.Since.IsZero() && ev.Time.Before(f.Since) {
+		return false
+	}
+	if !f.Until.IsZero() && ev.Time.After(f.Until) {
 		return false
 	}
 	return true
@@ -263,11 +276,13 @@ func (m *MemorySink) Snapshot(f Filter) []Event {
 
 // Handler serves the ring as JSON:
 //
-//	GET /debug/qlog?zone=<suffix>&qtype=<type>&outcome=<label>&verdict=<label>&server=<id>&pop=<id>&n=<limit>
+//	GET /debug/qlog?zone=<suffix>&qtype=<type>&outcome=<label>&verdict=<label>&server=<id>&pop=<id>&since=<ts>&until=<ts>&n=<limit>
 //
 // The response carries the total events seen, the retained count, and
 // the matching events (newest last). server and pop scope the tail to
-// one cluster server or (in a merged fleet tail) one PoP.
+// one cluster server or (in a merged fleet tail) one PoP; since and
+// until (RFC3339 or Unix seconds) bound the event times, e.g. to the
+// minute around an alert transition.
 func (m *MemorySink) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		q := req.URL.Query()
@@ -281,6 +296,15 @@ func (m *MemorySink) Handler() http.Handler {
 			}
 			f.Limit = v
 		}
+		var err error
+		if f.Since, err = parseTimeParam(q.Get("since")); err != nil {
+			http.Error(w, "qlog: bad since parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if f.Until, err = parseTimeParam(q.Get("until")); err != nil {
+			http.Error(w, "qlog: bad until parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
 		evs := m.Snapshot(f)
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(struct {
@@ -289,6 +313,25 @@ func (m *MemorySink) Handler() http.Handler {
 			Events   []Event `json:"events"`
 		}{m.Total(), len(evs), evs})
 	})
+}
+
+// parseTimeParam accepts RFC3339(Nano) timestamps or Unix seconds
+// (integer or fractional). Empty means unset.
+func parseTimeParam(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if t, err := time.Parse(time.RFC3339Nano, s); err == nil {
+		return t, nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	sec, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(sec) || math.IsInf(sec, 0) {
+		return time.Time{}, fmt.Errorf("want RFC3339 or unix seconds, got %q", s)
+	}
+	return time.Unix(0, int64(sec*float64(time.Second))), nil
 }
 
 // Exemplar links one telemetry histogram bucket to a concrete sample

@@ -1,0 +1,104 @@
+package qlog
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestFilterSinceUntil: the time-range filter bounds the tail on both
+// ends, inclusive, composing with the other predicates.
+func TestFilterSinceUntil(t *testing.T) {
+	mem := NewMemorySink(16)
+	base := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+	var evs []Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs, Event{ID: uint64(i + 1), Time: base.Add(time.Duration(i) * time.Minute), Name: "q.example.com", Qtype: "A"})
+	}
+	if err := mem.Consume(evs); err != nil {
+		t.Fatal(err)
+	}
+
+	got := mem.Snapshot(Filter{Since: base.Add(time.Minute), Until: base.Add(3 * time.Minute)})
+	if len(got) != 3 || got[0].ID != 2 || got[2].ID != 4 {
+		t.Fatalf("since/until window = %+v, want events 2..4", got)
+	}
+	if got := mem.Snapshot(Filter{Since: base.Add(10 * time.Minute)}); len(got) != 0 {
+		t.Fatalf("future since = %+v, want none", got)
+	}
+	if got := mem.Snapshot(Filter{Until: base}); len(got) != 1 {
+		t.Fatalf("until=first = %+v, want exactly the first event (inclusive)", got)
+	}
+	// Composes with other predicates.
+	if got := mem.Snapshot(Filter{Qtype: "AAAA", Since: base}); len(got) != 0 {
+		t.Fatalf("qtype+since = %+v, want none", got)
+	}
+}
+
+func TestHandlerSinceUntilParams(t *testing.T) {
+	mem := NewMemorySink(16)
+	base := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 4; i++ {
+		mem.Consume([]Event{{ID: uint64(i + 1), Time: base.Add(time.Duration(i) * time.Hour), Name: "q.example.com", Qtype: "A"}})
+	}
+
+	fetch := func(url string) (int, []Event) {
+		rec := httptest.NewRecorder()
+		mem.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var out struct {
+			Events []Event `json:"events"`
+		}
+		if rec.Code == 200 {
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rec.Code, out.Events
+	}
+
+	// RFC3339 bounds.
+	code, evs := fetch("/debug/qlog?since=2011-12-01T01:00:00Z&until=2011-12-01T02:00:00Z")
+	if code != 200 || len(evs) != 2 || evs[0].ID != 2 {
+		t.Fatalf("rfc3339 range: code=%d evs=%+v", code, evs)
+	}
+	// Unix-seconds bounds.
+	code, evs = fetch("/debug/qlog?since=" + "1322708400") // 2011-12-01T03:00:00Z
+	if code != 200 || len(evs) != 1 || evs[0].ID != 4 {
+		t.Fatalf("unix since: code=%d evs=%+v", code, evs)
+	}
+	// Bad value is a 400.
+	if code, _ = fetch("/debug/qlog?since=yesterday"); code != 400 {
+		t.Fatalf("bad since code = %d, want 400", code)
+	}
+}
+
+// TestEmitNow: direct-to-sink emission stamps IDs and day/window and is
+// visible immediately, without any recorder drain.
+func TestEmitNow(t *testing.T) {
+	l := New(Config{Sample: 1})
+	mem := NewMemorySink(8)
+	l.AddSink(mem)
+	l.SetDay(time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC))
+
+	// A live recorder with staged (undrained) events must not be disturbed.
+	rec := l.NewRecorder(3)
+	rec.Emit(Event{Name: "staged.example.com", Qtype: "A"})
+
+	l.EmitNow(Event{Name: "rule.firing.alert", Qtype: "ALERT", Server: -1})
+	got := mem.Snapshot(Filter{})
+	if len(got) != 1 {
+		t.Fatalf("events = %+v, want only the EmitNow one (recorder still staged)", got)
+	}
+	ev := got[0]
+	if ev.Name != "rule.firing.alert" || ev.ID == 0 || ev.Day != "2011-12-01" || ev.Window != 1 || ev.Server != -1 {
+		t.Fatalf("stamped event = %+v", ev)
+	}
+
+	// Draining afterwards delivers the staged event with a distinct ID.
+	rec.Drain()
+	got = mem.Snapshot(Filter{})
+	if len(got) != 2 || got[0].ID == got[1].ID {
+		t.Fatalf("after drain = %+v", got)
+	}
+}

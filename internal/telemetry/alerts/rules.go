@@ -1,0 +1,165 @@
+// Package alerts is the SLO rules engine over the telemetry tsdb: a small
+// set of declarative threshold rules, each a windowed query against the
+// time-series store, evaluated once per sweep with Prometheus-style
+// pending→firing→resolved state transitions. Alert transitions are mirrored
+// into the query log so firings sit in the same tail as the queries that
+// caused them.
+package alerts
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dnsnoise/internal/telemetry/tsdb"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("30s", "1m30s") and unmarshals from either a string or plain seconds.
+type Duration time.Duration
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		parsed, perr := time.ParseDuration(s)
+		if perr != nil {
+			return perr
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var sec float64
+	if err := json.Unmarshal(b, &sec); err != nil {
+		return fmt.Errorf("alerts: duration must be a string or seconds: %s", b)
+	}
+	*d = Duration(time.Duration(sec * float64(time.Second)))
+	return nil
+}
+
+// Rule is one declarative SLO condition: aggregate Series over the trailing
+// Window (and, when ShortWindow is set, over that too — the multi-window
+// burn-rate form: both must violate, so a long-window breach ends fast once
+// the short window recovers), compare against Threshold with Op, and demand
+// the violation persist For before firing. One Rule fans out into one alert
+// instance per matched series, which is how a single "serve_drop_rate"
+// rule covers every PoP of a fleet.
+type Rule struct {
+	Name   string `json:"name"`
+	Series string `json:"series"`
+	// Agg is rate|avg|max (default avg).
+	Agg string `json:"agg,omitempty"`
+	// Op is ">" or "<" (default ">").
+	Op        string  `json:"op,omitempty"`
+	Threshold float64 `json:"threshold"`
+	// Window is the trailing aggregation window (default 1m).
+	Window Duration `json:"window,omitempty"`
+	// ShortWindow, when set, adds the burn-rate guard window.
+	ShortWindow Duration `json:"short_window,omitempty"`
+	// For is how long the violation must persist before pending becomes
+	// firing. Zero fires immediately.
+	For Duration `json:"for,omitempty"`
+}
+
+func (r Rule) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("alerts: rule with empty name")
+	}
+	if r.Series == "" {
+		return fmt.Errorf("alerts: rule %q has no series", r.Name)
+	}
+	if _, err := tsdb.ParseAgg(r.Agg); err != nil {
+		return fmt.Errorf("alerts: rule %q: %v", r.Name, err)
+	}
+	switch r.Op {
+	case "", ">", "<":
+	default:
+		return fmt.Errorf("alerts: rule %q: op %q (want > or <)", r.Name, r.Op)
+	}
+	if r.Window < 0 || r.ShortWindow < 0 || r.For < 0 {
+		return fmt.Errorf("alerts: rule %q: negative duration", r.Name)
+	}
+	return nil
+}
+
+// window returns the effective long window.
+func (r Rule) window() time.Duration {
+	if r.Window <= 0 {
+		return time.Minute
+	}
+	return time.Duration(r.Window)
+}
+
+// violates applies Op.
+func (r Rule) violates(v float64) bool {
+	if r.Op == "<" {
+		return v < r.Threshold
+	}
+	return v > r.Threshold
+}
+
+// DefaultRules is the rule set used when no -alert-rules file is given:
+// the serve path's drop share, its p99 handler latency (burn-rate form),
+// the resolver cache-hit-ratio floor, and a disposable-verdict-rate spike —
+// the regressions the paper's measurements say an operator should watch.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name: "serve_drop_rate", Series: "serve_drop_rate",
+			Threshold: 0.01, Window: Duration(time.Minute),
+			ShortWindow: Duration(10 * time.Second), For: Duration(10 * time.Second),
+		},
+		{
+			Name: "p99_latency_ns", Series: "udp_handle_latency_ns_p99",
+			Agg: "max", Threshold: 50e6, Window: Duration(time.Minute),
+			ShortWindow: Duration(10 * time.Second), For: Duration(10 * time.Second),
+		},
+		{
+			Name: "chr_floor", Series: "cache_hit_ratio",
+			Op: "<", Threshold: 0.20, Window: Duration(2 * time.Minute),
+			For: Duration(30 * time.Second),
+		},
+		{
+			Name: "verdict_rate_spike", Series: "verdict_rate",
+			Threshold: 0.50, Window: Duration(time.Minute),
+			ShortWindow: Duration(10 * time.Second), For: Duration(10 * time.Second),
+		},
+	}
+}
+
+// ParseRules decodes a JSON rules document: either a bare array of rules
+// or an object with a "rules" field. Every rule is validated.
+func ParseRules(data []byte) ([]Rule, error) {
+	var doc struct {
+		Rules []Rule `json:"rules"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		var arr []Rule
+		if aerr := json.Unmarshal(data, &arr); aerr != nil {
+			return nil, fmt.Errorf("alerts: bad rules document: %v", err)
+		}
+		doc.Rules = arr
+	}
+	if len(doc.Rules) == 0 {
+		return nil, fmt.Errorf("alerts: rules document defines no rules")
+	}
+	for _, r := range doc.Rules {
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return doc.Rules, nil
+}
+
+// LoadRules reads and parses a rules file.
+func LoadRules(path string) ([]Rule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseRules(data)
+}

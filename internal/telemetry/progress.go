@@ -88,4 +88,30 @@ func registerRuntimeMetrics(r *Registry) {
 			runtime.ReadMemStats(&ms)
 			return uint64(ms.NumGC)
 		})
+	r.HistogramFunc("go_gc_pause_ns", "Stop-the-world GC pause durations.",
+		func() HistogramSnapshot {
+			// Rebuild the distribution from the runtime's circular pause
+			// buffer (the most recent 256 pauses) on every read; cumulative
+			// Count/Sum come from the totals so tsdb deltas stay monotonic.
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			var counts [histBuckets]uint64
+			n := uint32(len(ms.PauseNs))
+			if ms.NumGC < n {
+				n = ms.NumGC
+			}
+			for i := uint32(0); i < n; i++ {
+				counts[bucketOf(ms.PauseNs[i])]++
+			}
+			s := HistogramSnapshot{Count: uint64(ms.NumGC), Sum: ms.PauseTotalNs}
+			for i, c := range counts {
+				if c > 0 {
+					s.Buckets = append(s.Buckets, Bucket{Lo: bucketLo(i), Hi: bucketHi(i), Count: c})
+				}
+			}
+			s.P50 = s.Quantile(0.50)
+			s.P95 = s.Quantile(0.95)
+			s.P99 = s.Quantile(0.99)
+			return s
+		})
 }

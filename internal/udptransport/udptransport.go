@@ -105,8 +105,11 @@ type Server struct {
 	tcpEnabled bool
 	tcp        *tcpState
 
-	// Per-verdict handler latency, observed on sampled (logged) packets
-	// only — the unsampled fast path never reads the clock. Nil-safe.
+	// Handler latency, observed on sampled (logged) packets only — the
+	// unsampled fast path never reads the clock. Nil-safe. latAll covers
+	// every sampled packet (the tsdb's p99 series and its alert rule);
+	// the per-verdict pair exists only with a scorer attached.
+	latAll        *telemetry.Histogram
 	latBenign     *telemetry.Histogram
 	latDisposable *telemetry.Histogram
 
@@ -299,6 +302,8 @@ func (s *Server) registerMetrics() {
 	s.reg.CounterFunc("udp_truncated_total", "Responses truncated to the client's payload budget.",
 		sum(func(st *listenerStats) uint64 { return st.truncated.Load() }))
 	s.reg.Gauge("udp_listeners", "Active listener sockets.").Set(float64(len(s.conns)))
+	s.latAll = s.reg.Histogram("udp_handle_latency_ns",
+		"Handler latency of sampled queries, all verdicts.")
 	if s.tcp != nil {
 		s.reg.CounterFunc("tcp_connections_total", "TCP fallback connections accepted.",
 			s.tcp.accepts.Load)
@@ -508,6 +513,7 @@ func truncateResponse(resp []byte) []byte {
 // wall time. Decoding and the per-verdict latency observation happen only
 // on sampled queries, off the unsampled fast path.
 func (w *listenerWorker) logQuery(query, resp []byte, herr error, verdict qlog.Verdict, elapsed time.Duration) {
+	w.srv.latAll.Observe(uint64(elapsed))
 	switch verdict {
 	case qlog.VerdictBenign:
 		w.srv.latBenign.Observe(uint64(elapsed))
